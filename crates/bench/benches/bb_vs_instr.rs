@@ -1,0 +1,34 @@
+//! Criterion ablation: per-instruction versus basic-block instrumentation
+//! granularity (the optimization the paper sketches after Listing 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuda::Driver;
+use gpu::DeviceSpec;
+use nvbit::attach_tool;
+use nvbit_tools::{BbInstrCount, InstrCount};
+use sass::Arch;
+use workloads::specaccel::{benchmark, Size};
+
+fn run(bb: bool) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    if bb {
+        let (tool, _r) = BbInstrCount::new();
+        attach_tool(&drv, tool);
+    } else {
+        let (tool, _r) = InstrCount::new();
+        attach_tool(&drv, tool);
+    }
+    benchmark("omriq").unwrap().run(&drv, Size::Small).unwrap();
+    drv.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bb_vs_instr");
+    g.sample_size(10);
+    g.bench_function("per_instruction", |b| b.iter(|| run(false)));
+    g.bench_function("per_basic_block", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion ablation: the executor's decode cache (fetches revalidate the
+//! cached raw bytes, so the cache is safe under NVBit's code patching —
+//! this bench shows what it buys).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu::{Device, DeviceSpec, Dim3, LaunchConfig};
+use sass::{asm, codec::codec_for, Arch};
+
+fn setup(enabled: bool) -> (Device, LaunchConfig) {
+    let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+    dev.decode_cache_enabled = enabled;
+    let prog = asm::assemble_arch(
+        "S2R R4, SR_TID.X ;\n\
+         MOV32I R5, 0x0 ;\n\
+         top:\n\
+         IADD R4, R4, 0x3 ;\n\
+         LOP.XOR R4, R4, R5 ;\n\
+         IADD R5, R5, 0x1 ;\n\
+         ISETP.LT.S32 P0, R5, 0x1f4 ;\n\
+         @P0 BRA top ;\n\
+         EXIT ;",
+        Arch::Volta,
+    )
+    .unwrap();
+    let code = codec_for(Arch::Volta).encode_stream(&prog).unwrap();
+    let addr = dev.alloc(code.len() as u64).unwrap();
+    dev.write(addr, &code).unwrap();
+    let cfg = LaunchConfig::new(addr, Dim3::linear(8), Dim3::linear(128));
+    (dev, cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_cache");
+    g.sample_size(10);
+    for enabled in [true, false] {
+        let name = if enabled { "enabled" } else { "disabled" };
+        g.bench_function(name, |b| {
+            let (mut dev, cfg) = setup(enabled);
+            b.iter(|| dev.launch(&cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

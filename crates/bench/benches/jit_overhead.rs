@@ -1,0 +1,96 @@
+//! Criterion bench: JIT-compilation cost (lift + codegen + swap) as a
+//! function of the number of unique kernels, isolated from execution by
+//! disabling instrumentation after generation (paper §5.2: overhead grows
+//! with unique kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, IPoint, NvbitApi, NvbitTool};
+use sass::Arch;
+
+const COUNT_FN: &str = r#"
+.func bc(.reg .u32 %pred, .reg .u64 %ctr)
+{
+    .reg .u64 %rd<3>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    mov.u64 %rd1, 1;
+    atom.global.add.u64 %rd2, [%ctr], %rd1;
+    ret;
+}
+"#;
+
+/// Instruments everything, then immediately disables it: only the JIT
+/// pipeline runs, not the instrumented code.
+struct CodegenOnly {
+    ctr: u64,
+}
+
+impl NvbitTool for CodegenOnly {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.load_tool_functions(COUNT_FN).unwrap();
+        self.ctr = api.driver().with_device(|d| d.alloc(8)).unwrap();
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if is_exit || cbid != CbId::LaunchKernel || api.is_instrumented(*func) {
+            return;
+        }
+        for idx in 0..api.get_instrs(*func).unwrap().len() {
+            api.insert_call(*func, idx, "bc", IPoint::Before).unwrap();
+            api.add_call_arg_guard_pred(*func, idx).unwrap();
+            api.add_call_arg_imm64(*func, idx, self.ctr).unwrap();
+        }
+        api.enable_instrumented(*func, false).unwrap();
+    }
+}
+
+fn run_many_kernels(num_kernels: u32, instrument: bool) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    if instrument {
+        attach_tool(&drv, CodegenOnly { ctr: 0 });
+    }
+    let ctx = drv.ctx_create().unwrap();
+    let srcs: Vec<String> = (0..num_kernels)
+        .map(|v| workloads::kernels::short_unique(&format!("k{v}"), v))
+        .collect();
+    let src = format!(".version 6.0\n{}", srcs.join("\n"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("many", src)).unwrap();
+    let buf = drv.mem_alloc(4096).unwrap();
+    for v in 0..num_kernels {
+        let f = drv.module_get_function(&m, &format!("k{v}")).unwrap();
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(128),
+            &[KernelArg::Ptr(buf), KernelArg::U32(1024)],
+        )
+        .unwrap();
+    }
+    drv.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jit_overhead");
+    g.sample_size(10);
+    for kernels in [4u32, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("native", kernels), &kernels, |b, &k| {
+            b.iter(|| run_many_kernels(k, false));
+        });
+        g.bench_with_input(BenchmarkId::new("jit_only", kernels), &kernels, |b, &k| {
+            b.iter(|| run_many_kernels(k, true));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: native vs fully-instrumented vs grid-dim-sampled
+//! execution of a stencil benchmark (the Figure 8 mechanism at small
+//! scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuda::Driver;
+use gpu::DeviceSpec;
+use nvbit::attach_tool;
+use nvbit_tools::{OpcodeHistogram, SamplingMode};
+use sass::Arch;
+use workloads::specaccel::{benchmark, Size};
+
+fn run(mode: Option<SamplingMode>) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    if let Some(m) = mode {
+        let (tool, _r) = OpcodeHistogram::new(m);
+        attach_tool(&drv, tool);
+    }
+    benchmark("ostencil").unwrap().run(&drv, Size::Small).unwrap();
+    drv.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(10);
+    g.bench_function("native", |b| b.iter(|| run(None)));
+    g.bench_function("full_instrumentation", |b| b.iter(|| run(Some(SamplingMode::Full))));
+    g.bench_function("griddim_sampling", |b| b.iter(|| run(Some(SamplingMode::GridDim))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

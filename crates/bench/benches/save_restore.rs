@@ -1,0 +1,95 @@
+//! Criterion ablation: cost of the register save/restore tiers. Reading a
+//! high register forces the largest tier (255 registers saved per
+//! injection) versus the default minimal tier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, Arg, IPoint, NvbitApi, NvbitTool};
+use sass::Arch;
+
+const NOP_FN: &str = r#"
+.func tnop(.reg .u32 %a)
+{
+    ret;
+}
+"#;
+
+struct TierTool {
+    high_reg: bool,
+}
+
+impl NvbitTool for TierTool {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.load_tool_functions(NOP_FN).unwrap();
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if is_exit || cbid != CbId::LaunchKernel || api.is_instrumented(*func) {
+            return;
+        }
+        let reg = if self.high_reg { 200 } else { 4 };
+        for idx in 0..api.get_instrs(*func).unwrap().len() {
+            api.insert_call(*func, idx, "tnop", IPoint::Before).unwrap();
+            api.add_call_arg(*func, idx, Arg::RegVal(reg)).unwrap();
+        }
+    }
+}
+
+const APP: &str = r#"
+.entry k(.param .u64 p, .param .u32 n)
+{
+    .reg .u32 %r<5>;
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [p];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %tid.x;
+    mov.u32 %r3, 0;
+L:
+    setp.ge.u32 %p1, %r3, %r1;
+    @%p1 bra D;
+    add.u32 %r2, %r2, %r3;
+    add.u32 %r3, %r3, 1;
+    bra L;
+D:
+    mul.wide.u32 %rd2, %r2, 0;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    exit;
+}
+"#;
+
+fn run(high_reg: bool) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    attach_tool(&drv, TierTool { high_reg });
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+    let f = drv.module_get_function(&m, "k").unwrap();
+    let buf = drv.mem_alloc(256).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(2),
+        Dim3::linear(64),
+        &[KernelArg::Ptr(buf), KernelArg::U32(20)],
+    )
+    .unwrap();
+    drv.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("save_restore_tiers");
+    g.sample_size(10);
+    g.bench_function("tier_minimal", |b| b.iter(|| run(false)));
+    g.bench_function("tier_255", |b| b.iter(|| run(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! **Figure 5**: JIT-compilation overhead breakdown when instrumenting every
+//! instruction of every kernel once with the instruction-count tool, on the
+//! SpecAccel suite (medium size).
+//!
+//! Reports, per benchmark: the six-component breakdown of the
+//! JIT-compilation time and that time as a percentage of the *native*
+//! execution time of the application (the paper's "overhead": < 5 % on
+//! average, up to ~20 % for `ilbdc`, disassembly dominant).
+//!
+//! ```text
+//! cargo run --release -p nvbit-bench --bin fig5 [-- --size medium]
+//! ```
+
+use bench_harness::{print_table, size_arg, timed, titan_v, OverheadCapture};
+use nvbit::JitComponent;
+use nvbit_tools::InstrCount;
+use workloads::specaccel::suite;
+
+fn main() {
+    let size = size_arg();
+    println!("Figure 5: JIT-compilation overhead breakdown (size {size:?})\n");
+
+    let mut rows = Vec::new();
+    let mut pct_sum = 0.0;
+    let mut pct_max: (f64, &str) = (0.0, "");
+    let mut dis_share_sum = 0.0;
+    let suite = suite();
+
+    for b in &suite {
+        // Native wall time (no interposer).
+        let native = titan_v();
+        let (_, native_wall) = timed(|| b.run(&native, size).expect("benchmark runs"));
+
+        // Instrumented run: every instruction of every kernel, once.
+        let drv = titan_v();
+        let (count_tool, _results) = InstrCount::new();
+        let (tool, report) = OverheadCapture::new(count_tool);
+        nvbit::attach_tool(&drv, tool);
+        b.run(&drv, size).expect("instrumented benchmark runs");
+        drv.shutdown();
+
+        let report = report.borrow().clone().expect("overhead captured");
+        let jit = report.total.total();
+        let pct = 100.0 * jit.as_secs_f64() / native_wall.as_secs_f64().max(1e-9);
+        pct_sum += pct;
+        if pct > pct_max.0 {
+            pct_max = (pct, b.name);
+        }
+        let share = |c: JitComponent| {
+            100.0 * report.total.of(c).as_secs_f64() / jit.as_secs_f64().max(1e-12)
+        };
+        dis_share_sum += share(JitComponent::Disassemble);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{:.3}", jit.as_secs_f64() * 1e3),
+            format!("{:.1}", share(JitComponent::Retrieve)),
+            format!("{:.1}", share(JitComponent::Disassemble)),
+            format!("{:.1}", share(JitComponent::Convert)),
+            format!("{:.1}", share(JitComponent::UserCode)),
+            format!("{:.1}", share(JitComponent::Codegen)),
+            format!("{:.1}", share(JitComponent::Swap)),
+            format!("{:.2}", pct),
+        ]);
+    }
+
+    print_table(
+        &[
+            "benchmark", "jit(ms)", "retr%", "disas%", "conv%", "user%", "cgen%", "swap%",
+            "jit/native%",
+        ],
+        &rows,
+    );
+    println!(
+        "\naverage JIT overhead vs native: {:.2}%  (paper: < 5% average)",
+        pct_sum / suite.len() as f64
+    );
+    println!(
+        "worst case: {} at {:.2}%  (paper: ~20% for ilbdc, many unique short kernels)",
+        pct_max.1, pct_max.0
+    );
+    println!(
+        "average disassembly share of JIT time: {:.1}%  (paper: disassembly dominant)",
+        dis_share_sum / suite.len() as f64
+    );
+}

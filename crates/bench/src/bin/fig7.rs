@@ -1,0 +1,41 @@
+//! **Figure 7**: Top-5 executed instruction histogram per SpecAccel
+//! benchmark (collected with the opcode-histogram tool, full
+//! instrumentation).
+//!
+//! ```text
+//! cargo run --release -p nvbit-bench --bin fig7 [-- --size large]
+//! ```
+
+use bench_harness::{size_arg, titan_v};
+use nvbit::attach_tool;
+use nvbit_tools::{OpcodeHistogram, SamplingMode};
+use workloads::specaccel::suite;
+
+fn main() {
+    let size = size_arg();
+    println!("Figure 7: Top-5 executed instructions per benchmark (size {size:?})\n");
+
+    for b in suite() {
+        let drv = titan_v();
+        let (tool, results) = OpcodeHistogram::new(SamplingMode::Full);
+        attach_tool(&drv, tool);
+        b.run(&drv, size).expect("benchmark runs");
+        drv.shutdown();
+
+        let hist = results.histogram();
+        let total: u64 = hist.values().sum();
+        let top = results.top(5);
+        let mut line = format!("{:>10}: ", b.name);
+        for (op, count) in &top {
+            let pct = 100.0 * *count as f64 / total.max(1) as f64;
+            line.push_str(&format!("{op} {pct:.0}%  "));
+        }
+        let top_sum: u64 = top.iter().map(|(_, c)| *c).sum();
+        line.push_str(&format!(
+            "(top-5 covers {:.0}% of {} thread instrs)",
+            100.0 * top_sum as f64 / total.max(1) as f64,
+            total
+        ));
+        println!("{line}");
+    }
+}

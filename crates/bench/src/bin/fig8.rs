@@ -1,0 +1,60 @@
+//! **Figure 8**: slowdown of the instruction-histogram tool versus native
+//! execution, with full instrumentation and with grid-dimension sampling.
+//!
+//! Slowdowns are ratios of simulated GPU cycles, which count the genuinely
+//! executed instrumentation instructions (trampolines, save/restore, tool
+//! functions). The paper reports 36.4× average for full instrumentation and
+//! 2.3× for sampling on a TITAN V.
+//!
+//! ```text
+//! cargo run --release -p nvbit-bench --bin fig8 [-- --size large]
+//! ```
+
+use bench_harness::{geomean, print_table, size_arg, titan_v};
+use nvbit::attach_tool;
+use nvbit_tools::{OpcodeHistogram, SamplingMode};
+use workloads::specaccel::suite;
+
+fn main() {
+    let size = size_arg();
+    println!("Figure 8: slowdown vs native execution (size {size:?})\n");
+
+    let mut rows = Vec::new();
+    let mut full_factors = Vec::new();
+    let mut sampled_factors = Vec::new();
+
+    for b in suite() {
+        let native = {
+            let drv = titan_v();
+            b.run(&drv, size).expect("native run");
+            drv.total_stats().cycles
+        };
+        let run_mode = |mode: SamplingMode| -> u64 {
+            let drv = titan_v();
+            let (tool, _results) = OpcodeHistogram::new(mode);
+            attach_tool(&drv, tool);
+            b.run(&drv, size).expect("instrumented run");
+            drv.shutdown();
+            drv.total_stats().cycles
+        };
+        let full = run_mode(SamplingMode::Full);
+        let sampled = run_mode(SamplingMode::GridDim);
+        let fx = full as f64 / native.max(1) as f64;
+        let sx = sampled as f64 / native.max(1) as f64;
+        full_factors.push(fx);
+        sampled_factors.push(sx);
+        rows.push(vec![
+            b.name.to_string(),
+            native.to_string(),
+            format!("{fx:.1}x"),
+            format!("{sx:.2}x"),
+        ]);
+    }
+
+    print_table(&["benchmark", "native cycles", "full instr", "sampling"], &rows);
+    println!(
+        "\naverage slowdown: full {:.1}x, sampling {:.2}x  (paper: 36.4x and 2.3x)",
+        geomean(&full_factors),
+        geomean(&sampled_factors)
+    );
+}

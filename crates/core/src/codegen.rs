@@ -1,0 +1,723 @@
+//! The Code Generator: builds the instrumented copy of a function and its
+//! trampolines (paper §5.1, Figure 4).
+//!
+//! For every instrumented instruction the generator:
+//!
+//! 1. substitutes the instruction with an unconditional `JMP` to a
+//!    trampoline (preserving the instruction layout — both code versions
+//!    have the same size and addresses, so absolute jumps keep working and
+//!    switching versions is a plain memcpy);
+//! 2. emits the trampoline: for each injection a call to the save routine,
+//!    the device-API frame pointer setup, the argument materialization
+//!    (reading the *saved* register values, never live ones — no WAR
+//!    hazards with ABI argument registers), the call to the tool function
+//!    and the restore call;
+//! 3. re-emits the relocated original instruction with its PC-relative
+//!    offset adjusted (or a `NOP` when `remove_orig` was requested);
+//! 4. jumps back to the next original instruction.
+
+use crate::hal::Hal;
+use crate::saverestore::{frame_bytes, tier_for, Routines};
+use crate::spec::{Arg, FuncSpec, IPoint, Injection};
+use crate::{NvbitError, Result};
+use cuda::FunctionInfo;
+use sass::{Instruction, Mods, Op, Operand, Reg};
+use std::collections::HashMap;
+
+/// A tool device function loaded by the Tool Functions Loader.
+#[derive(Debug, Clone, Copy)]
+pub struct ToolFn {
+    /// Device address of the first instruction.
+    pub addr: u64,
+    /// General-purpose registers the function uses.
+    pub reg_count: u32,
+    /// Stack bytes the function needs.
+    pub stack_size: u32,
+}
+
+/// The output of code generation for one function.
+#[derive(Debug, Clone)]
+pub struct InstrumentedImage {
+    /// Pristine original code (for swapping back).
+    pub original: Vec<u8>,
+    /// Instrumented copy — byte-for-byte the same size as the original.
+    pub instrumented: Vec<u8>,
+    /// Device address of the trampoline region.
+    pub tramp_addr: u64,
+    /// The trampoline bytes (the caller uploads them to `tramp_addr`).
+    pub tramp_code: Vec<u8>,
+    /// Extra per-thread local memory every launch of the instrumented
+    /// version needs (save frame + tool stack frames).
+    pub extra_local: u32,
+    /// The save tier selected.
+    pub tier: u16,
+}
+
+/// Runs code generation. `alloc` provides device memory for the trampoline
+/// region (the bulk allocation the paper mentions); `routines` must cover
+/// every tier.
+///
+/// # Errors
+///
+/// [`NvbitError::UnknownToolFunction`] for unregistered injections,
+/// [`NvbitError::BadRequest`] for argument-ABI violations and
+/// [`NvbitError::Encode`] when the target family cannot encode the result.
+#[allow(clippy::too_many_arguments)] // the paper's six codegen inputs + allocator
+pub fn generate(
+    hal: &Hal,
+    info: &FunctionInfo,
+    original: &[Instruction],
+    original_code: &[u8],
+    spec: &FuncSpec,
+    tool_fns: &HashMap<String, ToolFn>,
+    routines: &HashMap<u16, Routines>,
+    mut alloc: impl FnMut(u64) -> Result<u64>,
+) -> Result<InstrumentedImage> {
+    let isize = hal.instruction_size();
+
+    // Validate sites and resolve tool functions.
+    for (&idx, injections) in &spec.sites {
+        if idx >= original.len() {
+            return Err(NvbitError::BadInstrIndex { index: idx, len: original.len() });
+        }
+        for inj in injections {
+            if !tool_fns.contains_key(&inj.func) {
+                return Err(NvbitError::UnknownToolFunction(inj.func.clone()));
+            }
+        }
+    }
+    for &idx in &spec.removed {
+        if idx >= original.len() {
+            return Err(NvbitError::BadInstrIndex { index: idx, len: original.len() });
+        }
+    }
+
+    // Select the save tier: cover the original function's registers, every
+    // injected function's registers, the ABI argument registers, and any
+    // register the tool asks to read.
+    let mut needed: u32 = info.reg_count.max(16);
+    let mut tool_stack_max: u32 = 0;
+    for injections in spec.sites.values() {
+        for inj in injections {
+            let tf = &tool_fns[&inj.func];
+            needed = needed.max(tf.reg_count);
+            tool_stack_max = tool_stack_max.max(tf.stack_size);
+            for arg in &inj.args {
+                match arg {
+                    Arg::RegVal(r) => needed = needed.max(*r as u32 + 1),
+                    Arg::RegVal64(r) => needed = needed.max(*r as u32 + 2),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let tier = tier_for(needed.min(255) as u16);
+    let routine = *routines
+        .get(&tier)
+        .ok_or_else(|| NvbitError::BadRequest(format!("no save routine for tier {tier}")))?;
+    let frame = frame_bytes(tier, hal);
+
+    // Phase 1: measure each trampoline with a placeholder base address.
+    let mut lengths: Vec<(usize, u64)> = Vec::new(); // (site, instr count)
+    let mut cursor = 0u64;
+    for &idx in spec.sites.keys() {
+        let instrs = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, 0)?;
+        lengths.push((idx, instrs.len() as u64));
+        cursor += instrs.len() as u64;
+    }
+    let tramp_len = cursor * isize;
+    let tramp_addr = alloc(tramp_len.max(isize))?;
+
+    // Phase 2: emit with real addresses.
+    let mut tramp_instrs: Vec<Instruction> = Vec::with_capacity(cursor as usize);
+    let mut site_addr: HashMap<usize, u64> = HashMap::new();
+    let mut pc = tramp_addr;
+    for &(idx, len) in &lengths {
+        site_addr.insert(idx, pc);
+        let instrs = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, pc)?;
+        debug_assert_eq!(instrs.len() as u64, len);
+        tramp_instrs.extend(instrs);
+        pc += len * isize;
+    }
+    let tramp_code = hal.assemble(&tramp_instrs)?;
+
+    // Instrumented copy: original with instrumented sites replaced by
+    // unconditional jumps into the trampolines; removed-but-uninstrumented
+    // sites become NOPs in place.
+    let mut patched = original.to_vec();
+    for &idx in spec.sites.keys() {
+        patched[idx] = Instruction::new(Op::Jmp, vec![Operand::Abs(site_addr[&idx])]);
+    }
+    for &idx in &spec.removed {
+        if !spec.sites.contains_key(&idx) {
+            patched[idx] = Instruction::nop();
+        }
+    }
+    let instrumented = hal.assemble(&patched)?;
+    debug_assert_eq!(instrumented.len(), original_code.len());
+
+    Ok(InstrumentedImage {
+        original: original_code.to_vec(),
+        instrumented,
+        tramp_addr,
+        tramp_code,
+        extra_local: frame + tool_stack_max + 128,
+        tier,
+    })
+}
+
+/// The assembled trampoline bytes (phase-2 output) are written by the
+/// caller; this emits one site's trampoline instruction sequence.
+#[allow(clippy::too_many_arguments)]
+fn emit_site(
+    hal: &Hal,
+    info: &FunctionInfo,
+    original: &[Instruction],
+    spec: &FuncSpec,
+    tool_fns: &HashMap<String, ToolFn>,
+    routine: &Routines,
+    tier: u16,
+    idx: usize,
+    tramp_pc: u64,
+) -> Result<Vec<Instruction>> {
+    let isize = hal.instruction_size();
+    let next_pc = info.addr + (idx as u64 + 1) * isize;
+    let injections = &spec.sites[&idx];
+    let mut out: Vec<Instruction> = Vec::new();
+
+    for inj in injections.iter().filter(|i| i.ipoint == IPoint::Before) {
+        emit_injection(hal, original, routine, tier, idx, inj, &tool_fns[&inj.func], &mut out)?;
+    }
+
+    // The relocated original instruction (Figure 4, step 5) — a NOP when
+    // removed (the PROXY-emulation path of §6.3).
+    if spec.removed.contains(&idx) {
+        out.push(Instruction::nop());
+    } else {
+        let mut orig = original[idx].clone();
+        if let Some(rel) = orig.rel_target() {
+            // Critically, relative control flow must be re-relativized to
+            // its new home (Figure 4's "offset must be adjusted").
+            let abs_target = (info.addr + (idx as u64 + 1) * isize).wrapping_add(rel as u64);
+            let reloc_pc = tramp_pc + out.len() as u64 * isize;
+            orig.set_rel_target(abs_target.wrapping_sub(reloc_pc + isize) as i64);
+        }
+        out.push(orig);
+    }
+
+    for inj in injections.iter().filter(|i| i.ipoint == IPoint::After) {
+        emit_injection(hal, original, routine, tier, idx, inj, &tool_fns[&inj.func], &mut out)?;
+    }
+
+    // Back to the instruction after the instrumented one (Figure 4, step 6).
+    out.push(Instruction::new(Op::Jmp, vec![Operand::Abs(next_pc)]));
+    Ok(out)
+}
+
+/// Emits one injection: save, frame pointer, arguments, call, restore.
+///
+/// With `pred_filter` set on a guarded site, the whole sequence is wrapped
+/// in an `SSY`-bracketed diamond so that guard-false lanes never enter the
+/// injected function (the paper's §7 "predicate matching" extension):
+///
+/// ```text
+///       SSY  L_skip
+/// @!Pg  BRA  L_other        ; guard-false lanes take their own path
+///       <save / args / call / restore>
+///       SYNC                ; guard-true path done
+/// L_other: SYNC             ; guard-false path done
+/// L_skip:  ...
+/// ```
+#[allow(clippy::too_many_arguments)]
+fn emit_injection(
+    hal: &Hal,
+    original: &[Instruction],
+    routine: &Routines,
+    tier: u16,
+    idx: usize,
+    inj: &Injection,
+    tool: &ToolFn,
+    out: &mut Vec<Instruction>,
+) -> Result<()> {
+    let guard = original[idx].guard;
+    if inj.pred_filter && !guard.is_always() {
+        let isize = hal.instruction_size() as i64;
+        let barrier = if hal.saves_barrier_state() { 1 } else { 0 };
+        let mods = Mods { barrier, ..Mods::default() };
+        // Emit the body first to learn its length, then splice the wrapper.
+        let mut body = Vec::new();
+        let plain = Injection { pred_filter: false, ..inj.clone() };
+        emit_injection(hal, original, routine, tier, idx, &plain, tool, &mut body)?;
+        let n = body.len() as i64;
+        out.push(Instruction::new(Op::Ssy, vec![Operand::Rel((n + 3) * isize)]).with_mods(mods));
+        out.push(
+            Instruction::new(Op::Bra, vec![Operand::Rel((n + 1) * isize)])
+                .with_guard(sass::Guard { pred: guard.pred, negated: !guard.negated }),
+        );
+        out.extend(body);
+        out.push(Instruction::new(Op::Sync, vec![]).with_mods(mods));
+        out.push(Instruction::new(Op::Sync, vec![]).with_mods(mods));
+        return Ok(());
+    }
+
+    let frame = frame_bytes(tier, hal);
+    let pred_mask_off = 4 * tier as i32;
+    let scratch = Reg(3);
+
+    // 1. Save the thread state.
+    out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(routine.save_addr)]));
+    // 2. Device-API frame pointer: R0 = save-area base.
+    out.push(Instruction::new(Op::Mov, vec![Operand::Reg(Reg(0)), Operand::Reg(Reg::SP)]));
+
+    // 3. Materialize arguments into the ABI registers from the *saved*
+    //    state.
+    let mut slot: u8 = 4;
+    let emit_pred_value = |p: u8, negated: bool, slot: u8, out: &mut Vec<Instruction>| {
+        if p >= 7 {
+            // PT: constant true (negated PT is constant false).
+            out.push(Instruction::new(
+                Op::Mov32i,
+                vec![Operand::Reg(Reg(slot)), Operand::Imm(i64::from(!negated))],
+            ));
+            return;
+        }
+        out.push(Instruction::new(
+            Op::Ldl,
+            vec![Operand::Reg(scratch), Operand::MRef { base: Reg::SP, offset: pred_mask_off }],
+        ));
+        out.push(Instruction::new(
+            Op::Shr,
+            vec![Operand::Reg(scratch), Operand::Reg(scratch), Operand::Imm(p as i64)],
+        )
+        .with_mods(Mods { itype: sass::op::IType::U32, ..Mods::default() }));
+        out.push(
+            Instruction::new(
+                Op::Lop,
+                vec![Operand::Reg(scratch), Operand::Reg(scratch), Operand::Imm(1)],
+            )
+            .with_mods(Mods { sub: sass::SubOp::And, ..Mods::default() }),
+        );
+        if negated {
+            out.push(
+                Instruction::new(
+                    Op::Lop,
+                    vec![Operand::Reg(scratch), Operand::Reg(scratch), Operand::Imm(1)],
+                )
+                .with_mods(Mods { sub: sass::SubOp::Xor, ..Mods::default() }),
+            );
+        }
+        out.push(Instruction::new(
+            Op::Mov,
+            vec![Operand::Reg(Reg(slot)), Operand::Reg(scratch)],
+        ));
+    };
+
+    for arg in &inj.args {
+        if arg.slots() == 2 && slot % 2 == 1 {
+            slot += 1;
+        }
+        if slot as u32 + arg.slots() as u32 > 16 {
+            return Err(NvbitError::BadRequest(format!(
+                "arguments of `{}` exceed the ABI register window (R4..R15)",
+                inj.func
+            )));
+        }
+        match arg {
+            Arg::GuardPred => {
+                let guard = original[idx].guard;
+                emit_pred_value(guard.pred.0, guard.negated, slot, out);
+            }
+            Arg::PredVal(p) => emit_pred_value(*p, false, slot, out),
+            Arg::RegVal(r) => emit_regval(*r, slot, frame, out),
+            Arg::RegVal64(r) => {
+                emit_regval(*r, slot, frame, out);
+                emit_regval(r.saturating_add(1), slot + 1, frame, out);
+            }
+            Arg::Imm32(v) => {
+                out.push(Instruction::new(
+                    Op::Mov32i,
+                    vec![Operand::Reg(Reg(slot)), Operand::Imm(*v as i64)],
+                ));
+            }
+            Arg::Imm64(v) => {
+                out.push(Instruction::new(
+                    Op::Mov32i,
+                    vec![Operand::Reg(Reg(slot)), Operand::Imm((*v as u32 as i32) as i64)],
+                ));
+                out.push(Instruction::new(
+                    Op::Mov32i,
+                    vec![
+                        Operand::Reg(Reg(slot + 1)),
+                        Operand::Imm(((*v >> 32) as u32 as i32) as i64),
+                    ],
+                ));
+            }
+            Arg::CBank { bank, offset } => {
+                out.push(Instruction::new(
+                    Op::Ldc,
+                    vec![
+                        Operand::Reg(Reg(slot)),
+                        Operand::CBank { bank: *bank, base: Reg::RZ, offset: *offset },
+                    ],
+                ));
+            }
+        }
+        slot += arg.slots();
+    }
+
+    // 4. Call the tool function; 5. restore the thread state.
+    out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(tool.addr)]));
+    out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(routine.restore_addr)]));
+    Ok(())
+}
+
+/// Loads saved register `r` into ABI slot register `slot`.
+fn emit_regval(r: u8, slot: u8, frame: u32, out: &mut Vec<Instruction>) {
+    match r {
+        255 => out.push(Instruction::new(
+            Op::Mov,
+            vec![Operand::Reg(Reg(slot)), Operand::Reg(Reg::RZ)],
+        )),
+        1 => {
+            // The stack pointer is not stored; reconstruct the pre-save
+            // value.
+            out.push(Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(slot)), Operand::Reg(Reg::SP), Operand::Imm(frame as i64)],
+            ));
+        }
+        _ => out.push(Instruction::new(
+            Op::Ldl,
+            vec![Operand::Reg(Reg(slot)), Operand::MRef { base: Reg::SP, offset: 4 * r as i32 }],
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::saverestore::TIERS;
+    use cuda::{CuFunction, CuModule};
+    use sass::Arch;
+
+    fn fake_info(addr: u64, reg_count: u32, arch: Arch) -> FunctionInfo {
+        FunctionInfo {
+            handle: CuFunction::from_raw(1),
+            name: "k".into(),
+            module: CuModule::from_raw(1),
+            library: false,
+            kind: ptx::FunctionKind::Entry,
+            addr,
+            code_len: 0,
+            arch,
+            reg_count,
+            stack_size: 0,
+            shared_size: 0,
+            params: vec![],
+            related: vec![],
+            line_table: vec![],
+            local_override: 0,
+        }
+    }
+
+    fn fake_routines() -> HashMap<u16, Routines> {
+        TIERS
+            .iter()
+            .map(|&t| {
+                (
+                    t,
+                    Routines {
+                        tier: t,
+                        save_addr: 0x10_0000 + t as u64 * 0x1000,
+                        restore_addr: 0x20_0000 + t as u64 * 0x1000,
+                        frame_bytes: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn setup(arch: Arch, text: &str) -> (Hal, FunctionInfo, Vec<Instruction>, Vec<u8>) {
+        let hal = Hal::new(arch);
+        let code = hal.assemble_text(text).unwrap();
+        let instrs = hal.disassemble(&code).unwrap();
+        let info = fake_info(0x4000, 12, arch);
+        (hal, info, instrs, code)
+    }
+
+    fn tool_fns() -> HashMap<String, ToolFn> {
+        let mut m = HashMap::new();
+        m.insert("ifunc".to_string(), ToolFn { addr: 0x8000, reg_count: 8, stack_size: 16 });
+        m
+    }
+
+    #[test]
+    fn trampoline_structure_matches_figure_4() {
+        for arch in [Arch::Kepler, Arch::Volta] {
+            let (hal, info, instrs, code) = setup(
+                arch,
+                "S2R R4, SR_TID.X ;\n\
+                 IADD R5, R4, 0x1 ;\n\
+                 STG [R6], R5 ;\n\
+                 EXIT ;",
+            );
+            let mut spec = FuncSpec::default();
+            spec.insert_call(2, "ifunc", IPoint::Before);
+            spec.add_arg(2, Arg::GuardPred);
+            spec.add_arg(2, Arg::Imm64(0xdead_beef_1234));
+
+            let img = generate(
+                &hal,
+                &info,
+                &instrs,
+                &code,
+                &spec,
+                &tool_fns(),
+                &fake_routines(),
+                |_len| Ok(0x9000),
+            )
+            .unwrap();
+
+            // Same size, site 2 replaced by an absolute JMP to the
+            // trampoline.
+            assert_eq!(img.instrumented.len(), code.len());
+            let patched = hal.disassemble(&img.instrumented).unwrap();
+            assert_eq!(patched[2].op, Op::Jmp);
+            assert_eq!(patched[2].operands[0], Operand::Abs(0x9000));
+            // Other instructions untouched.
+            assert_eq!(patched[0], instrs[0]);
+            assert_eq!(patched[3], instrs[3]);
+
+            // Trampoline: save, frame ptr, args, tool call, restore,
+            // relocated STG, jump back.
+            let tramp = hal.disassemble(&img.tramp_code).unwrap();
+            let ops: Vec<Op> = tramp.iter().map(|i| i.op).collect();
+            assert_eq!(
+                ops,
+                vec![
+                    Op::Jcal,   // save
+                    Op::Mov,    // R0 = frame
+                    Op::Mov32i, // guard (unguarded => constant 1)
+                    Op::Mov32i, // imm64 lo (slot aligned to R6)
+                    Op::Mov32i, // imm64 hi
+                    Op::Jcal,   // tool
+                    Op::Jcal,   // restore
+                    Op::Stg,    // relocated original
+                    Op::Jmp,    // back
+                ],
+                "{}",
+                sass::asm::disassemble(&tramp)
+            );
+            // Return target is the instruction after the site.
+            assert_eq!(
+                tramp.last().unwrap().operands[0],
+                Operand::Abs(info.addr + 3 * hal.instruction_size())
+            );
+        }
+    }
+
+    #[test]
+    fn relative_branches_are_relativized_when_relocated() {
+        let (hal, info, instrs, code) = setup(
+            Arch::Pascal,
+            "ISETP.EQ.S32 P0, R4, RZ ;\n\
+             @P0 BRA .+0x10 ;\n\
+             IADD R5, R5, 0x1 ;\n\
+             IADD R5, R5, 0x2 ;\n\
+             EXIT ;",
+        );
+        let mut spec = FuncSpec::default();
+        spec.insert_call(1, "ifunc", IPoint::Before);
+
+        let tramp_base = 0x20_0000u64;
+        // Re-run emit_site directly to inspect the relocated branch.
+        let routines = fake_routines();
+        let routine = routines[&16];
+        let out = emit_site(
+            &hal,
+            &info,
+            &instrs,
+            &spec,
+            &tool_fns(),
+            &routine,
+            16,
+            1,
+            tramp_base,
+        )
+        .unwrap();
+        let _ = code;
+        let isize = hal.instruction_size();
+        // Locate the relocated BRA.
+        let (pos, bra) = out
+            .iter()
+            .enumerate()
+            .find(|(_, i)| i.op == Op::Bra)
+            .expect("relocated branch present");
+        // Original target: pc 0x4000 + 2*isize + 0x10.
+        let orig_target = info.addr + 2 * isize + 0x10;
+        let reloc_pc = tramp_base + pos as u64 * isize;
+        let expect = orig_target as i64 - (reloc_pc + isize) as i64;
+        assert_eq!(bra.rel_target(), Some(expect));
+        // Guard preserved on the relocated instruction.
+        assert!(!bra.guard.is_always());
+    }
+
+    #[test]
+    fn remove_orig_replaces_the_instruction_with_nop() {
+        let (hal, info, instrs, code) = setup(
+            Arch::Volta,
+            "PROXY R4, R5, 0x1234 ;\n\
+             EXIT ;",
+        );
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        spec.remove_orig(0);
+        let routines = fake_routines();
+        let out = emit_site(
+            &hal,
+            &info,
+            &instrs,
+            &spec,
+            &tool_fns(),
+            &routines[&16],
+            16,
+            0,
+            0x9000,
+        )
+        .unwrap();
+        assert!(out.iter().all(|i| i.op != Op::Proxy));
+        assert!(out.iter().any(|i| i.op == Op::Nop));
+        let _ = code;
+    }
+
+    #[test]
+    fn removed_without_injection_becomes_inplace_nop() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "BPT ;\nEXIT ;");
+        let mut spec = FuncSpec::default();
+        spec.remove_orig(0);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        let patched = hal.disassemble(&img.instrumented).unwrap();
+        assert_eq!(patched[0].op, Op::Nop);
+        assert_eq!(patched[1].op, Op::Exit);
+    }
+
+    #[test]
+    fn before_and_after_injections_bracket_the_original() {
+        let (hal, info, instrs, _code) = setup(Arch::Maxwell, "IADD R4, R4, 0x1 ;\nEXIT ;");
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::After);
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        let routines = fake_routines();
+        let out = emit_site(
+            &hal,
+            &info,
+            &instrs,
+            &spec,
+            &tool_fns(),
+            &routines[&16],
+            16,
+            0,
+            0x9000,
+        )
+        .unwrap();
+        let iadd_pos = out.iter().position(|i| i.op == Op::Iadd).unwrap();
+        let jcal_positions: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.op == Op::Jcal)
+            .map(|(p, _)| p)
+            .collect();
+        // 3 JCALs before the original (save/tool/restore) and 3 after.
+        assert_eq!(jcal_positions.iter().filter(|&&p| p < iadd_pos).count(), 3);
+        assert_eq!(jcal_positions.iter().filter(|&&p| p > iadd_pos).count(), 3);
+    }
+
+    #[test]
+    fn unknown_tool_function_is_rejected() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "missing", IPoint::Before);
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            |_| Ok(0x9000),
+        );
+        assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
+    }
+
+    #[test]
+    fn out_of_range_site_is_rejected() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "EXIT ;");
+        let mut spec = FuncSpec::default();
+        spec.insert_call(5, "ifunc", IPoint::Before);
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            |_| Ok(0x9000),
+        );
+        assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
+    }
+
+    #[test]
+    fn tier_selection_covers_function_tool_and_args() {
+        let (hal, mut info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
+        info.reg_count = 40; // forces tier 64
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        spec.add_arg(0, Arg::RegVal(70)); // forces tier 128
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        assert_eq!(img.tier, 128);
+        assert!(img.extra_local >= frame_bytes(128, &hal));
+    }
+
+    #[test]
+    fn too_many_arguments_error() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        for _ in 0..7 {
+            spec.add_arg(0, Arg::Imm64(1)); // 14 slots > 12 available
+        }
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            |_| Ok(0x9000),
+        );
+        assert!(matches!(e, Err(NvbitError::BadRequest(_))));
+    }
+}

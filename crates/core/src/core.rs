@@ -1,0 +1,606 @@
+//! The NVBit core: driver interposition, tool dispatch, state management
+//! and the user-level API handed to tools.
+
+use crate::codegen::{generate, InstrumentedImage, ToolFn};
+use crate::hal::Hal;
+use crate::instr::Instr;
+use crate::lift::{lift, Lifted};
+use crate::overhead::{JitComponent, OverheadReport};
+use crate::saverestore::{restore_text, save_text, Routines, TIERS};
+use crate::spec::{Arg, FuncSpec, IPoint};
+use crate::{NvbitError, Result};
+use cuda::{CbId, CbParams, CuContext, CuFunction, Driver, Interposer};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A user instrumentation tool — the analog of an NVBit tool shared
+/// library. Implement the callbacks you need; defaults are no-ops.
+pub trait NvbitTool {
+    /// Application start (before any driver call).
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        let _ = api;
+    }
+
+    /// Application termination.
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        let _ = api;
+    }
+
+    /// A context started.
+    fn at_ctx_init(&mut self, api: &NvbitApi<'_>, ctx: CuContext) {
+        let _ = (api, ctx);
+    }
+
+    /// A context is being destroyed.
+    fn at_ctx_term(&mut self, api: &NvbitApi<'_>, ctx: CuContext) {
+        let _ = (api, ctx);
+    }
+
+    /// Entry/exit of every CUDA driver API call (paper Listing 2).
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    );
+}
+
+/// Whether a function currently runs its original or instrumented version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Original,
+    Instrumented,
+}
+
+struct FuncState {
+    spec: FuncSpec,
+    image: Option<InstrumentedImage>,
+    /// What the tool asked for (`enable_instrumented`). Defaults to
+    /// instrumented once instrumentation exists, like NVBit.
+    desired: Version,
+    current: Version,
+}
+
+impl Default for FuncState {
+    fn default() -> Self {
+        FuncState {
+            spec: FuncSpec::default(),
+            image: None,
+            desired: Version::Instrumented,
+            current: Version::Original,
+        }
+    }
+}
+
+/// Shared core state (interior-mutable: tool callbacks re-enter the API).
+pub(crate) struct CoreState {
+    hal: Option<Hal>,
+    tool_fns: HashMap<String, ToolFn>,
+    routines: HashMap<u16, Routines>,
+    lifted: HashMap<u32, Rc<Lifted>>,
+    funcs: HashMap<u32, FuncState>,
+    overhead: OverheadReport,
+}
+
+impl CoreState {
+    fn new() -> CoreState {
+        CoreState {
+            hal: None,
+            tool_fns: HashMap::new(),
+            routines: HashMap::new(),
+            lifted: HashMap::new(),
+            funcs: HashMap::new(),
+            overhead: OverheadReport::default(),
+        }
+    }
+
+    fn hal(&mut self, drv: &Driver) -> Hal {
+        *self.hal.get_or_insert_with(|| Hal::new(drv.arch()))
+    }
+
+    /// Loads the embedded save/restore routines on first use (Tool
+    /// Functions Loader, the `libnvbit.a`-embedded part).
+    fn ensure_routines(&mut self, drv: &Driver) -> Result<()> {
+        if !self.routines.is_empty() {
+            return Ok(());
+        }
+        let hal = self.hal(drv);
+        for tier in TIERS {
+            let save = hal.assemble_text(&save_text(tier, &hal))?;
+            let restore = hal.assemble_text(&restore_text(tier, &hal))?;
+            let (save_addr, restore_addr) = drv.with_device(|d| -> gpu::Result<(u64, u64)> {
+                let sa = d.alloc(save.len() as u64)?;
+                d.write(sa, &save)?;
+                let ra = d.alloc(restore.len() as u64)?;
+                d.write(ra, &restore)?;
+                Ok((sa, ra))
+            })?;
+            self.routines.insert(
+                tier,
+                Routines {
+                    tier,
+                    save_addr,
+                    restore_addr,
+                    frame_bytes: crate::saverestore::frame_bytes(tier, &hal),
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Lifts (and caches) a function, timing the retrieve/disassemble/
+    /// convert components.
+    fn lifted(&mut self, drv: &Driver, func: CuFunction) -> Result<Rc<Lifted>> {
+        if let Some(l) = self.lifted.get(&func.raw()) {
+            return Ok(l.clone());
+        }
+        let hal = self.hal(drv);
+        let info = drv.function_info(func)?;
+
+        let t0 = Instant::now();
+        let code = drv.read_code(func)?;
+        let t1 = Instant::now();
+        let raw = hal.disassemble(&code)?;
+        let t2 = Instant::now();
+        drop(raw); // the lifter re-decodes; keep component attribution honest
+        let lifted = Rc::new(lift(&hal, &info, &code)?);
+        let t3 = Instant::now();
+
+        self.overhead.add(&info.name, JitComponent::Retrieve, t1 - t0);
+        self.overhead.add(&info.name, JitComponent::Disassemble, t2 - t1);
+        self.overhead.add(&info.name, JitComponent::Convert, t3 - t2);
+        self.lifted.insert(func.raw(), lifted.clone());
+        Ok(lifted)
+    }
+
+    /// Regenerates instrumentation for a function whose spec is dirty, then
+    /// reconciles the desired/current code version.
+    fn apply(&mut self, drv: &Driver, func: CuFunction) -> Result<()> {
+        let needs_codegen = self
+            .funcs
+            .get(&func.raw())
+            .map(|f| f.spec.dirty && !f.spec.is_empty())
+            .unwrap_or(false);
+
+        if needs_codegen {
+            self.ensure_routines(drv)?;
+            let hal = self.hal(drv);
+            let info = drv.function_info(func)?;
+            let lifted = self.lifted(drv, func)?;
+            let original: Vec<sass::Instruction> =
+                lifted.instrs.iter().map(|i| i.raw().clone()).collect();
+            let code = drv.read_code(func)?;
+
+            let state = self.funcs.get_mut(&func.raw()).expect("checked above");
+            // Free a previous trampoline region before regenerating.
+            if let Some(old) = state.image.take() {
+                if state.current == Version::Instrumented {
+                    drv.with_device(|d| d.write(info.addr, &old.original))?;
+                    state.current = Version::Original;
+                }
+                drv.with_device(|d| d.free(old.tramp_addr)).ok();
+            }
+            let t0 = Instant::now();
+            let image = generate(
+                &hal,
+                &info,
+                &original,
+                &code,
+                &state.spec,
+                &self.tool_fns,
+                &self.routines,
+                |len| drv.with_device(|d| d.alloc(len)).map_err(Into::into),
+            )?;
+            drv.with_device(|d| d.write(image.tramp_addr, &image.tramp_code))?;
+            let t1 = Instant::now();
+            state.spec.dirty = false;
+            state.image = Some(image);
+            self.overhead.add(&info.name, JitComponent::Codegen, t1 - t0);
+        }
+
+        // Reconcile version.
+        let Some(state) = self.funcs.get_mut(&func.raw()) else { return Ok(()) };
+        let Some(image) = &state.image else { return Ok(()) };
+        if state.desired == state.current {
+            return Ok(());
+        }
+        let info = drv.function_info(func)?;
+        let t0 = Instant::now();
+        match state.desired {
+            Version::Instrumented => {
+                drv.with_device(|d| d.write(info.addr, &image.instrumented))?;
+                drv.set_local_override(func, image.extra_local)?;
+            }
+            Version::Original => {
+                drv.with_device(|d| d.write(info.addr, &image.original))?;
+                drv.set_local_override(func, 0)?;
+            }
+        }
+        state.current = state.desired;
+        self.overhead.add(&info.name, JitComponent::Swap, t0.elapsed());
+        Ok(())
+    }
+}
+
+/// The NVBit core: installed as the driver's interposer; dispatches tool
+/// callbacks and applies pending instrumentation at callback exits
+/// (paper §5.1: "At the exit of the CUDA driver callback ... the Code
+/// Generator begins functioning").
+pub struct NvbitCore {
+    tool: Box<dyn NvbitTool>,
+    state: Rc<RefCell<CoreState>>,
+}
+
+impl NvbitCore {
+    /// Wraps a tool.
+    pub fn new(tool: impl NvbitTool + 'static) -> NvbitCore {
+        NvbitCore { tool: Box::new(tool), state: Rc::new(RefCell::new(CoreState::new())) }
+    }
+
+}
+
+/// Attaches a tool to a driver: the run-time injection step (the analog of
+/// `LD_PRELOAD`-ing an NVBit tool `.so` into the application).
+pub fn attach_tool(drv: &Driver, tool: impl NvbitTool + 'static) {
+    drv.install_interposer(Box::new(NvbitCore::new(tool)));
+}
+
+impl Interposer for NvbitCore {
+    fn at_init(&mut self, drv: &Driver) {
+        let api = NvbitApi { drv, state: &self.state };
+        self.tool.at_init(&api);
+    }
+
+    fn at_term(&mut self, drv: &Driver) {
+        let api = NvbitApi { drv, state: &self.state };
+        self.tool.at_term(&api);
+    }
+
+    fn at_ctx_init(&mut self, drv: &Driver, ctx: CuContext) {
+        let api = NvbitApi { drv, state: &self.state };
+        self.tool.at_ctx_init(&api, ctx);
+    }
+
+    fn at_ctx_term(&mut self, drv: &Driver, ctx: CuContext) {
+        let api = NvbitApi { drv, state: &self.state };
+        self.tool.at_ctx_term(&api, ctx);
+    }
+
+    fn at_cuda_event(&mut self, drv: &Driver, is_exit: bool, cbid: CbId, params: &CbParams<'_>) {
+        let api = NvbitApi { drv, state: &self.state };
+        let is_launch_entry = !is_exit && cbid == CbId::LaunchKernel;
+
+        let t0 = Instant::now();
+        self.tool.at_cuda_event(&api, is_exit, cbid, params);
+        let user = t0.elapsed();
+
+        if is_launch_entry {
+            if let CbParams::LaunchKernel { func, .. } = params {
+                let mut st = self.state.borrow_mut();
+                if st.funcs.contains_key(&func.raw()) {
+                    if let Ok(info) = drv.function_info(*func) {
+                        st.overhead.add(&info.name, JitComponent::UserCode, user);
+                    }
+                }
+                if let Err(e) = st.apply(drv, *func) {
+                    // Instrumentation failures must not corrupt the
+                    // application; drop the request and keep the original.
+                    eprintln!("nvbit: instrumentation of {func} failed: {e}");
+                    st.funcs.remove(&func.raw());
+                }
+            }
+        }
+    }
+}
+
+/// The user-level API handed to tools (paper §4). Obtainable only inside
+/// tool callbacks.
+pub struct NvbitApi<'a> {
+    drv: &'a Driver,
+    state: &'a Rc<RefCell<CoreState>>,
+}
+
+impl<'a> NvbitApi<'a> {
+    /// The underlying driver (for memory management from host callbacks;
+    /// calls made here do not re-trigger tool callbacks).
+    pub fn driver(&self) -> &Driver {
+        self.drv
+    }
+
+    /// The hardware abstraction layer of the current device.
+    pub fn hal(&self) -> Hal {
+        self.state.borrow_mut().hal(self.drv)
+    }
+
+    // ----- Tool Functions Loader (paper §5.1) -----------------------------
+
+    /// Compiles and loads the tool's instrumentation device functions
+    /// (PTX dialect source). Call once, typically from `at_init`. The
+    /// functions become injectable by name — the analog of
+    /// `NVBIT_EXPORT_DEV_FUNCTION`.
+    ///
+    /// # Errors
+    ///
+    /// Compilation or device-memory failures.
+    pub fn load_tool_functions(&self, ptx_src: &str) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let hal = st.hal(self.drv);
+        let module = ptx::compile_module(ptx_src, hal.arch())?;
+        for f in &module.functions {
+            if !f.relocs.is_empty() {
+                return Err(NvbitError::BadRequest(format!(
+                    "tool function `{}` calls other functions, which is unsupported",
+                    f.name
+                )));
+            }
+            // Paper §7: injected functions may not use shared (or constant)
+            // memory — the application may be using all of it.
+            if f.shared_size > 0 {
+                return Err(NvbitError::BadRequest(format!(
+                    "tool function `{}` declares shared memory, which instrumentation                      functions may not use (the application owns it)",
+                    f.name
+                )));
+            }
+            let addr = self.drv.with_device(|d| -> gpu::Result<u64> {
+                let a = d.alloc(f.code.len().max(1) as u64)?;
+                d.write(a, &f.code)?;
+                Ok(a)
+            })?;
+            st.tool_fns.insert(
+                f.name.clone(),
+                ToolFn { addr, reg_count: f.reg_count, stack_size: f.stack_size },
+            );
+        }
+        Ok(())
+    }
+
+    /// The loaded tool functions (name → device address).
+    pub fn tool_functions(&self) -> Vec<String> {
+        let st = self.state.borrow();
+        let mut v: Vec<String> = st.tool_fns.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    // ----- Inspection API (paper Listing 3/4) ------------------------------
+
+    /// All instructions of a function, in program order (`nvbit_get_instrs`).
+    ///
+    /// # Errors
+    ///
+    /// Driver/decode failures.
+    pub fn get_instrs(&self, func: CuFunction) -> Result<Vec<Instr>> {
+        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        Ok(lifted.instrs.clone())
+    }
+
+    /// Basic blocks as instruction-index ranges, or `None` when indirect
+    /// control flow forces the flat view (`nvbit_get_basic_blocks` and the
+    /// paper's ICF exception).
+    ///
+    /// # Errors
+    ///
+    /// Driver/decode failures.
+    pub fn get_basic_blocks(&self, func: CuFunction) -> Result<Option<Vec<sass::cfg::BasicBlock>>> {
+        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        Ok(lifted.basic_blocks.clone())
+    }
+
+    /// Functions the given function may call (`nvbit_get_related_funcs`).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handle.
+    pub fn get_related_funcs(&self, func: CuFunction) -> Result<Vec<CuFunction>> {
+        Ok(self.drv.function_info(func)?.related)
+    }
+
+    /// The function's name (`nvbit_get_func_name`).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handle.
+    pub fn get_func_name(&self, func: CuFunction) -> Result<String> {
+        Ok(self.drv.function_info(func)?.name)
+    }
+
+    /// Whether the function comes from a pre-compiled library module.
+    ///
+    /// # Errors
+    ///
+    /// Invalid handle.
+    pub fn is_library_function(&self, func: CuFunction) -> Result<bool> {
+        Ok(self.drv.function_info(func)?.library)
+    }
+
+    // ----- Instrumentation API (paper Listing 5) ---------------------------
+
+    /// Injects a call to tool function `fname` before/after instruction
+    /// `idx` of `func` (`nvbit_insert_call`). Multiple injections at the
+    /// same site run in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// Unknown function name or out-of-range index (validated lazily at
+    /// code generation; eagerly checked when possible).
+    pub fn insert_call(
+        &self,
+        func: CuFunction,
+        idx: usize,
+        fname: &str,
+        ipoint: IPoint,
+    ) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        if !st.tool_fns.contains_key(fname) {
+            return Err(NvbitError::UnknownToolFunction(fname.to_string()));
+        }
+        st.funcs.entry(func.raw()).or_default().spec.insert_call(idx, fname, ipoint);
+        Ok(())
+    }
+
+    /// Appends an argument to the most recent injection at the site
+    /// (`nvbit_add_call_arg*`).
+    ///
+    /// # Errors
+    ///
+    /// [`NvbitError::BadRequest`] when no call was inserted at the site.
+    pub fn add_call_arg(&self, func: CuFunction, idx: usize, arg: Arg) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let state = st.funcs.entry(func.raw()).or_default();
+        if state.spec.add_arg(idx, arg) {
+            Ok(())
+        } else {
+            Err(NvbitError::BadRequest(format!(
+                "add_call_arg before insert_call at instruction {idx}"
+            )))
+        }
+    }
+
+    /// Convenience: pass the evaluated guard predicate.
+    ///
+    /// # Errors
+    ///
+    /// See [`NvbitApi::add_call_arg`].
+    pub fn add_call_arg_guard_pred(&self, func: CuFunction, idx: usize) -> Result<()> {
+        self.add_call_arg(func, idx, Arg::GuardPred)
+    }
+
+    /// Convenience: pass a register value.
+    ///
+    /// # Errors
+    ///
+    /// See [`NvbitApi::add_call_arg`].
+    pub fn add_call_arg_reg_val(&self, func: CuFunction, idx: usize, reg: u8) -> Result<()> {
+        self.add_call_arg(func, idx, Arg::RegVal(reg))
+    }
+
+    /// Convenience: pass a 64-bit register-pair value.
+    ///
+    /// # Errors
+    ///
+    /// See [`NvbitApi::add_call_arg`].
+    pub fn add_call_arg_reg_val64(&self, func: CuFunction, idx: usize, reg: u8) -> Result<()> {
+        self.add_call_arg(func, idx, Arg::RegVal64(reg))
+    }
+
+    /// Convenience: pass a 32-bit immediate.
+    ///
+    /// # Errors
+    ///
+    /// See [`NvbitApi::add_call_arg`].
+    pub fn add_call_arg_imm32(&self, func: CuFunction, idx: usize, v: i32) -> Result<()> {
+        self.add_call_arg(func, idx, Arg::Imm32(v))
+    }
+
+    /// Convenience: pass a 64-bit immediate (e.g. a tool counter address).
+    ///
+    /// # Errors
+    ///
+    /// See [`NvbitApi::add_call_arg`].
+    pub fn add_call_arg_imm64(&self, func: CuFunction, idx: usize, v: u64) -> Result<()> {
+        self.add_call_arg(func, idx, Arg::Imm64(v))
+    }
+
+    /// Enables predicate filtering on the most recent injection at the
+    /// site: lanes whose guard predicate is false skip the injected
+    /// function entirely instead of entering it and returning early — the
+    /// finer-grained thread selection the paper's §7 sketches as future
+    /// work. No-op for unguarded instructions. Warp-level intrinsics inside
+    /// the tool function then observe only the guard-true lanes.
+    ///
+    /// # Errors
+    ///
+    /// [`NvbitError::BadRequest`] when no call was inserted at the site.
+    pub fn set_pred_filter(&self, func: CuFunction, idx: usize) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let state = st.funcs.entry(func.raw()).or_default();
+        if state.spec.set_pred_filter(idx) {
+            Ok(())
+        } else {
+            Err(NvbitError::BadRequest(format!(
+                "set_pred_filter before insert_call at instruction {idx}"
+            )))
+        }
+    }
+
+    /// Removes the original instruction at the site (`nvbit_remove_orig`) —
+    /// the relocated original becomes a `NOP`, enabling instruction
+    /// emulation (paper §6.3).
+    ///
+    /// # Errors
+    ///
+    /// Range errors surface at code generation.
+    pub fn remove_orig(&self, func: CuFunction, idx: usize) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        st.funcs.entry(func.raw()).or_default().spec.remove_orig(idx);
+        Ok(())
+    }
+
+    // ----- Control API (paper Listing 6) -----------------------------------
+
+    /// Selects whether the next launches of `func` run the instrumented or
+    /// original version (`nvbit_enable_instrumented`) — the sampling switch
+    /// of §6.2. The swap costs one memcpy of the function's code.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures during an immediate swap.
+    pub fn enable_instrumented(&self, func: CuFunction, enable: bool) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let state = st.funcs.entry(func.raw()).or_default();
+        state.desired = if enable { Version::Instrumented } else { Version::Original };
+        // Reconcile now if an image already exists (launch entry will also
+        // reconcile, so calling this before instrumentation is fine).
+        st.apply(self.drv, func)
+    }
+
+    /// Discards instrumentation of `func`: restores the original code,
+    /// frees the trampolines and clears the spec
+    /// (`nvbit_reset_instrumented`).
+    ///
+    /// # Errors
+    ///
+    /// Driver failures while restoring.
+    pub fn reset_instrumented(&self, func: CuFunction) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        if let Some(state) = st.funcs.remove(&func.raw()) {
+            if let Some(image) = state.image {
+                let info = self.drv.function_info(func)?;
+                if state.current == Version::Instrumented {
+                    self.drv.with_device(|d| d.write(info.addr, &image.original))?;
+                    self.drv.set_local_override(func, 0)?;
+                }
+                self.drv.with_device(|d| d.free(image.tramp_addr)).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the function currently has a generated instrumented image.
+    pub fn is_instrumented(&self, func: CuFunction) -> bool {
+        self.state
+            .borrow()
+            .funcs
+            .get(&func.raw())
+            .map(|f| f.image.is_some() || !f.spec.is_empty())
+            .unwrap_or(false)
+    }
+
+    // ----- Overhead accounting (paper §5.2) ---------------------------------
+
+    /// The accumulated JIT-compilation overhead report.
+    pub fn overhead(&self) -> OverheadReport {
+        self.state.borrow().overhead.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The end-to-end behaviour of the core is exercised by the crate's
+    // integration tests (`tests/instrumentation.rs`), which require the full
+    // driver + device stack; unit coverage of the pieces lives in the
+    // sibling modules.
+}

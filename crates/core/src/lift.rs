@@ -1,0 +1,113 @@
+//! The Instruction Lifter: raw SASS bytes → [`Instr`] views (paper §5.1).
+
+use crate::hal::Hal;
+use crate::instr::Instr;
+use crate::Result;
+use cuda::FunctionInfo;
+
+/// A lifted function body, cached by the core.
+#[derive(Debug, Clone)]
+pub struct Lifted {
+    /// The function's device address at lift time.
+    pub addr: u64,
+    /// One view per SASS instruction, in program order.
+    pub instrs: Vec<Instr>,
+    /// Basic blocks as instruction-index ranges, or `None` when indirect
+    /// control flow defeats static partitioning (the paper's ICF fallback).
+    pub basic_blocks: Option<Vec<sass::cfg::BasicBlock>>,
+}
+
+/// Lifts the function's current code bytes.
+///
+/// # Errors
+///
+/// Propagates decode failures (corrupt code).
+pub fn lift(hal: &Hal, info: &FunctionInfo, code: &[u8]) -> Result<Lifted> {
+    let raw = hal.disassemble(code)?;
+    let isize = hal.instruction_size();
+    let blocks = sass::cfg::basic_blocks(&raw, hal.arch());
+    let mut instrs = Vec::with_capacity(raw.len());
+    for (idx, inner) in raw.into_iter().enumerate() {
+        let line_info = info
+            .line_table
+            .iter()
+            .rev()
+            .find(|l| l.instr_index <= idx)
+            .map(|l| (l.file.clone(), l.line));
+        instrs.push(Instr::new(idx, idx as u64 * isize, inner, line_info));
+    }
+    Ok(Lifted { addr: info.addr, instrs, basic_blocks: blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda::{CuFunction, CuModule};
+    use ptx::LineInfo;
+    use sass::Arch;
+
+    fn fake_info(line_table: Vec<LineInfo>) -> FunctionInfo {
+        FunctionInfo {
+            handle: CuFunction::from_raw(1),
+            name: "k".into(),
+            module: CuModule::from_raw(1),
+            library: false,
+            kind: ptx::FunctionKind::Entry,
+            addr: 0x1000,
+            code_len: 0,
+            arch: Arch::Volta,
+            reg_count: 8,
+            stack_size: 0,
+            shared_size: 0,
+            params: vec![],
+            related: vec![],
+            line_table,
+            local_override: 0,
+        }
+    }
+
+    #[test]
+    fn lift_produces_one_view_per_instruction_with_offsets() {
+        let hal = Hal::new(Arch::Volta);
+        let code = hal
+            .assemble_text(
+                "S2R R4, SR_TID.X ;\n\
+                 ISETP.GE.S32 P0, R4, 0x10 ;\n\
+                 @P0 BRA .+0x10 ;\n\
+                 IADD R4, R4, 0x1 ;\n\
+                 EXIT ;",
+            )
+            .unwrap();
+        let lifted = lift(&hal, &fake_info(vec![]), &code).unwrap();
+        assert_eq!(lifted.instrs.len(), 5);
+        assert_eq!(lifted.instrs[2].offset, 32);
+        assert!(lifted.instrs[2].has_guard());
+        // Blocks: [0..3], [3..4] (branch target of .+0x10 = idx 4), [4..5].
+        let blocks = lifted.basic_blocks.as_ref().unwrap();
+        assert_eq!(blocks.len(), 3);
+    }
+
+    #[test]
+    fn icf_falls_back_to_flat_view() {
+        let hal = Hal::new(Arch::Kepler);
+        let code = hal.assemble_text("BRX R4 ;\nEXIT ;").unwrap();
+        let lifted = lift(&hal, &fake_info(vec![]), &code).unwrap();
+        assert!(lifted.basic_blocks.is_none());
+        assert_eq!(lifted.instrs.len(), 2);
+    }
+
+    #[test]
+    fn line_info_attaches_from_the_nearest_preceding_entry() {
+        let hal = Hal::new(Arch::Pascal);
+        let code = hal.assemble_text("NOP ;\nNOP ;\nNOP ;\nEXIT ;").unwrap();
+        let lt = vec![
+            LineInfo { instr_index: 0, file: "a.cu".into(), line: 5 },
+            LineInfo { instr_index: 2, file: "a.cu".into(), line: 9 },
+        ];
+        let lifted = lift(&hal, &fake_info(lt), &code).unwrap();
+        assert_eq!(lifted.instrs[0].line_info, Some(("a.cu".into(), 5)));
+        assert_eq!(lifted.instrs[1].line_info, Some(("a.cu".into(), 5)));
+        assert_eq!(lifted.instrs[2].line_info, Some(("a.cu".into(), 9)));
+        assert_eq!(lifted.instrs[3].line_info, Some(("a.cu".into(), 9)));
+    }
+}

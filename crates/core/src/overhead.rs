@@ -1,0 +1,167 @@
+//! JIT-compilation overhead accounting (paper §5.2, Figure 5).
+//!
+//! NVBit's dynamic-recompilation cost decomposes into six components:
+//! (1) retrieving the original GPU code, (2) disassembling it, (3)
+//! converting it into the `Instr` views handed to the tool, (4) running the
+//! tool's host code, (5) generating the instrumented code and trampolines,
+//! and (6) swapping code versions. The core timestamps each component so
+//! the Figure 5 benchmark can regenerate the breakdown.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// One of the six JIT-compilation overhead components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JitComponent {
+    /// (1) Reading the original code bytes from device memory.
+    Retrieve,
+    /// (2) Decoding the binary into machine instructions.
+    Disassemble,
+    /// (3) Building the `Instr` views and basic blocks for the tool.
+    Convert,
+    /// (4) Executing the tool's host-side instrumentation code.
+    UserCode,
+    /// (5) Running the code generator (trampolines + instrumented copy).
+    Codegen,
+    /// (6) Swapping original/instrumented code in device memory.
+    Swap,
+}
+
+impl JitComponent {
+    /// All components in the paper's order.
+    pub const ALL: [JitComponent; 6] = [
+        JitComponent::Retrieve,
+        JitComponent::Disassemble,
+        JitComponent::Convert,
+        JitComponent::UserCode,
+        JitComponent::Codegen,
+        JitComponent::Swap,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            JitComponent::Retrieve => "retrieve",
+            JitComponent::Disassemble => "disassemble",
+            JitComponent::Convert => "convert",
+            JitComponent::UserCode => "user-code",
+            JitComponent::Codegen => "codegen",
+            JitComponent::Swap => "swap",
+        }
+    }
+}
+
+/// Accumulated durations per component.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JitOverhead {
+    durations: [Duration; 6],
+}
+
+impl JitOverhead {
+    /// Adds time to a component.
+    pub fn add(&mut self, c: JitComponent, d: Duration) {
+        let i = JitComponent::ALL.iter().position(|x| *x == c).unwrap();
+        self.durations[i] += d;
+    }
+
+    /// Accumulated time of a component.
+    pub fn of(&self, c: JitComponent) -> Duration {
+        let i = JitComponent::ALL.iter().position(|x| *x == c).unwrap();
+        self.durations[i]
+    }
+
+    /// Total across all components.
+    pub fn total(&self) -> Duration {
+        self.durations.iter().sum()
+    }
+
+    /// Merges another record into this one.
+    pub fn merge(&mut self, other: &JitOverhead) {
+        for (a, b) in self.durations.iter_mut().zip(&other.durations) {
+            *a += *b;
+        }
+    }
+
+    /// Percentage breakdown (sums to ~100 when non-empty).
+    pub fn breakdown(&self) -> Vec<(JitComponent, f64)> {
+        let total = self.total().as_secs_f64();
+        JitComponent::ALL
+            .iter()
+            .map(|c| {
+                let share = if total > 0.0 {
+                    100.0 * self.of(*c).as_secs_f64() / total
+                } else {
+                    0.0
+                };
+                (*c, share)
+            })
+            .collect()
+    }
+}
+
+/// Per-function and aggregate overhead report.
+#[derive(Debug, Clone, Default)]
+pub struct OverheadReport {
+    /// Per-function overhead, keyed by function name.
+    pub per_function: BTreeMap<String, JitOverhead>,
+    /// Aggregate across functions.
+    pub total: JitOverhead,
+}
+
+impl OverheadReport {
+    /// Records time against a function and the aggregate.
+    pub fn add(&mut self, func: &str, c: JitComponent, d: Duration) {
+        self.per_function.entry(func.to_string()).or_default().add(c, d);
+        self.total.add(c, d);
+    }
+}
+
+impl std::fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "JIT-compilation overhead ({} functions):", self.per_function.len())?;
+        for (c, pct) in self.total.breakdown() {
+            writeln!(
+                f,
+                "  {:12} {:>10.1?} ({pct:5.1}%)",
+                c.label(),
+                self.total.of(c)
+            )?;
+        }
+        writeln!(f, "  {:12} {:>10.1?}", "total", self.total.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_accumulate_and_break_down() {
+        let mut o = JitOverhead::default();
+        o.add(JitComponent::Disassemble, Duration::from_millis(30));
+        o.add(JitComponent::Codegen, Duration::from_millis(10));
+        o.add(JitComponent::Disassemble, Duration::from_millis(30));
+        assert_eq!(o.of(JitComponent::Disassemble), Duration::from_millis(60));
+        assert_eq!(o.total(), Duration::from_millis(70));
+        let bd = o.breakdown();
+        let dis = bd.iter().find(|(c, _)| *c == JitComponent::Disassemble).unwrap().1;
+        assert!((dis - 85.7).abs() < 0.5, "{dis}");
+    }
+
+    #[test]
+    fn report_tracks_per_function_and_total() {
+        let mut r = OverheadReport::default();
+        r.add("a", JitComponent::Swap, Duration::from_micros(5));
+        r.add("b", JitComponent::Swap, Duration::from_micros(7));
+        assert_eq!(r.per_function.len(), 2);
+        assert_eq!(r.total.of(JitComponent::Swap), Duration::from_micros(12));
+        let text = r.to_string();
+        assert!(text.contains("swap"));
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let o = JitOverhead::default();
+        assert!(o.breakdown().iter().all(|(_, p)| *p == 0.0));
+    }
+}

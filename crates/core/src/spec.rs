@@ -1,0 +1,168 @@
+//! Instrumentation request types: injection points, arguments, and the
+//! per-function instrumentation specification built up by tool calls.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Where to inject relative to the instrumented instruction (the paper's
+/// `IPOINT_BEFORE` / `IPOINT_AFTER`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IPoint {
+    /// Run the injected function before the original instruction.
+    Before,
+    /// Run it after (only reached when the original falls through).
+    After,
+}
+
+/// An argument passed to an injected device function (the paper's
+/// `nvbit_add_call_arg_*` family). Argument passing is positional and must
+/// match the injected function's signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// The evaluated guard predicate of the instrumented instruction
+    /// (1 = the instruction actually executes on this thread).
+    GuardPred,
+    /// The value of a general-purpose register at the instrumentation point.
+    RegVal(u8),
+    /// The value of a register pair (64-bit, e.g. an address base).
+    RegVal64(u8),
+    /// The value of a predicate register (0/1).
+    PredVal(u8),
+    /// A 32-bit immediate fixed at instrumentation time.
+    Imm32(i32),
+    /// A 64-bit immediate (e.g. the device address of a tool counter).
+    Imm64(u64),
+    /// A value from a constant bank at launch time.
+    CBank {
+        /// Bank index.
+        bank: u8,
+        /// Byte offset.
+        offset: u16,
+    },
+}
+
+impl Arg {
+    /// Number of 32-bit ABI argument slots the argument occupies.
+    pub fn slots(&self) -> u8 {
+        match self {
+            Arg::Imm64(_) | Arg::RegVal64(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// One injected call at an instrumentation site.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Name of the tool device function to call.
+    pub func: String,
+    /// Before or after the original instruction.
+    pub ipoint: IPoint,
+    /// Positional arguments.
+    pub args: Vec<Arg>,
+    /// When set, lanes whose guard predicate is false skip the injected
+    /// function entirely (the predicate-matching optimization the paper's
+    /// §7 sketches as future work). Warp-level intrinsics inside the tool
+    /// function then see only the guard-true lanes.
+    pub pred_filter: bool,
+}
+
+/// The accumulated instrumentation specification of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncSpec {
+    /// Injections per instruction index; a site may carry several (paper:
+    /// "multiple function injections to the same location").
+    pub sites: BTreeMap<usize, Vec<Injection>>,
+    /// Instructions whose original operation is removed (paper:
+    /// `nvbit_remove_orig`).
+    pub removed: HashSet<usize>,
+    /// Set when the spec changed since code generation last ran.
+    pub dirty: bool,
+}
+
+impl FuncSpec {
+    /// True if nothing was requested.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty() && self.removed.is_empty()
+    }
+
+    /// Adds an injection, marking the spec dirty.
+    pub fn insert_call(&mut self, idx: usize, func: &str, ipoint: IPoint) {
+        self.sites.entry(idx).or_default().push(Injection {
+            func: func.to_string(),
+            ipoint,
+            args: Vec::new(),
+            pred_filter: false,
+        });
+        self.dirty = true;
+    }
+
+    /// Appends an argument to the most recently inserted call at `idx`.
+    ///
+    /// Returns `false` if no call was inserted there yet.
+    pub fn add_arg(&mut self, idx: usize, arg: Arg) -> bool {
+        match self.sites.get_mut(&idx).and_then(|v| v.last_mut()) {
+            Some(inj) => {
+                inj.args.push(arg);
+                self.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables predicate filtering on the most recent injection at `idx`.
+    ///
+    /// Returns `false` if no call was inserted there yet.
+    pub fn set_pred_filter(&mut self, idx: usize) -> bool {
+        match self.sites.get_mut(&idx).and_then(|v| v.last_mut()) {
+            Some(inj) => {
+                inj.pred_filter = true;
+                self.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks the original instruction at `idx` for removal.
+    pub fn remove_orig(&mut self, idx: usize) {
+        self.removed.insert(idx);
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_injections_per_site_accumulate_in_order() {
+        let mut s = FuncSpec::default();
+        s.insert_call(3, "a", IPoint::Before);
+        s.insert_call(3, "b", IPoint::After);
+        assert_eq!(s.sites[&3].len(), 2);
+        assert_eq!(s.sites[&3][0].func, "a");
+        assert_eq!(s.sites[&3][1].ipoint, IPoint::After);
+        assert!(s.dirty);
+    }
+
+    #[test]
+    fn args_attach_to_the_latest_injection() {
+        let mut s = FuncSpec::default();
+        assert!(!s.add_arg(0, Arg::GuardPred), "no call inserted yet");
+        s.insert_call(0, "f", IPoint::Before);
+        assert!(s.add_arg(0, Arg::GuardPred));
+        assert!(s.add_arg(0, Arg::Imm64(0xdead)));
+        s.insert_call(0, "g", IPoint::Before);
+        assert!(s.add_arg(0, Arg::RegVal(7)));
+        assert_eq!(s.sites[&0][0].args.len(), 2);
+        assert_eq!(s.sites[&0][1].args, vec![Arg::RegVal(7)]);
+    }
+
+    #[test]
+    fn slots_account_for_wide_arguments() {
+        assert_eq!(Arg::GuardPred.slots(), 1);
+        assert_eq!(Arg::Imm64(0).slots(), 2);
+        assert_eq!(Arg::RegVal64(4).slots(), 2);
+    }
+}

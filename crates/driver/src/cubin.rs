@@ -1,0 +1,97 @@
+//! The fat-binary distribution format of GPU code.
+
+use ptx::CompiledModule;
+use sass::Arch;
+
+/// A fat binary: per-architecture SASS images and/or embedded PTX.
+///
+/// This mirrors how real applications ship GPU code:
+///
+/// * applications compiled ahead-of-time carry SASS for the architectures
+///   they targeted, plus PTX so the driver can JIT for newer devices;
+/// * pre-compiled accelerated libraries (our mini-cuBLAS/cuDNN) ship
+///   **SASS-only** images with `library = true` — no source, no PTX — which
+///   is exactly the code compiler-based instrumentation cannot touch and
+///   NVBit can (paper §6.1).
+#[derive(Debug, Clone)]
+pub struct FatBinary {
+    /// Module name (for reporting and the library-attribution statistics).
+    pub name: String,
+    /// True for pre-compiled accelerated libraries.
+    pub library: bool,
+    /// Ahead-of-time compiled images, at most one per architecture.
+    pub images: Vec<CompiledModule>,
+    /// Embedded PTX for driver JIT, if shipped.
+    pub ptx: Option<String>,
+}
+
+impl FatBinary {
+    /// A fat binary carrying only PTX (always JIT-compiled at load).
+    pub fn from_ptx(name: impl Into<String>, src: impl Into<String>) -> FatBinary {
+        FatBinary { name: name.into(), library: false, images: Vec::new(), ptx: Some(src.into()) }
+    }
+
+    /// An ahead-of-time image for one architecture plus embedded PTX.
+    pub fn with_image(mut self, image: CompiledModule) -> FatBinary {
+        self.images.retain(|m| m.arch != image.arch);
+        self.images.push(image);
+        self
+    }
+
+    /// Builds a **SASS-only library** binary: compiles the PTX for every
+    /// architecture now, then drops the source. Loading it never JITs and
+    /// nothing above the driver ever sees PTX or source for it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures.
+    pub fn library_from_ptx(
+        name: impl Into<String>,
+        src: &str,
+    ) -> std::result::Result<FatBinary, ptx::PtxError> {
+        let name = name.into();
+        let mut images = Vec::new();
+        for arch in Arch::ALL {
+            images.push(ptx::compile_module(src, arch)?);
+        }
+        Ok(FatBinary { name, library: true, images, ptx: None })
+    }
+
+    /// The ahead-of-time image for `arch`, if present.
+    pub fn image_for(&self, arch: Arch) -> Option<&CompiledModule> {
+        self.images.iter().find(|m| m.arch == arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: &str = ".entry k() { exit; }";
+
+    #[test]
+    fn ptx_only_binaries_have_no_images() {
+        let fb = FatBinary::from_ptx("app", K);
+        assert!(fb.images.is_empty());
+        assert!(fb.ptx.is_some());
+        assert!(!fb.library);
+    }
+
+    #[test]
+    fn library_binaries_cover_every_arch_and_drop_source() {
+        let fb = FatBinary::library_from_ptx("libmini", K).unwrap();
+        assert!(fb.library);
+        assert!(fb.ptx.is_none());
+        for arch in Arch::ALL {
+            assert!(fb.image_for(arch).is_some(), "missing image for {arch}");
+        }
+    }
+
+    #[test]
+    fn with_image_replaces_same_arch() {
+        let img = ptx::compile_module(K, Arch::Volta).unwrap();
+        let img2 = ptx::compile_module(K, Arch::Volta).unwrap();
+        let fb = FatBinary::from_ptx("app", K).with_image(img).with_image(img2);
+        assert_eq!(fb.images.len(), 1);
+    }
+}

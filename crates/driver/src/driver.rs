@@ -1,0 +1,920 @@
+//! The driver proper: handles, state tables, loading, launching.
+
+use crate::cubin::FatBinary;
+use crate::interpose::{CbId, CbParams, Interposer};
+use crate::{DriverError, Result};
+use gpu::{Device, DeviceSpec, Dim3, ExecStats, LaunchConfig};
+use ptx::{LineInfo, ParamInfo};
+use sass::{Arch, Operand};
+use std::cell::{Cell, RefCell, RefMut};
+use std::collections::HashMap;
+
+macro_rules! handle_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw handle value (stable for the driver's lifetime;
+            /// useful as a map key).
+            pub fn raw(&self) -> u32 {
+                self.0
+            }
+
+            /// Reconstructs a handle from a raw value (for tests and
+            /// serialized tool state; the driver validates on use).
+            pub fn from_raw(v: u32) -> $name {
+                $name(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+handle_type!(
+    /// An opaque context handle (`CUcontext`).
+    CuContext
+);
+handle_type!(
+    /// An opaque module handle (`CUmodule`).
+    CuModule
+);
+handle_type!(
+    /// An opaque function handle (`CUfunction`).
+    CuFunction
+);
+
+/// A kernel launch argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelArg {
+    /// A 32-bit integer.
+    U32(u32),
+    /// A 64-bit integer.
+    U64(u64),
+    /// A device pointer.
+    Ptr(u64),
+    /// A 32-bit float.
+    F32(f32),
+}
+
+impl KernelArg {
+    fn bytes(&self) -> Vec<u8> {
+        match self {
+            KernelArg::U32(v) => v.to_le_bytes().to_vec(),
+            KernelArg::U64(v) | KernelArg::Ptr(v) => v.to_le_bytes().to_vec(),
+            KernelArg::F32(v) => v.to_bits().to_le_bytes().to_vec(),
+        }
+    }
+}
+
+/// Public, copyable description of a loaded function — the properties the
+/// paper's Driver Interposer records (§5.1): register usage, stack usage,
+/// dependent functions and the memory location of the instructions.
+#[derive(Debug, Clone)]
+pub struct FunctionInfo {
+    /// Function handle.
+    pub handle: CuFunction,
+    /// Function name.
+    pub name: String,
+    /// Owning module.
+    pub module: CuModule,
+    /// True when loaded from a pre-compiled library binary.
+    pub library: bool,
+    /// Whether this is a launchable kernel or a device function.
+    pub kind: ptx::FunctionKind,
+    /// Device address of the first instruction.
+    pub addr: u64,
+    /// Code size in bytes.
+    pub code_len: u64,
+    /// Architecture the code was generated for.
+    pub arch: Arch,
+    /// General-purpose registers used.
+    pub reg_count: u32,
+    /// Per-thread stack bytes used by the function itself.
+    pub stack_size: u32,
+    /// Static shared memory bytes.
+    pub shared_size: u32,
+    /// Kernel parameter layout.
+    pub params: Vec<ParamInfo>,
+    /// Functions this function may call (paper: related functions).
+    pub related: Vec<CuFunction>,
+    /// Source-correlation table.
+    pub line_table: Vec<LineInfo>,
+    /// Extra per-thread local bytes requested by the instrumentation layer
+    /// (save areas); included in every launch of this kernel.
+    pub local_override: u32,
+}
+
+/// A record of one kernel launch, including execution statistics.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// The launched kernel.
+    pub func: CuFunction,
+    /// Kernel name.
+    pub name: String,
+    /// Grid dimensions.
+    pub grid: Dim3,
+    /// Block dimensions.
+    pub block: Dim3,
+    /// Device statistics of the launch.
+    pub stats: ExecStats,
+}
+
+struct ModuleState {
+    name: String,
+    library: bool,
+    #[allow(dead_code)]
+    ctx: CuContext,
+    functions: HashMap<String, CuFunction>,
+}
+
+struct State {
+    device: Device,
+    next_handle: u32,
+    contexts: Vec<CuContext>,
+    modules: HashMap<u32, ModuleState>,
+    functions: HashMap<u32, FunctionInfo>,
+    launches: Vec<LaunchRecord>,
+}
+
+/// The simulated CUDA driver. Single-threaded by design (deterministic);
+/// interior mutability lets interposer callbacks re-enter the API.
+pub struct Driver {
+    state: RefCell<State>,
+    interposer: RefCell<Option<Box<dyn Interposer>>>,
+    in_callback: Cell<bool>,
+    terminated: Cell<bool>,
+}
+
+impl Driver {
+    /// Creates a driver owning a fresh device.
+    pub fn new(spec: DeviceSpec) -> Driver {
+        Driver {
+            state: RefCell::new(State {
+                device: Device::new(spec),
+                next_handle: 1,
+                contexts: Vec::new(),
+                modules: HashMap::new(),
+                functions: HashMap::new(),
+                launches: Vec::new(),
+            }),
+            interposer: RefCell::new(None),
+            in_callback: Cell::new(false),
+            terminated: Cell::new(false),
+        }
+    }
+
+    /// The device architecture.
+    pub fn arch(&self) -> Arch {
+        self.state.borrow().device.spec().arch
+    }
+
+    /// The device specification.
+    pub fn device_spec(&self) -> DeviceSpec {
+        self.state.borrow().device.spec().clone()
+    }
+
+    /// Installs the interposer (the `LD_PRELOAD` analog) and fires its
+    /// `at_init` callback. Only one interposer can be installed.
+    pub fn install_interposer(&self, ip: Box<dyn Interposer>) {
+        {
+            let mut slot = self.interposer.borrow_mut();
+            assert!(slot.is_none(), "an interposer is already installed");
+            *slot = Some(ip);
+        }
+        self.with_interposer(|ip, drv| ip.at_init(drv));
+    }
+
+    /// Fires `at_term` and removes the interposer. Also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        if self.terminated.replace(true) {
+            return;
+        }
+        self.with_interposer(|ip, drv| ip.at_term(drv));
+        *self.interposer.borrow_mut() = None;
+    }
+
+    fn with_interposer(&self, f: impl FnOnce(&mut dyn Interposer, &Driver)) {
+        if self.in_callback.get() {
+            return; // driver calls from inside a callback stay silent
+        }
+        // Take the interposer out so callbacks can re-enter the driver
+        // without double-borrowing the slot.
+        let taken = self.interposer.borrow_mut().take();
+        if let Some(mut ip) = taken {
+            self.in_callback.set(true);
+            f(ip.as_mut(), self);
+            self.in_callback.set(false);
+            let mut slot = self.interposer.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(ip);
+            }
+        }
+    }
+
+    fn event(&self, is_exit: bool, cbid: CbId, params: &CbParams<'_>) {
+        self.with_interposer(|ip, drv| ip.at_cuda_event(drv, is_exit, cbid, params));
+    }
+
+    /// Runs a closure with mutable access to the raw device — the backdoor
+    /// the instrumentation core uses (no callbacks fire).
+    pub fn with_device<R>(&self, f: impl FnOnce(&mut Device) -> R) -> R {
+        f(&mut self.state.borrow_mut().device)
+    }
+
+    fn device_mut(&self) -> RefMut<'_, Device> {
+        RefMut::map(self.state.borrow_mut(), |s| &mut s.device)
+    }
+
+    // ----- Contexts ------------------------------------------------------
+
+    /// `cuCtxCreate`.
+    pub fn ctx_create(&self) -> Result<CuContext> {
+        let ctx = {
+            let mut st = self.state.borrow_mut();
+            let ctx = CuContext(st.next_handle);
+            st.next_handle += 1;
+            st.contexts.push(ctx);
+            ctx
+        };
+        self.event(false, CbId::CtxCreate, &CbParams::Ctx { ctx });
+        self.with_interposer(|ip, drv| ip.at_ctx_init(drv, ctx));
+        self.event(true, CbId::CtxCreate, &CbParams::Ctx { ctx });
+        Ok(ctx)
+    }
+
+    /// `cuCtxDestroy`.
+    pub fn ctx_destroy(&self, ctx: CuContext) -> Result<()> {
+        self.event(false, CbId::CtxDestroy, &CbParams::Ctx { ctx });
+        self.with_interposer(|ip, drv| ip.at_ctx_term(drv, ctx));
+        let ok = {
+            let mut st = self.state.borrow_mut();
+            let before = st.contexts.len();
+            st.contexts.retain(|c| *c != ctx);
+            st.contexts.len() != before
+        };
+        self.event(true, CbId::CtxDestroy, &CbParams::Ctx { ctx });
+        if ok {
+            Ok(())
+        } else {
+            Err(DriverError::InvalidHandle(ctx.to_string()))
+        }
+    }
+
+    // ----- Modules -------------------------------------------------------
+
+    /// `cuModuleLoad`: selects (or JIT-compiles) the image for the current
+    /// device, loads every function into device memory and resolves call
+    /// relocations.
+    pub fn module_load(&self, ctx: &CuContext, fatbin: FatBinary) -> Result<CuModule> {
+        let arch = self.arch();
+        let image: ptx::CompiledModule = match fatbin.image_for(arch) {
+            Some(img) => img.clone(),
+            None => match &fatbin.ptx {
+                // The driver-JIT path: exactly the code a compile-time
+                // instrumenter never sees.
+                Some(src) => ptx::compile_module(src, arch)?,
+                None => {
+                    return Err(DriverError::NoBinaryForDevice {
+                        arch,
+                        module: fatbin.name.clone(),
+                    })
+                }
+            },
+        };
+
+        let module = {
+            let st = self.state.borrow();
+            CuModule(st.next_handle)
+        };
+        self.event(
+            false,
+            CbId::ModuleLoad,
+            &CbParams::Module { module, name: &fatbin.name, library: fatbin.library },
+        );
+
+        let module = {
+            let mut st = self.state.borrow_mut();
+            let module = CuModule(st.next_handle);
+            st.next_handle += 1;
+
+            // Pass 1: allocate code space for every function.
+            let mut addrs: HashMap<String, u64> = HashMap::new();
+            for f in &image.functions {
+                let addr = st.device.alloc(f.code.len().max(1) as u64)?;
+                addrs.insert(f.name.clone(), addr);
+            }
+            // Pass 2: patch call relocations and upload.
+            let codec = sass::codec::codec_for(arch);
+            for f in &image.functions {
+                let base = addrs[&f.name];
+                if f.relocs.is_empty() {
+                    st.device.write(base, &f.code)?;
+                } else {
+                    let mut instrs = f.decode();
+                    for r in &f.relocs {
+                        let target = *addrs.get(&r.target).ok_or_else(|| {
+                            DriverError::NotFound { name: r.target.clone() }
+                        })?;
+                        for o in instrs[r.instr_index].operands.iter_mut() {
+                            if let Operand::Abs(a) = o {
+                                *a = target;
+                            }
+                        }
+                    }
+                    let patched = codec.encode_stream(&instrs).map_err(|e| {
+                        DriverError::Jit(ptx::PtxError::Encode {
+                            function: f.name.clone(),
+                            source: e,
+                        })
+                    })?;
+                    st.device.write(base, &patched)?;
+                }
+            }
+            // Pass 3: register the functions.
+            let mut fn_handles: HashMap<String, CuFunction> = HashMap::new();
+            for f in &image.functions {
+                let h = CuFunction(st.next_handle);
+                st.next_handle += 1;
+                fn_handles.insert(f.name.clone(), h);
+            }
+            for f in &image.functions {
+                let h = fn_handles[&f.name];
+                let related =
+                    f.related.iter().filter_map(|n| fn_handles.get(n).copied()).collect();
+                st.functions.insert(
+                    h.0,
+                    FunctionInfo {
+                        handle: h,
+                        name: f.name.clone(),
+                        module,
+                        library: fatbin.library,
+                        kind: f.kind,
+                        addr: addrs[&f.name],
+                        code_len: f.code.len() as u64,
+                        arch,
+                        reg_count: f.reg_count,
+                        stack_size: f.stack_size,
+                        shared_size: f.shared_size,
+                        params: f.params.clone(),
+                        related,
+                        line_table: f.line_table.clone(),
+                        local_override: 0,
+                    },
+                );
+            }
+            st.modules.insert(
+                module.0,
+                ModuleState {
+                    name: fatbin.name.clone(),
+                    library: fatbin.library,
+                    ctx: *ctx,
+                    functions: fn_handles,
+                },
+            );
+            module
+        };
+
+        self.event(
+            true,
+            CbId::ModuleLoad,
+            &CbParams::Module { module, name: &fatbin.name, library: fatbin.library },
+        );
+        Ok(module)
+    }
+
+    /// `cuModuleGetFunction`.
+    pub fn module_get_function(&self, module: &CuModule, name: &str) -> Result<CuFunction> {
+        let func = {
+            let st = self.state.borrow();
+            let m = st
+                .modules
+                .get(&module.0)
+                .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))?;
+            m.functions
+                .get(name)
+                .copied()
+                .ok_or_else(|| DriverError::NotFound { name: name.to_string() })?
+        };
+        self.event(false, CbId::ModuleGetFunction, &CbParams::GetFunction { func, name });
+        self.event(true, CbId::ModuleGetFunction, &CbParams::GetFunction { func, name });
+        Ok(func)
+    }
+
+    /// All kernels (entry functions) of a module, in load order.
+    pub fn module_kernels(&self, module: &CuModule) -> Result<Vec<CuFunction>> {
+        let st = self.state.borrow();
+        let m = st
+            .modules
+            .get(&module.0)
+            .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))?;
+        let mut v: Vec<CuFunction> = m
+            .functions
+            .values()
+            .copied()
+            .filter(|h| {
+                st.functions
+                    .get(&h.0)
+                    .is_some_and(|f| f.kind == ptx::FunctionKind::Entry)
+            })
+            .collect();
+        v.sort_by_key(|h| h.0);
+        Ok(v)
+    }
+
+    /// The name of a module.
+    pub fn module_name(&self, module: &CuModule) -> Result<String> {
+        let st = self.state.borrow();
+        st.modules
+            .get(&module.0)
+            .map(|m| m.name.clone())
+            .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))
+    }
+
+    /// True if the module was loaded from a pre-compiled library binary.
+    pub fn module_is_library(&self, module: &CuModule) -> Result<bool> {
+        let st = self.state.borrow();
+        st.modules
+            .get(&module.0)
+            .map(|m| m.library)
+            .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))
+    }
+
+    // ----- Functions -----------------------------------------------------
+
+    /// The recorded properties of a function.
+    pub fn function_info(&self, func: CuFunction) -> Result<FunctionInfo> {
+        let st = self.state.borrow();
+        st.functions
+            .get(&func.0)
+            .cloned()
+            .ok_or_else(|| DriverError::InvalidHandle(func.to_string()))
+    }
+
+    /// Reads the function's current code bytes from device memory.
+    pub fn read_code(&self, func: CuFunction) -> Result<Vec<u8>> {
+        let info = self.function_info(func)?;
+        let mut buf = vec![0u8; info.code_len as usize];
+        self.state.borrow().device.read(info.addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Requests extra per-thread local memory on every launch of `func`
+    /// (used by the instrumentation layer for register save areas).
+    pub fn set_local_override(&self, func: CuFunction, extra: u32) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let f = st
+            .functions
+            .get_mut(&func.0)
+            .ok_or_else(|| DriverError::InvalidHandle(func.to_string()))?;
+        f.local_override = extra;
+        Ok(())
+    }
+
+    // ----- Memory --------------------------------------------------------
+
+    /// `cuMemAlloc`.
+    pub fn mem_alloc(&self, bytes: u64) -> Result<u64> {
+        self.event(false, CbId::MemAlloc, &CbParams::MemAlloc { bytes, dptr: 0 });
+        let dptr = self.device_mut().alloc(bytes)?;
+        self.event(true, CbId::MemAlloc, &CbParams::MemAlloc { bytes, dptr });
+        Ok(dptr)
+    }
+
+    /// `cuMemFree`.
+    pub fn mem_free(&self, dptr: u64) -> Result<()> {
+        self.event(false, CbId::MemFree, &CbParams::MemFree { dptr });
+        let r = self.device_mut().free(dptr);
+        self.event(true, CbId::MemFree, &CbParams::MemFree { dptr });
+        r.map_err(Into::into)
+    }
+
+    /// `cuMemcpyHtoD`.
+    pub fn memcpy_htod(&self, dptr: u64, src: &[u8]) -> Result<()> {
+        let p = CbParams::Memcpy { dptr, bytes: src.len() as u64, to_device: true };
+        self.event(false, CbId::MemcpyHtoD, &p);
+        let r = self.device_mut().write(dptr, src);
+        self.event(true, CbId::MemcpyHtoD, &p);
+        r.map_err(Into::into)
+    }
+
+    /// `cuMemcpyDtoH`.
+    pub fn memcpy_dtoh(&self, dst: &mut [u8], dptr: u64) -> Result<()> {
+        let p = CbParams::Memcpy { dptr, bytes: dst.len() as u64, to_device: false };
+        self.event(false, CbId::MemcpyDtoH, &p);
+        let r = self.state.borrow().device.read(dptr, dst);
+        self.event(true, CbId::MemcpyDtoH, &p);
+        r.map_err(Into::into)
+    }
+
+    /// `cuCtxSynchronize` (execution is synchronous; this only exists so
+    /// interposers see the call).
+    pub fn synchronize(&self) -> Result<()> {
+        self.event(false, CbId::Synchronize, &CbParams::None);
+        self.event(true, CbId::Synchronize, &CbParams::None);
+        Ok(())
+    }
+
+    // ----- Launch --------------------------------------------------------
+
+    /// `cuLaunchKernel`. Interposers see the entry callback *before* launch
+    /// parameters are read, so instrumentation applied there (code swaps,
+    /// local-memory overrides) affects this very launch.
+    pub fn launch_kernel(
+        &self,
+        func: &CuFunction,
+        grid: Dim3,
+        block: Dim3,
+        args: &[KernelArg],
+    ) -> Result<ExecStats> {
+        {
+            // Validate the handle before telling anyone about the launch.
+            self.function_info(*func)?;
+        }
+        let p = CbParams::LaunchKernel { func: *func, grid, block, args };
+        self.event(false, CbId::LaunchKernel, &p);
+
+        // Re-read the function state: the interposer may have changed it.
+        let info = self.function_info(*func)?;
+        if info.kind != ptx::FunctionKind::Entry {
+            return Err(DriverError::BadArgs(format!("`{}` is not a kernel", info.name)));
+        }
+        if args.len() != info.params.len() {
+            return Err(DriverError::BadArgs(format!(
+                "`{}` takes {} arguments, got {}",
+                info.name,
+                info.params.len(),
+                args.len()
+            )));
+        }
+
+        let mut cfg = LaunchConfig::new(info.addr, grid, block);
+        for (arg, pinfo) in args.iter().zip(&info.params) {
+            let bytes = arg.bytes();
+            if bytes.len() != pinfo.size as usize {
+                return Err(DriverError::BadArgs(format!(
+                    "argument `{}` of `{}` is {} bytes, got {}",
+                    pinfo.name,
+                    info.name,
+                    pinfo.size,
+                    bytes.len()
+                )));
+            }
+            cfg.write_param_bytes(pinfo.offset, &bytes);
+        }
+        cfg.shared_size = info.shared_size;
+        cfg.local_size = self.local_requirement(&info);
+
+        let stats = self.device_mut().launch(&cfg)?;
+        {
+            let mut st = self.state.borrow_mut();
+            st.launches.push(LaunchRecord {
+                func: *func,
+                name: info.name.clone(),
+                grid,
+                block,
+                stats: stats.clone(),
+            });
+        }
+        self.event(true, CbId::LaunchKernel, &p);
+        Ok(stats)
+    }
+
+    /// Per-thread local bytes a launch of this kernel needs: its own frame,
+    /// the deepest related-function frame, instrumentation overrides and
+    /// fixed headroom.
+    fn local_requirement(&self, info: &FunctionInfo) -> u32 {
+        let st = self.state.borrow();
+        let related_max = info
+            .related
+            .iter()
+            .filter_map(|h| st.functions.get(&h.0))
+            .map(|f| f.stack_size + f.local_override)
+            .max()
+            .unwrap_or(0);
+        info.stack_size + related_max + info.local_override + 1024
+    }
+
+    // ----- Bookkeeping ---------------------------------------------------
+
+    /// All launches recorded so far.
+    pub fn launches(&self) -> Vec<LaunchRecord> {
+        self.state.borrow().launches.clone()
+    }
+
+    /// Number of launches recorded.
+    pub fn launch_count(&self) -> usize {
+        self.state.borrow().launches.len()
+    }
+
+    /// Aggregated statistics over all launches.
+    pub fn total_stats(&self) -> ExecStats {
+        let st = self.state.borrow();
+        let mut total = ExecStats::default();
+        for l in &st.launches {
+            total.merge(&l.stats);
+        }
+        total
+    }
+}
+
+impl Drop for Driver {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    const APP: &str = r#"
+.entry scale(.param .u64 buf, .param .u32 n, .param .f32 k)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    .reg .f32 %f<3>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [buf];
+    ld.param.u32 %r1, [n];
+    ld.param.f32 %f1, [k];
+    mov.u32 %r2, %tid.x;
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd2, %r2, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.f32 %f2, [%rd3];
+    mul.f32 %f2, %f2, %f1;
+    st.global.f32 [%rd3], %f2;
+DONE:
+    exit;
+}
+"#;
+
+    fn driver() -> Driver {
+        Driver::new(DeviceSpec::test(Arch::Volta))
+    }
+
+    #[test]
+    fn end_to_end_launch_computes_correct_results() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "scale").unwrap();
+        let buf = drv.mem_alloc(128).unwrap();
+        let data: Vec<u8> = (0..32).flat_map(|i| (i as f32).to_bits().to_le_bytes()).collect();
+        drv.memcpy_htod(buf, &data).unwrap();
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &[KernelArg::Ptr(buf), KernelArg::U32(20), KernelArg::F32(2.0)],
+        )
+        .unwrap();
+        let mut out = vec![0u8; 128];
+        drv.memcpy_dtoh(&mut out, buf).unwrap();
+        for i in 0..32usize {
+            let v = f32::from_bits(u32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap()));
+            let expect = if i < 20 { 2.0 * i as f32 } else { i as f32 };
+            assert_eq!(v, expect, "element {i}");
+        }
+        assert_eq!(drv.launch_count(), 1);
+        assert!(drv.total_stats().warp_instructions > 0);
+    }
+
+    #[test]
+    fn arg_count_and_size_are_validated() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "scale").unwrap();
+        let e = drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::U32(1)]);
+        assert!(matches!(e, Err(DriverError::BadArgs(_))));
+        // Wrong size: u32 where a pointer is expected.
+        let e = drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &[KernelArg::U32(0), KernelArg::U32(1), KernelArg::F32(1.0)],
+        );
+        assert!(matches!(e, Err(DriverError::BadArgs(_))));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        assert!(matches!(
+            drv.module_get_function(&m, "nope"),
+            Err(DriverError::NotFound { .. })
+        ));
+        assert!(drv.function_info(CuFunction(9999)).is_err());
+        let sass_only = FatBinary {
+            name: "noimg".into(),
+            library: false,
+            images: Vec::new(),
+            ptx: None,
+        };
+        assert!(matches!(
+            drv.module_load(&ctx, sass_only),
+            Err(DriverError::NoBinaryForDevice { .. })
+        ));
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Rc<RefCell<Vec<(bool, CbId)>>>,
+        inited: Rc<Cell<bool>>,
+        termed: Rc<Cell<bool>>,
+    }
+
+    impl Interposer for Recorder {
+        fn at_init(&mut self, _d: &Driver) {
+            self.inited.set(true);
+        }
+        fn at_term(&mut self, _d: &Driver) {
+            self.termed.set(true);
+        }
+        fn at_cuda_event(&mut self, drv: &Driver, is_exit: bool, cbid: CbId, p: &CbParams<'_>) {
+            self.events.borrow_mut().push((is_exit, cbid));
+            // Re-entrant driver calls from a callback must not recurse into
+            // the interposer.
+            if let CbParams::LaunchKernel { func, .. } = p {
+                let _ = drv.function_info(*func).unwrap();
+                let _ = drv.mem_alloc(64).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn interposer_sees_every_api_call_without_recursion() {
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let inited = Rc::new(Cell::new(false));
+        let termed = Rc::new(Cell::new(false));
+        let drv = driver();
+        drv.install_interposer(Box::new(Recorder {
+            events: events.clone(),
+            inited: inited.clone(),
+            termed: termed.clone(),
+        }));
+        assert!(inited.get());
+
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "scale").unwrap();
+        let buf = drv.mem_alloc(256).unwrap();
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &[KernelArg::Ptr(buf), KernelArg::U32(0), KernelArg::F32(1.0)],
+        )
+        .unwrap();
+        drv.shutdown();
+        assert!(termed.get());
+
+        let evs = events.borrow();
+        let launches: Vec<_> =
+            evs.iter().filter(|(_, c)| *c == CbId::LaunchKernel).collect();
+        assert_eq!(launches.len(), 2, "entry + exit, no recursion: {evs:?}");
+        // The MemAlloc performed inside the callback must NOT appear, while
+        // the application's own does.
+        let allocs: Vec<_> = evs.iter().filter(|(_, c)| *c == CbId::MemAlloc).collect();
+        assert_eq!(allocs.len(), 2);
+        assert!(evs.iter().any(|(_, c)| *c == CbId::ModuleLoad));
+        assert!(evs.iter().any(|(_, c)| *c == CbId::CtxCreate));
+    }
+
+    const CALLS: &str = r#"
+.func (.reg .u32 %out) twice(.reg .u32 %x)
+{
+    add.u32 %out, %x, %x;
+    ret;
+}
+.entry k(.param .u64 buf)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    mov.u32 %r1, %tid.x;
+    call (%r2), twice, (%r1);
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r2;
+    exit;
+}
+"#;
+
+    #[test]
+    fn relocations_resolve_and_related_functions_are_tracked() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", CALLS)).unwrap();
+        let k = drv.module_get_function(&m, "k").unwrap();
+        let info = drv.function_info(k).unwrap();
+        assert_eq!(info.related.len(), 1);
+        let twice = drv.function_info(info.related[0]).unwrap();
+        assert_eq!(twice.name, "twice");
+        assert_eq!(twice.kind, ptx::FunctionKind::Device);
+
+        let buf = drv.mem_alloc(128).unwrap();
+        drv.launch_kernel(&k, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
+            .unwrap();
+        let mut out = vec![0u8; 128];
+        drv.memcpy_dtoh(&mut out, buf).unwrap();
+        for t in 0..32u32 {
+            let v = u32::from_le_bytes(out[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
+            assert_eq!(v, 2 * t);
+        }
+        // Kernel listing only includes entries.
+        let kernels = drv.module_kernels(&m).unwrap();
+        assert_eq!(kernels, vec![k]);
+    }
+
+    #[test]
+    fn sass_only_library_loads_without_jit() {
+        let lib = FatBinary::library_from_ptx("libmini", APP).unwrap();
+        for arch in Arch::ALL {
+            let drv = Driver::new(DeviceSpec::test(arch));
+            let ctx = drv.ctx_create().unwrap();
+            let m = drv.module_load(&ctx, lib.clone()).unwrap();
+            assert!(drv.module_is_library(&m).unwrap());
+            let f = drv.module_get_function(&m, "scale").unwrap();
+            assert!(drv.function_info(f).unwrap().library);
+        }
+    }
+
+    #[test]
+    fn read_code_returns_decodable_sass() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "scale").unwrap();
+        let code = drv.read_code(f).unwrap();
+        let arch = drv.arch();
+        let instrs = sass::codec::codec_for(arch).decode_stream(&code).unwrap();
+        assert!(instrs.iter().any(|i| i.op == sass::Op::Exit));
+    }
+
+    #[test]
+    fn local_override_is_applied_and_persisted() {
+        let drv = driver();
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "scale").unwrap();
+        drv.set_local_override(f, 4096).unwrap();
+        assert_eq!(drv.function_info(f).unwrap().local_override, 4096);
+    }
+}
+
+#[cfg(test)]
+mod drop_tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct TermFlag(Rc<Cell<bool>>);
+    impl crate::interpose::Interposer for TermFlag {
+        fn at_term(&mut self, _d: &Driver) {
+            self.0.set(true);
+        }
+        fn at_cuda_event(
+            &mut self,
+            _d: &Driver,
+            _x: bool,
+            _c: crate::interpose::CbId,
+            _p: &crate::interpose::CbParams<'_>,
+        ) {
+        }
+    }
+
+    #[test]
+    fn dropping_the_driver_fires_at_term_exactly_once() {
+        let flag = Rc::new(Cell::new(false));
+        {
+            let drv = Driver::new(gpu::DeviceSpec::test(sass::Arch::Volta));
+            drv.install_interposer(Box::new(TermFlag(flag.clone())));
+            assert!(!flag.get());
+            drv.shutdown();
+            assert!(flag.get());
+            flag.set(false);
+            // Drop after an explicit shutdown must not fire again.
+        }
+        assert!(!flag.get(), "at_term fired twice");
+
+        let flag2 = Rc::new(Cell::new(false));
+        {
+            let drv = Driver::new(gpu::DeviceSpec::test(sass::Arch::Volta));
+            drv.install_interposer(Box::new(TermFlag(flag2.clone())));
+        }
+        assert!(flag2.get(), "Drop must fire at_term when shutdown was not called");
+    }
+}

@@ -1,0 +1,137 @@
+//! The driver interposition layer (NVBit's injection point).
+
+use crate::driver::{CuContext, CuFunction, CuModule, Driver, KernelArg};
+use gpu::Dim3;
+
+/// Identifiers of interposable driver API calls, mirroring the CUPTI-style
+/// enumeration the paper describes (§2.2, §4 Callback API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CbId {
+    /// `cuCtxCreate`.
+    CtxCreate,
+    /// `cuCtxDestroy`.
+    CtxDestroy,
+    /// `cuModuleLoad`.
+    ModuleLoad,
+    /// `cuModuleUnload`.
+    ModuleUnload,
+    /// `cuModuleGetFunction`.
+    ModuleGetFunction,
+    /// `cuMemAlloc`.
+    MemAlloc,
+    /// `cuMemFree`.
+    MemFree,
+    /// `cuMemcpyHtoD`.
+    MemcpyHtoD,
+    /// `cuMemcpyDtoH`.
+    MemcpyDtoH,
+    /// `cuLaunchKernel`.
+    LaunchKernel,
+    /// `cuCtxSynchronize`.
+    Synchronize,
+}
+
+/// Parameters of an interposed API call.
+///
+/// The launch variant carries everything NVBit tools need at instrumentation
+/// time: the function handle and the launch geometry (paper Listing 1 casts
+/// the callback parameters to exactly these).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CbParams<'a> {
+    /// Context creation/destruction.
+    Ctx {
+        /// The context.
+        ctx: CuContext,
+    },
+    /// Module load/unload.
+    Module {
+        /// The module handle.
+        module: CuModule,
+        /// Module name.
+        name: &'a str,
+        /// True when the module is a pre-compiled library.
+        library: bool,
+    },
+    /// Function lookup.
+    GetFunction {
+        /// The resolved function.
+        func: CuFunction,
+        /// Its name.
+        name: &'a str,
+    },
+    /// Memory allocation (entry: requested size; exit: resulting pointer).
+    MemAlloc {
+        /// Requested bytes.
+        bytes: u64,
+        /// Device pointer (0 on entry).
+        dptr: u64,
+    },
+    /// Memory free.
+    MemFree {
+        /// Device pointer being freed.
+        dptr: u64,
+    },
+    /// Host↔device copies.
+    Memcpy {
+        /// Device pointer.
+        dptr: u64,
+        /// Bytes transferred.
+        bytes: u64,
+        /// True for host-to-device.
+        to_device: bool,
+    },
+    /// Kernel launch.
+    LaunchKernel {
+        /// The kernel being launched.
+        func: CuFunction,
+        /// Grid dimensions.
+        grid: Dim3,
+        /// Block dimensions.
+        block: Dim3,
+        /// The launch arguments.
+        args: &'a [KernelArg],
+    },
+    /// `cuCtxSynchronize` (no parameters).
+    None,
+}
+
+/// The interposer installed between applications and the driver — the
+/// `LD_PRELOAD` analog. NVBit's core implements this trait.
+///
+/// Driver APIs invoked *from inside a callback* do not re-trigger callbacks
+/// (otherwise instrumentation-internal allocations and copies would recurse
+/// into the tool, the "recursion of instrumentation" the paper §7 warns
+/// about).
+pub trait Interposer {
+    /// Called once before the first interposed API call.
+    fn at_init(&mut self, drv: &Driver) {
+        let _ = drv;
+    }
+
+    /// Called when the application terminates ([`Driver::shutdown`]).
+    fn at_term(&mut self, drv: &Driver) {
+        let _ = drv;
+    }
+
+    /// Called when a context starts.
+    fn at_ctx_init(&mut self, drv: &Driver, ctx: CuContext) {
+        let _ = (drv, ctx);
+    }
+
+    /// Called when a context is destroyed.
+    fn at_ctx_term(&mut self, drv: &Driver, ctx: CuContext) {
+        let _ = (drv, ctx);
+    }
+
+    /// Called at entry (`is_exit == false`) and exit (`is_exit == true`) of
+    /// every driver API call.
+    fn at_cuda_event(
+        &mut self,
+        drv: &Driver,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    );
+}

@@ -1,0 +1,126 @@
+//! A simulated CUDA driver: contexts, modules, functions, memory, kernel
+//! launches — and the **interposition layer** NVBit hooks into.
+//!
+//! The crate mirrors the structure of the real CUDA driver API that the
+//! paper's Figure 1 shows: language runtimes and applications call the
+//! driver; NVBit interposes *underneath* them by claiming the driver's
+//! interposer slot (our analog of `LD_PRELOAD` function overloading), so it
+//! sees every API call of every client without their cooperation.
+//!
+//! * [`FatBinary`] — the distribution format of GPU code: per-architecture
+//!   SASS images and/or embedded PTX that the driver JIT-compiles at load
+//!   time (the path compiler-based instrumentation cannot see).
+//! * [`Driver`] — the driver itself, owning the simulated [`gpu::Device`].
+//! * [`Interposer`] — callbacks for application start/termination and
+//!   entry/exit of every driver API call ([`CbId`]), mirroring NVBit's
+//!   CUPTI-style callback enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use cuda::{Driver, FatBinary, KernelArg};
+//! use gpu::{DeviceSpec, Dim3};
+//! use sass::Arch;
+//!
+//! let src = r#"
+//! .entry fill(.param .u64 buf, .param .u32 v)
+//! {
+//!     .reg .u32 %r<4>;
+//!     .reg .u64 %rd<4>;
+//!     ld.param.u64 %rd1, [buf];
+//!     ld.param.u32 %r1, [v];
+//!     mov.u32 %r2, %tid.x;
+//!     mul.wide.u32 %rd2, %r2, 4;
+//!     add.u64 %rd3, %rd1, %rd2;
+//!     st.global.u32 [%rd3], %r1;
+//!     exit;
+//! }
+//! "#;
+//! let drv = Driver::new(DeviceSpec::preset(Arch::Volta));
+//! let ctx = drv.ctx_create().unwrap();
+//! let module = drv.module_load(&ctx, FatBinary::from_ptx("demo", src)).unwrap();
+//! let f = drv.module_get_function(&module, "fill").unwrap();
+//! let buf = drv.mem_alloc(128).unwrap();
+//! drv.launch_kernel(
+//!     &f,
+//!     Dim3::linear(1),
+//!     Dim3::linear(32),
+//!     &[KernelArg::Ptr(buf), KernelArg::U32(42)],
+//! ).unwrap();
+//! let mut out = vec![0u8; 128];
+//! drv.memcpy_dtoh(&mut out, buf).unwrap();
+//! assert!(out.chunks(4).all(|c| u32::from_le_bytes(c.try_into().unwrap()) == 42));
+//! ```
+
+pub mod cubin;
+pub mod driver;
+pub mod interpose;
+
+pub use cubin::FatBinary;
+pub use driver::{CuContext, CuFunction, CuModule, Driver, FunctionInfo, KernelArg, LaunchRecord};
+pub use interpose::{CbId, CbParams, Interposer};
+
+/// Errors surfaced by the driver API.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The handle does not refer to a live object.
+    InvalidHandle(String),
+    /// No code image is loadable on the current device.
+    NoBinaryForDevice {
+        /// The device architecture.
+        arch: sass::Arch,
+        /// Module name.
+        module: String,
+    },
+    /// The named function does not exist in the module.
+    NotFound {
+        /// Function name looked up.
+        name: String,
+    },
+    /// Kernel argument list does not match the function's parameters.
+    BadArgs(String),
+    /// JIT compilation of embedded PTX failed.
+    Jit(ptx::PtxError),
+    /// A device-side failure.
+    Gpu(gpu::GpuError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::InvalidHandle(s) => write!(f, "invalid handle: {s}"),
+            DriverError::NoBinaryForDevice { arch, module } => {
+                write!(f, "module `{module}` has no image or PTX for {arch}")
+            }
+            DriverError::NotFound { name } => write!(f, "no function named `{name}`"),
+            DriverError::BadArgs(s) => write!(f, "bad kernel arguments: {s}"),
+            DriverError::Jit(e) => write!(f, "driver JIT failure: {e}"),
+            DriverError::Gpu(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Jit(e) => Some(e),
+            DriverError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpu::GpuError> for DriverError {
+    fn from(e: gpu::GpuError) -> Self {
+        DriverError::Gpu(e)
+    }
+}
+
+impl From<ptx::PtxError> for DriverError {
+    fn from(e: ptx::PtxError) -> Self {
+        DriverError::Jit(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DriverError>;

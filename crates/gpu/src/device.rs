@@ -1,0 +1,588 @@
+//! The device: memory, decode cache and launch orchestration.
+
+use crate::executor::{CtaCtx, ExecEnv, Warp};
+use crate::mem::Memory;
+use crate::spec::{DeviceSpec, Dim3};
+use crate::stats::ExecStats;
+use crate::{GpuError, Result};
+use sass::Instruction;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Offset of the kernel parameter area in constant bank 0 (matching the
+/// real ABI's `c[0x0][0x160]`).
+pub const PARAM_BASE: usize = 0x160;
+
+/// A kernel launch description.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Device address of the kernel's first instruction.
+    pub entry_pc: u64,
+    /// Grid dimensions (CTAs).
+    pub grid: Dim3,
+    /// Block dimensions (threads).
+    pub block: Dim3,
+    /// Constant bank 0 contents. [`LaunchConfig::push_param_u32`] and
+    /// friends append kernel parameters at [`PARAM_BASE`].
+    pub cbank0: Vec<u8>,
+    /// Additional constant banks (1–3).
+    pub cbanks: [Vec<u8>; 3],
+    /// Static shared memory bytes per CTA.
+    pub shared_size: u32,
+    /// Per-thread local-memory bytes (0 = the device default). NVBit's code
+    /// loader raises this to make room for register save areas.
+    pub local_size: u32,
+    /// Launch identifier (`SR_GRIDID`).
+    pub launch_id: u64,
+}
+
+impl LaunchConfig {
+    /// Creates a launch with an empty parameter area.
+    pub fn new(entry_pc: u64, grid: Dim3, block: Dim3) -> LaunchConfig {
+        LaunchConfig {
+            entry_pc,
+            grid,
+            block,
+            cbank0: vec![0u8; PARAM_BASE],
+            cbanks: [Vec::new(), Vec::new(), Vec::new()],
+            shared_size: 0,
+            local_size: 0,
+            launch_id: 0,
+        }
+    }
+
+    fn pad_to(&mut self, align: usize) {
+        while !(self.cbank0.len() - PARAM_BASE).is_multiple_of(align) {
+            self.cbank0.push(0);
+        }
+    }
+
+    /// Appends a 32-bit parameter, returning its byte offset within the
+    /// parameter area.
+    pub fn push_param_u32(&mut self, v: u32) -> u32 {
+        self.pad_to(4);
+        let off = self.cbank0.len() - PARAM_BASE;
+        self.cbank0.extend_from_slice(&v.to_le_bytes());
+        off as u32
+    }
+
+    /// Appends a 64-bit parameter (8-byte aligned).
+    pub fn push_param_u64(&mut self, v: u64) -> u32 {
+        self.pad_to(8);
+        let off = self.cbank0.len() - PARAM_BASE;
+        self.cbank0.extend_from_slice(&v.to_le_bytes());
+        off as u32
+    }
+
+    /// Appends an `f32` parameter.
+    pub fn push_param_f32(&mut self, v: f32) -> u32 {
+        self.push_param_u32(v.to_bits())
+    }
+
+    /// Writes raw parameter bytes at a specific offset (used by the driver's
+    /// generic launch path).
+    pub fn write_param_bytes(&mut self, offset: u32, bytes: &[u8]) {
+        let start = PARAM_BASE + offset as usize;
+        if self.cbank0.len() < start + bytes.len() {
+            self.cbank0.resize(start + bytes.len(), 0);
+        }
+        self.cbank0[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+/// A simulated GPU device.
+pub struct Device {
+    spec: DeviceSpec,
+    mem: Memory,
+    decode_cache: HashMap<u64, (u128, Rc<Instruction>)>,
+    /// Decode-cache switch (ablation benchmarks turn it off).
+    pub decode_cache_enabled: bool,
+    launches: u64,
+}
+
+impl Device {
+    /// Creates a device from a specification.
+    pub fn new(spec: DeviceSpec) -> Device {
+        let mem = Memory::new(spec.global_mem);
+        Device { spec, mem, decode_cache: HashMap::new(), decode_cache_enabled: true, launches: 0 }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Direct access to device memory (host-side "PCIe" view).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to device memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Allocates device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::OutOfMemory`].
+    pub fn alloc(&mut self, len: u64) -> Result<u64> {
+        self.mem.alloc(len)
+    }
+
+    /// Frees device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::BadAddress`] for an unknown allocation.
+    pub fn free(&mut self, addr: u64) -> Result<()> {
+        self.mem.free(addr)
+    }
+
+    /// Copies host bytes to the device.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::BadAddress`].
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<()> {
+        self.mem.write(addr, bytes)
+    }
+
+    /// Copies device bytes to the host.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::BadAddress`].
+    pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.mem.read(addr, out)
+    }
+
+    /// Clears the decode cache (used by ablation benchmarks; never required
+    /// for correctness, because fetches revalidate cached raw bytes).
+    pub fn flush_decode_cache(&mut self) {
+        self.decode_cache.clear();
+    }
+
+    /// Launches a kernel and runs it to completion.
+    ///
+    /// CTAs execute sequentially and warps round-robin inside each CTA, so
+    /// execution is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::BadLaunch`] for invalid configurations and
+    /// [`GpuError::Fault`] for execution faults.
+    pub fn launch(&mut self, cfg: &LaunchConfig) -> Result<ExecStats> {
+        let block_threads = cfg.block.count();
+        if block_threads == 0 || block_threads > 1024 {
+            return Err(GpuError::BadLaunch(format!(
+                "block size {block_threads} outside 1..=1024"
+            )));
+        }
+        if cfg.grid.count() == 0 {
+            return Err(GpuError::BadLaunch("empty grid".into()));
+        }
+        if cfg.shared_size > self.spec.shared_per_cta {
+            return Err(GpuError::BadLaunch(format!(
+                "shared size {} exceeds the per-CTA capacity {}",
+                cfg.shared_size, self.spec.shared_per_cta
+            )));
+        }
+        let local_size = if cfg.local_size == 0 {
+            self.spec.default_local
+        } else {
+            cfg.local_size
+        };
+
+        self.launches += 1;
+        let launch_id = if cfg.launch_id != 0 { cfg.launch_id } else { self.launches };
+        let mut stats = ExecStats::default();
+        let cbanks: [Vec<u8>; 4] = [
+            cfg.cbank0.clone(),
+            cfg.cbanks[0].clone(),
+            cfg.cbanks[1].clone(),
+            cfg.cbanks[2].clone(),
+        ];
+
+        let mut env = ExecEnv {
+            spec: &self.spec,
+            mem: &mut self.mem,
+            decode_cache: &mut self.decode_cache,
+            decode_cache_enabled: self.decode_cache_enabled,
+            stats: &mut stats,
+            grid: cfg.grid,
+            block: cfg.block,
+            cbanks: &cbanks,
+            launch_id,
+            steps: 0,
+        };
+
+        let mut cta_linear = 0u64;
+        for cz in 0..cfg.grid.z {
+            for cy in 0..cfg.grid.y {
+                for cx in 0..cfg.grid.x {
+                    run_cta(
+                        &mut env,
+                        Dim3::xyz(cx, cy, cz),
+                        cta_linear,
+                        cfg,
+                        block_threads as u32,
+                        local_size,
+                    )?;
+                    cta_linear += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+fn run_cta(
+    env: &mut ExecEnv<'_>,
+    cta_coords: Dim3,
+    cta_linear: u64,
+    cfg: &LaunchConfig,
+    block_threads: u32,
+    local_size: u32,
+) -> Result<()> {
+    let mut cta = CtaCtx {
+        cta: cta_coords,
+        cta_linear,
+        shared: vec![0u8; cfg.shared_size.max(4) as usize],
+        locals: (0..block_threads).map(|_| vec![0u8; local_size as usize]).collect(),
+    };
+    let num_warps = block_threads.div_ceil(32);
+    let mut warps: Vec<Warp> = (0..num_warps)
+        .map(|w| {
+            let base = w * 32;
+            let lanes = (block_threads - base).min(32);
+            let mut warp = Warp::new(base, lanes, cfg.entry_pc);
+            // The ABI initializes the stack pointer (R1) to the top of the
+            // thread's local memory; stacks grow downward.
+            for lane in 0..32usize {
+                warp.regs[lane][sass::Reg::SP.index()] = local_size;
+            }
+            warp
+        })
+        .collect();
+
+    loop {
+        let mut progressed = false;
+        for w in warps.iter_mut() {
+            if w.done || w.at_barrier {
+                continue;
+            }
+            progressed = true;
+            env.run_warp(w, &mut cta)?;
+        }
+        if warps.iter().all(|w| w.done) {
+            return Ok(());
+        }
+        if warps.iter().all(|w| w.done || w.at_barrier) {
+            for w in warps.iter_mut() {
+                w.at_barrier = false;
+            }
+            continue;
+        }
+        if !progressed {
+            return Err(GpuError::Fault {
+                pc: cfg.entry_pc,
+                reason: "CTA scheduling deadlock".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass::{asm, codec::codec_for, Arch};
+
+    fn load(dev: &mut Device, text: &str) -> u64 {
+        let arch = dev.spec().arch;
+        let prog = asm::assemble_arch(text, arch).unwrap();
+        let code = codec_for(arch).encode_stream(&prog).unwrap();
+        let addr = dev.alloc(code.len() as u64).unwrap();
+        dev.write(addr, &code).unwrap();
+        addr
+    }
+
+    #[test]
+    fn launch_validates_configuration() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(&mut dev, "EXIT ;");
+        let bad_block = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(0));
+        assert!(matches!(dev.launch(&bad_block), Err(GpuError::BadLaunch(_))));
+        let bad_grid = LaunchConfig::new(pc, Dim3::xyz(0, 1, 1), Dim3::linear(32));
+        assert!(matches!(dev.launch(&bad_grid), Err(GpuError::BadLaunch(_))));
+        let huge_shared = {
+            let mut c = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+            c.shared_size = 1 << 30;
+            c
+        };
+        assert!(matches!(dev.launch(&huge_shared), Err(GpuError::BadLaunch(_))));
+    }
+
+    #[test]
+    fn params_land_in_cbank0_at_the_abi_offset() {
+        let mut cfg = LaunchConfig::new(0, Dim3::linear(1), Dim3::linear(32));
+        cfg.push_param_u32(7);
+        cfg.push_param_u64(0xdead_beef); // must align to 8
+        assert_eq!(cfg.cbank0.len(), PARAM_BASE + 16);
+        assert_eq!(cfg.cbank0[PARAM_BASE], 7);
+        assert_eq!(
+            u64::from_le_bytes(cfg.cbank0[PARAM_BASE + 8..PARAM_BASE + 16].try_into().unwrap()),
+            0xdead_beef
+        );
+    }
+
+    #[test]
+    fn simple_kernel_runs_and_reports_stats() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Pascal));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             IADD R4, R4, 0x1 ;\n\
+             EXIT ;",
+        );
+        let cfg = LaunchConfig::new(pc, Dim3::linear(2), Dim3::linear(64));
+        let stats = dev.launch(&cfg).unwrap();
+        // 2 CTAs × 2 warps × 3 instructions.
+        assert_eq!(stats.warp_instructions, 12);
+        assert_eq!(stats.thread_instructions, 3 * 128);
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.per_op["IADD"], 4);
+    }
+
+    #[test]
+    fn guarded_exit_retires_only_matching_threads() {
+        // Threads with tid >= 16 exit early; the rest store to a buffer.
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             ISETP.GE.S32 P0, R4, 0x10 ;\n\
+             @P0 EXIT ;\n\
+             LDC.64 R6, c[0x0][0x160] ;\n\
+             SHL R8, R4, 0x2 ;\n\
+             IADD.U64 R6, R6, R8 ;\n\
+             MOV32I R5, 0x7 ;\n\
+             STG [R6], R5 ;\n\
+             EXIT ;",
+        );
+        let buf = dev.alloc(128).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read(buf, &mut out).unwrap();
+        for t in 0..32 {
+            let v = u32::from_le_bytes(out[t * 4..t * 4 + 4].try_into().unwrap());
+            assert_eq!(v, if t < 16 { 7 } else { 0 }, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn ssy_sync_reconverges_divergent_paths() {
+        // if (tid & 1) R5 = 100 else R5 = 200; all store R5 + tid.
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             LOP.AND R5, R4, 0x1 ;\n\
+             ISETP.EQ.S32 P0, R5, RZ ;\n\
+             SSY join ;\n\
+             @P0 BRA even ;\n\
+             MOV32I R5, 0x64 ;\n\
+             SYNC ;\n\
+             even:\n\
+             MOV32I R5, 0xc8 ;\n\
+             SYNC ;\n\
+             join:\n\
+             IADD R5, R5, R4 ;\n\
+             LDC.64 R6, c[0x0][0x160] ;\n\
+             SHL R8, R4, 0x2 ;\n\
+             IADD.U64 R6, R6, R8 ;\n\
+             STG [R6], R5 ;\n\
+             EXIT ;",
+        );
+        let buf = dev.alloc(128).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read(buf, &mut out).unwrap();
+        for t in 0..32u32 {
+            let v = u32::from_le_bytes(out[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
+            let expect = if t % 2 == 0 { 200 + t } else { 100 + t };
+            assert_eq!(v, expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip() {
+        // CAL to a leaf that doubles R4, then store.
+        let mut dev = Device::new(DeviceSpec::test(Arch::Kepler));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             CAL dbl ;\n\
+             LDC.64 R6, c[0x0][0x160] ;\n\
+             S2R R8, SR_TID.X ;\n\
+             SHL R8, R8, 0x2 ;\n\
+             IADD.U64 R6, R6, R8 ;\n\
+             STG [R6], R4 ;\n\
+             EXIT ;\n\
+             dbl:\n\
+             IADD R4, R4, R4 ;\n\
+             RET ;",
+        );
+        let buf = dev.alloc(128).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read(buf, &mut out).unwrap();
+        for t in 0..32u32 {
+            let v = u32::from_le_bytes(out[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
+            assert_eq!(v, 2 * t);
+        }
+    }
+
+    #[test]
+    fn shared_memory_with_barrier() {
+        // Stage tid into shared, barrier, read neighbour (tid+1)%32.
+        let mut dev = Device::new(DeviceSpec::test(Arch::Maxwell));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             SHL R5, R4, 0x2 ;\n\
+             STS [R5], R4 ;\n\
+             BAR ;\n\
+             IADD R6, R4, 0x1 ;\n\
+             LOP.AND R6, R6, 0x1f ;\n\
+             SHL R6, R6, 0x2 ;\n\
+             LDS R7, [R6] ;\n\
+             LDC.64 R8, c[0x0][0x160] ;\n\
+             MOV R10, R5 ;\n\
+             MOV R11, RZ ;\n\
+             IADD.U64 R8, R8, R10 ;\n\
+             STG [R8], R7 ;\n\
+             EXIT ;",
+        );
+        let buf = dev.alloc(128).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        cfg.shared_size = 128;
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read(buf, &mut out).unwrap();
+        for t in 0..32u32 {
+            let v = u32::from_le_bytes(out[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
+            assert_eq!(v, (t + 1) % 32);
+        }
+    }
+
+    #[test]
+    fn proxy_instruction_faults_without_instrumentation() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(&mut dev, "PROXY R4, R5, 0x1234 ;\nEXIT ;");
+        let cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        match dev.launch(&cfg) {
+            Err(GpuError::Fault { reason, .. }) => assert!(reason.contains("PROXY")),
+            other => panic!("expected proxy fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_cache_revalidates_after_code_patch() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        // First version stores 1; patch to store 2 in place.
+        let pc = load(
+            &mut dev,
+            "LDC.64 R6, c[0x0][0x160] ;\n\
+             MOV32I R5, 0x1 ;\n\
+             STG [R6], R5 ;\n\
+             EXIT ;",
+        );
+        let buf = dev.alloc(64).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(1));
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = [0u8; 4];
+        dev.read(buf, &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), 1);
+
+        // Patch the MOV32I in place (what NVBit's code swap does).
+        let arch = Arch::Volta;
+        let patched = asm::assemble("MOV32I R5, 0x2 ;").unwrap();
+        let bytes = codec_for(arch).encode_stream(&patched).unwrap();
+        dev.write(pc + arch.instruction_size() as u64, &bytes).unwrap();
+        dev.launch(&cfg).unwrap();
+        dev.read(buf, &mut out).unwrap();
+        assert_eq!(u32::from_le_bytes(out), 2, "stale decode cache after patch");
+        let s = dev.launch(&cfg).unwrap();
+        assert!(s.decode_hits > 0);
+    }
+
+    #[test]
+    fn multi_warp_cta_barrier_synchronizes_all_warps() {
+        // 64 threads: warp 0 writes shared[0], barrier, warp 1 reads it.
+        let mut dev = Device::new(DeviceSpec::test(Arch::Pascal));
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             ISETP.EQ.S32 P0, R4, RZ ;\n\
+             MOV32I R5, 0x2a ;\n\
+             @P0 STS [RZ], R5 ;\n\
+             BAR ;\n\
+             LDS R6, [RZ] ;\n\
+             LDC.64 R8, c[0x0][0x160] ;\n\
+             SHL R10, R4, 0x2 ;\n\
+             MOV R11, RZ ;\n\
+             IADD.U64 R8, R8, R10 ;\n\
+             STG [R8], R6 ;\n\
+             EXIT ;",
+        );
+        let buf = dev.alloc(256).unwrap();
+        let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(64));
+        cfg.shared_size = 64;
+        cfg.push_param_u64(buf);
+        dev.launch(&cfg).unwrap();
+        let mut out = vec![0u8; 256];
+        dev.read(buf, &mut out).unwrap();
+        for t in 0..64usize {
+            let v = u32::from_le_bytes(out[t * 4..t * 4 + 4].try_into().unwrap());
+            assert_eq!(v, 42, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn coalesced_access_costs_less_than_strided() {
+        let kernel = |stride_shift: u32| {
+            format!(
+                "S2R R4, SR_TID.X ;\n\
+                 SHL R10, R4, 0x{stride_shift:x} ;\n\
+                 MOV R11, RZ ;\n\
+                 LDC.64 R6, c[0x0][0x160] ;\n\
+                 IADD.U64 R6, R6, R10 ;\n\
+                 LDG R8, [R6] ;\n\
+                 EXIT ;"
+            )
+        };
+        let run = |shift: u32| {
+            let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+            let pc = load(&mut dev, &kernel(shift));
+            let buf = dev.alloc(32 * 1024).unwrap();
+            let mut cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+            cfg.push_param_u64(buf);
+            dev.launch(&cfg).unwrap()
+        };
+        let coalesced = run(2); // 4-byte stride: one 128B line per warp access
+        let strided = run(9); // 512-byte stride: 32 lines
+        assert!(strided.cycles > coalesced.cycles);
+        assert_eq!(coalesced.mem.global_lines, 1);
+        assert_eq!(strided.mem.global_lines, 32);
+    }
+}

@@ -1,0 +1,129 @@
+//! Execution statistics collected per launch.
+
+use sass::{Op, OpCategory};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Memory-system counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Warp-level global loads executed.
+    pub global_loads: u64,
+    /// Warp-level global stores executed.
+    pub global_stores: u64,
+    /// Sum over global accesses of the distinct cache lines touched.
+    pub global_lines: u64,
+    /// Warp-level shared accesses.
+    pub shared_accesses: u64,
+    /// Warp-level local accesses.
+    pub local_accesses: u64,
+    /// Atomic/reduction operations (thread-level).
+    pub atomics: u64,
+}
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Warp-level instructions executed (one per issued instruction).
+    pub warp_instructions: u64,
+    /// Thread-level instructions (sum of active lanes per issue).
+    pub thread_instructions: u64,
+    /// Simulated cycles under the cost model.
+    pub cycles: u64,
+    /// Executed warp-level instruction counts per opcode mnemonic.
+    pub per_op: BTreeMap<String, u64>,
+    /// Executed warp-level instruction counts per category.
+    pub per_category: BTreeMap<OpCategory, u64>,
+    /// Memory counters.
+    pub mem: MemStats,
+    /// Decode-cache hits/misses in the fetch path.
+    pub decode_hits: u64,
+    /// Decode-cache misses.
+    pub decode_misses: u64,
+}
+
+impl ExecStats {
+    /// Records one issued instruction.
+    pub fn record(&mut self, op: Op, active: u32) {
+        self.warp_instructions += 1;
+        self.thread_instructions += active.count_ones() as u64;
+        *self.per_op.entry(op.mnemonic().to_string()).or_insert(0) += 1;
+        *self.per_category.entry(op.category()).or_insert(0) += 1;
+    }
+
+    /// Merges another launch's statistics into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.warp_instructions += other.warp_instructions;
+        self.thread_instructions += other.thread_instructions;
+        self.cycles += other.cycles;
+        for (k, v) in &other.per_op {
+            *self.per_op.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.per_category {
+            *self.per_category.entry(*k).or_insert(0) += v;
+        }
+        self.mem.global_loads += other.mem.global_loads;
+        self.mem.global_stores += other.mem.global_stores;
+        self.mem.global_lines += other.mem.global_lines;
+        self.mem.shared_accesses += other.mem.shared_accesses;
+        self.mem.local_accesses += other.mem.local_accesses;
+        self.mem.atomics += other.mem.atomics;
+        self.decode_hits += other.decode_hits;
+        self.decode_misses += other.decode_misses;
+    }
+
+    /// The top `n` opcodes by executed count, descending.
+    pub fn top_ops(&self, n: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.per_op.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_ops_and_lanes() {
+        let mut s = ExecStats::default();
+        s.record(Op::Iadd, 0xffff_ffff);
+        s.record(Op::Iadd, 0x1);
+        s.record(Op::Ldg, 0xf);
+        assert_eq!(s.warp_instructions, 3);
+        assert_eq!(s.thread_instructions, 37);
+        assert_eq!(s.per_op["IADD"], 2);
+        assert_eq!(s.per_category[&OpCategory::MemGlobal], 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ExecStats::default();
+        a.record(Op::Fmul, u32::MAX);
+        let mut b = ExecStats::default();
+        b.record(Op::Fmul, u32::MAX);
+        b.cycles = 10;
+        a.merge(&b);
+        assert_eq!(a.per_op["FMUL"], 2);
+        assert_eq!(a.cycles, 10);
+        assert_eq!(a.thread_instructions, 64);
+    }
+
+    #[test]
+    fn top_ops_sorts_descending_with_stable_ties() {
+        let mut s = ExecStats::default();
+        for _ in 0..5 {
+            s.record(Op::Ffma, 1);
+        }
+        for _ in 0..3 {
+            s.record(Op::Ldg, 1);
+        }
+        for _ in 0..3 {
+            s.record(Op::Iadd, 1);
+        }
+        let top = s.top_ops(2);
+        assert_eq!(top[0].0, "FFMA");
+        assert_eq!(top[1], ("IADD".to_string(), 3)); // tie broken alphabetically
+    }
+}

@@ -1,0 +1,90 @@
+//! Pre-compiled accelerated libraries: **mini-cuBLAS** and **mini-cuDNN**.
+//!
+//! These stand in for NVIDIA's proprietary cuBLAS/cuDNN (paper §6.1): the
+//! fat binaries produced here are **SASS-only** — compiled for every
+//! architecture ahead of time, with no embedded PTX and no source shipped —
+//! so a compile-time instrumentation approach cannot see inside them, while
+//! NVBit instruments them like any other binary.
+//!
+//! The kernels are written to be *well coalesced* (the property the paper's
+//! Figure 6 measures: excluding libraries overestimates application memory
+//! divergence, because library kernels touch memory more efficiently than
+//! framework-native glue kernels).
+//!
+//! # Example
+//!
+//! ```
+//! use accel::Cublas;
+//! use cuda::Driver;
+//! use gpu::DeviceSpec;
+//! use sass::Arch;
+//!
+//! let drv = Driver::new(DeviceSpec::preset(Arch::Volta));
+//! let ctx = drv.ctx_create().unwrap();
+//! let blas = Cublas::load(&drv, &ctx).unwrap();
+//! // C = A * B for 8x8 matrices of ones: every element is 8.
+//! let bytes = 8 * 8 * 4;
+//! let a = drv.mem_alloc(bytes).unwrap();
+//! let b = drv.mem_alloc(bytes).unwrap();
+//! let c = drv.mem_alloc(bytes).unwrap();
+//! let ones: Vec<u8> = (0..64).flat_map(|_| 1.0f32.to_bits().to_le_bytes()).collect();
+//! drv.memcpy_htod(a, &ones).unwrap();
+//! drv.memcpy_htod(b, &ones).unwrap();
+//! blas.sgemm_nn(&drv, 8, 8, 8, 1.0, a, b, 0.0, c).unwrap();
+//! let mut out = vec![0u8; bytes as usize];
+//! drv.memcpy_dtoh(&mut out, c).unwrap();
+//! assert!(out.chunks(4).all(|w| f32::from_bits(u32::from_le_bytes(w.try_into().unwrap())) == 8.0));
+//! ```
+
+pub mod cublas;
+pub mod cudnn;
+
+pub use cublas::Cublas;
+pub use cudnn::Cudnn;
+
+use std::sync::OnceLock;
+
+/// Returns the mini-cuBLAS fat binary (compiled once per process).
+pub fn cublas_fatbin() -> &'static cuda::FatBinary {
+    static BIN: OnceLock<cuda::FatBinary> = OnceLock::new();
+    BIN.get_or_init(|| {
+        cuda::FatBinary::library_from_ptx("libminicublas", &cublas::ptx_source())
+            .expect("mini-cuBLAS source always compiles")
+    })
+}
+
+/// Returns the mini-cuDNN fat binary (compiled once per process).
+pub fn cudnn_fatbin() -> &'static cuda::FatBinary {
+    static BIN: OnceLock<cuda::FatBinary> = OnceLock::new();
+    BIN.get_or_init(|| {
+        cuda::FatBinary::library_from_ptx("libminicudnn", &cudnn::ptx_source())
+            .expect("mini-cuDNN source always compiles")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass::Arch;
+
+    #[test]
+    fn library_binaries_are_sass_only_for_all_arches() {
+        for fb in [cublas_fatbin(), cudnn_fatbin()] {
+            assert!(fb.library);
+            assert!(fb.ptx.is_none(), "libraries must not ship PTX");
+            for arch in Arch::ALL {
+                assert!(fb.image_for(arch).is_some(), "{} missing {arch}", fb.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cublas_ships_dozens_of_kernels() {
+        let img = cublas_fatbin().image_for(Arch::Volta).unwrap();
+        assert!(
+            img.functions.len() >= 20,
+            "cuBLAS-alike should carry many kernel variants, got {}",
+            img.functions.len()
+        );
+    }
+}

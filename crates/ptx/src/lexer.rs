@@ -1,0 +1,212 @@
+//! Tokenizer for the PTX dialect.
+
+use crate::{PtxError, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A word: identifier, dotted directive/opcode (`.reg`, `ld.global.f32`),
+    /// register (`%r1`, `%tid.x`) or label name.
+    Word(String),
+    /// An integer or floating literal, kept raw for type-directed parsing.
+    Num(String),
+    /// A double-quoted string (contents only).
+    Str(String),
+    /// Single punctuation character: `{}()[],;:@!+-<>`.
+    Punct(char),
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Tokenizes PTX source. Comments (`//` to end of line and `/* */`) are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Parse`] on unterminated strings/comments or stray
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(PtxError::Parse {
+                            line: start,
+                            reason: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= n {
+                        return Err(PtxError::Parse {
+                            line: start,
+                            reason: "unterminated string".into(),
+                        });
+                    }
+                    if bytes[i] == '"' {
+                        i += 1;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                toks.push(SpannedTok { tok: Tok::Str(s), line: start });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '.' || bytes[i] == 'x')
+                {
+                    // A trailing '.' followed by non-digit belongs to the next
+                    // token stream element, not the number (e.g. `0:`).
+                    if bytes[i] == '.' && !(i + 1 < n && bytes[i + 1].is_ascii_hexdigit()) {
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                toks.push(SpannedTok { tok: Tok::Num(s), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '%' || c == '.' || c == '$' => {
+                let mut s = String::new();
+                while i < n {
+                    let d = bytes[i];
+                    let cont = d.is_ascii_alphanumeric() || d == '_' || d == '$' || d == '%';
+                    // A dot continues the word only when followed by a word
+                    // character (so `DONE:` vs `ld.global` both work).
+                    let dot = d == '.'
+                        && i + 1 < n
+                        && (bytes[i + 1].is_ascii_alphanumeric() || bytes[i + 1] == '_');
+                    if cont || dot || (s.is_empty() && d == '.') {
+                        s.push(d);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(SpannedTok { tok: Tok::Word(s), line });
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '@' | '!' | '+' | '-' | '<'
+            | '>' => {
+                toks.push(SpannedTok { tok: Tok::Punct(c), line });
+                i += 1;
+            }
+            other => {
+                return Err(PtxError::Parse {
+                    line,
+                    reason: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn dotted_opcodes_lex_as_one_word() {
+        assert_eq!(
+            words("ld.global.f32 %f1, [%rd1+4];"),
+            vec![
+                Tok::Word("ld.global.f32".into()),
+                Tok::Word("%f1".into()),
+                Tok::Punct(','),
+                Tok::Punct('['),
+                Tok::Word("%rd1".into()),
+                Tok::Punct('+'),
+                Tok::Num("4".into()),
+                Tok::Punct(']'),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_do_not_swallow_colons() {
+        assert_eq!(
+            words("DONE:"),
+            vec![Tok::Word("DONE".into()), Tok::Punct(':')]
+        );
+    }
+
+    #[test]
+    fn special_registers_keep_component() {
+        assert_eq!(words("%tid.x"), vec![Tok::Word("%tid.x".into())]);
+    }
+
+    #[test]
+    fn numbers_include_hex_and_float_forms() {
+        assert_eq!(
+            words("0x1f 42 1.5 0f3F800000"),
+            vec![
+                Tok::Num("0x1f".into()),
+                Tok::Num("42".into()),
+                Tok::Num("1.5".into()),
+                Tok::Num("0f3F800000".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// hi\n/* multi\nline */ exit ;").unwrap();
+        assert_eq!(toks[0].tok, Tok::Word("exit".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn errors_on_stray_character() {
+        assert!(lex("#").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

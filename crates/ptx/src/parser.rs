@@ -1,0 +1,939 @@
+//! Recursive-descent parser for the PTX dialect.
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::types::PtxType;
+use crate::{PtxError, Result};
+use std::collections::BTreeMap;
+
+/// Parses a full module.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Parse`] on malformed source.
+pub fn parse(src: &str) -> Result<Module> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut module = Module::default();
+    while !p.at_end() {
+        let w = p.peek_word().unwrap_or_default();
+        match w.as_str() {
+            ".version" | ".target" | ".address_size" => {
+                p.bump();
+                p.bump(); // the directive's value
+            }
+            ".visible" => {
+                p.bump();
+            }
+            ".entry" | ".func" => {
+                module.functions.push(p.function()?);
+            }
+            _ => {
+                return Err(p.err(format!("expected a function or directive, found `{w}`")));
+            }
+        }
+    }
+    Ok(module)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, reason: String) -> PtxError {
+        PtxError::Parse { line: self.line(), reason }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.peek() {
+            Some(Tok::Word(w)) => Some(w.clone()),
+            _ => None,
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Word(w)) => Ok(w),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.bump() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_reg(&mut self) -> Result<String> {
+        let w = self.expect_word()?;
+        if w.starts_with('%') {
+            Ok(w)
+        } else {
+            Err(self.err(format!("expected register, found `{w}`")))
+        }
+    }
+
+    fn function(&mut self) -> Result<Function> {
+        let kw = self.expect_word()?;
+        let kind = match kw.as_str() {
+            ".entry" => FunctionKind::Entry,
+            ".func" => FunctionKind::Device,
+            _ => unreachable!(),
+        };
+
+        // Optional return declaration: `(.reg .u32 %out)`.
+        let mut ret = None;
+        let mut ret_name = None;
+        if kind == FunctionKind::Device && self.eat_punct('(') {
+            let w = self.expect_word()?;
+            if w != ".reg" {
+                return Err(self.err(format!("expected `.reg` in return declaration, found `{w}`")));
+            }
+            let ty = self.type_word()?;
+            let name = self.expect_reg()?;
+            ret = Some(ty);
+            ret_name = Some(name);
+            self.expect_punct(')')?;
+        }
+
+        let name = self.expect_word()?;
+        let mut params = Vec::new();
+        if self.eat_punct('(')
+            && !self.eat_punct(')') {
+                loop {
+                    let lead = self.expect_word()?;
+                    let expected = match kind {
+                        FunctionKind::Entry => ".param",
+                        FunctionKind::Device => ".reg",
+                    };
+                    if lead != expected {
+                        return Err(
+                            self.err(format!("expected `{expected}` parameter, found `{lead}`"))
+                        );
+                    }
+                    let ty = self.type_word()?;
+                    let pname = self.expect_word()?;
+                    params.push((pname, ty));
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    self.expect_punct(',')?;
+                }
+            }
+
+        self.expect_punct('{')?;
+        let mut regs: BTreeMap<String, PtxType> = BTreeMap::new();
+        let mut shared = Vec::new();
+        let mut body = Vec::new();
+
+        // Device-function parameters and the return slot are virtual
+        // registers seeded into the declaration table.
+        if kind == FunctionKind::Device {
+            for (pname, ty) in &params {
+                regs.insert(pname.clone(), *ty);
+            }
+            if let (Some(rn), Some(rt)) = (&ret_name, ret) {
+                regs.insert(rn.clone(), rt);
+            }
+        }
+
+        loop {
+            if self.eat_punct('}') {
+                break;
+            }
+            let w = match self.peek() {
+                Some(Tok::Word(w)) => w.clone(),
+                Some(Tok::Punct('@')) => String::from("@"),
+                other => return Err(self.err(format!("expected statement, found {other:?}"))),
+            };
+            match w.as_str() {
+                ".reg" => {
+                    self.bump();
+                    let ty = self.type_word()?;
+                    // `.reg .u32 %r<10>;` or `.reg .u32 %x;`
+                    let base = self.expect_reg()?;
+                    if self.eat_punct('<') {
+                        let count = self.int_literal()? as usize;
+                        self.expect_punct('>')?;
+                        for i in 0..count.max(1) {
+                            regs.insert(format!("{base}{i}"), ty);
+                        }
+                    } else {
+                        regs.insert(base, ty);
+                    }
+                    self.expect_punct(';')?;
+                }
+                ".shared" => {
+                    self.bump();
+                    let mut align = 4u32;
+                    let mut w2 = self.expect_word()?;
+                    if w2 == ".align" {
+                        align = self.int_literal()? as u32;
+                        w2 = self.expect_word()?;
+                    }
+                    if w2 != ".b8" {
+                        return Err(self.err(format!("shared declarations use `.b8`, found `{w2}`")));
+                    }
+                    let sname = self.expect_word()?;
+                    self.expect_punct('[')?;
+                    let bytes = self.int_literal()? as u32;
+                    self.expect_punct(']')?;
+                    self.expect_punct(';')?;
+                    shared.push(SharedDecl { name: sname, bytes, align });
+                }
+                ".loc" => {
+                    self.bump();
+                    let file = match self.bump() {
+                        Some(Tok::Str(s)) => s,
+                        other => {
+                            return Err(self.err(format!("expected file string, found {other:?}")))
+                        }
+                    };
+                    let line = self.int_literal()? as u32;
+                    self.eat_punct(';');
+                    body.push(Statement::Loc { file, line });
+                }
+                _ => {
+                    // Label (`IDENT:`) or instruction.
+                    if w != "@" && !w.starts_with('%') && !w.starts_with('.')
+                        && matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                        {
+                            self.bump();
+                            self.bump();
+                            body.push(Statement::Label(w));
+                            continue;
+                        }
+                    let instr = self.instruction(&regs)?;
+                    body.push(Statement::Instr(instr));
+                }
+            }
+        }
+
+        Ok(Function { name, kind, params, ret, ret_reg: ret_name, regs, shared, body })
+    }
+
+    fn type_word(&mut self) -> Result<PtxType> {
+        let w = self.expect_word()?;
+        let s = w.strip_prefix('.').unwrap_or(&w);
+        PtxType::from_suffix(s).ok_or_else(|| self.err(format!("unknown type `{w}`")))
+    }
+
+    fn int_literal(&mut self) -> Result<i64> {
+        let neg = self.eat_punct('-');
+        match self.bump() {
+            Some(Tok::Num(n)) => {
+                let v = parse_int(&n).ok_or_else(|| self.err(format!("bad integer `{n}`")))?;
+                Ok(if neg { -v } else { v })
+            }
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    /// Parses a source operand: register or typed immediate.
+    fn src(&mut self, ty: PtxType) -> Result<Src> {
+        match self.peek() {
+            Some(Tok::Word(w)) if w.starts_with('%') => {
+                let w = w.clone();
+                self.bump();
+                Ok(Src::Reg(w))
+            }
+            _ => {
+                let neg = self.eat_punct('-');
+                match self.bump() {
+                    Some(Tok::Num(n)) => {
+                        let bits = parse_typed_literal(&n, neg, ty)
+                            .ok_or_else(|| self.err(format!("bad literal `{n}` for {ty}")))?;
+                        Ok(Src::Imm(bits))
+                    }
+                    other => Err(self.err(format!("expected operand, found {other:?}"))),
+                }
+            }
+        }
+    }
+
+    fn addr(&mut self) -> Result<Address> {
+        self.expect_punct('[')?;
+        let w = self.expect_word()?;
+        let base = if w.starts_with('%') { AddrBase::Reg(w) } else { AddrBase::Shared(w) };
+        let mut offset = 0i32;
+        if self.eat_punct('+') {
+            offset = self.int_literal()? as i32;
+        } else if self.eat_punct('-') {
+            offset = -(self.int_literal()? as i32);
+        }
+        self.expect_punct(']')?;
+        Ok(Address { base, offset })
+    }
+
+    fn comma(&mut self) -> Result<()> {
+        self.expect_punct(',')
+    }
+
+    fn semi(&mut self) -> Result<()> {
+        self.expect_punct(';')
+    }
+
+    fn instruction(&mut self, _regs: &BTreeMap<String, PtxType>) -> Result<PtxInstr> {
+        // Guard.
+        let guard = if self.eat_punct('@') {
+            let negated = self.eat_punct('!');
+            let reg = self.expect_reg()?;
+            Some(PtxGuard { reg, negated })
+        } else {
+            None
+        };
+
+        let opw = self.expect_word()?;
+        let parts: Vec<&str> = opw.split('.').collect();
+        let head = parts[0];
+
+        let op = match head {
+            "ld" => self.ld(&parts)?,
+            "st" => self.st(&parts)?,
+            "mov" => self.mov(&parts)?,
+            "add" | "sub" | "min" | "max" | "and" | "or" | "xor" | "shl" | "shr" => {
+                self.bin(head, &parts)?
+            }
+            "mul" => self.mul(&parts)?,
+            "mad" | "fma" => self.mad(&parts)?,
+            "setp" => self.setp(&parts)?,
+            "selp" => self.selp(&parts)?,
+            "cvt" => self.cvt(&parts)?,
+            "bra" => {
+                let target = self.expect_word()?;
+                PtxOp::Bra { target }
+            }
+            "call" => self.call()?,
+            "ret" => {
+                if parts.get(1) == Some(&"val") {
+                    let src = self.expect_reg()?;
+                    PtxOp::RetVal { src }
+                } else {
+                    PtxOp::Ret
+                }
+            }
+            "exit" => PtxOp::Exit,
+            "bar" => {
+                // `bar.sync 0;`
+                let _ = self.int_literal();
+                PtxOp::BarSync
+            }
+            "membar" => PtxOp::Membar,
+            "atom" => self.atom(&parts)?,
+            "red" => self.red(&parts)?,
+            "vote" => self.vote(&parts)?,
+            "shfl" => self.shfl(&parts)?,
+            "popc" => {
+                let dst = self.expect_reg()?;
+                self.comma()?;
+                let src = self.expect_reg()?;
+                PtxOp::Popc { dst, src }
+            }
+            "rcp" | "sqrt" | "rsq" | "sin" | "cos" | "ex2" | "lg2" => {
+                let func = match head {
+                    "rcp" => MufuFunc::Rcp,
+                    "sqrt" => MufuFunc::Sqrt,
+                    "rsq" => MufuFunc::Rsq,
+                    "sin" => MufuFunc::Sin,
+                    "cos" => MufuFunc::Cos,
+                    "ex2" => MufuFunc::Ex2,
+                    _ => MufuFunc::Lg2,
+                };
+                let dst = self.expect_reg()?;
+                self.comma()?;
+                let src = self.expect_reg()?;
+                PtxOp::Mufu { func, dst, src }
+            }
+            "proxy" => {
+                let dst = self.expect_reg()?;
+                self.comma()?;
+                let src = self.expect_reg()?;
+                self.comma()?;
+                let name = match self.bump() {
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(self.err(format!("expected proxy name string, found {other:?}")))
+                    }
+                };
+                PtxOp::Proxy { dst, src, name }
+            }
+            "nvbit" => match parts.get(1) {
+                Some(&"readreg") => {
+                    let dst = self.expect_reg()?;
+                    self.comma()?;
+                    let idx = self.src(PtxType::U32)?;
+                    PtxOp::NvReadReg { dst, idx }
+                }
+                Some(&"writereg") => {
+                    let idx = self.src(PtxType::U32)?;
+                    self.comma()?;
+                    let src = self.expect_reg()?;
+                    PtxOp::NvWriteReg { idx, src }
+                }
+                other => return Err(self.err(format!("unknown nvbit intrinsic {other:?}"))),
+            },
+            other => return Err(self.err(format!("unknown opcode `{other}`"))),
+        };
+        self.semi()?;
+        Ok(PtxInstr { guard, op })
+    }
+
+    fn tail_type(&mut self, parts: &[&str]) -> Result<PtxType> {
+        let last = parts.last().copied().unwrap_or_default();
+        PtxType::from_suffix(last)
+            .ok_or_else(|| self.err(format!("missing type suffix in `{}`", parts.join("."))))
+    }
+
+    fn space(&mut self, s: &str) -> Result<Space> {
+        match s {
+            "global" => Ok(Space::Global),
+            "shared" => Ok(Space::Shared),
+            "local" => Ok(Space::Local),
+            other => Err(self.err(format!("unknown memory space `{other}`"))),
+        }
+    }
+
+    fn ld(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        if parts.get(1) == Some(&"param") {
+            let dst = self.expect_reg()?;
+            self.comma()?;
+            self.expect_punct('[')?;
+            let param = self.expect_word()?;
+            let mut offset = 0u32;
+            if self.eat_punct('+') {
+                offset = self.int_literal()? as u32;
+            }
+            self.expect_punct(']')?;
+            return Ok(PtxOp::LdParam { ty, dst, param, offset });
+        }
+        let space = self.space(parts.get(1).copied().unwrap_or_default())?;
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let addr = self.addr()?;
+        Ok(PtxOp::Ld { space, ty, dst, addr })
+    }
+
+    fn st(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let space = self.space(parts.get(1).copied().unwrap_or_default())?;
+        let addr = self.addr()?;
+        self.comma()?;
+        let src = self.expect_reg()?;
+        Ok(PtxOp::St { space, ty, addr, src })
+    }
+
+    fn mov(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        // Source: special register, plain register, immediate, or a shared
+        // variable name (address-of).
+        match self.peek() {
+            Some(Tok::Word(w)) if w.starts_with('%') => {
+                let w = w.clone();
+                if let Some(special) = parse_special(&w) {
+                    self.bump();
+                    Ok(PtxOp::Mov { ty, dst, src: None, special: Some(special), shared_addr: None })
+                } else {
+                    self.bump();
+                    Ok(PtxOp::Mov {
+                        ty,
+                        dst,
+                        src: Some(Src::Reg(w)),
+                        special: None,
+                        shared_addr: None,
+                    })
+                }
+            }
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.bump();
+                Ok(PtxOp::Mov { ty, dst, src: None, special: None, shared_addr: Some(w) })
+            }
+            _ => {
+                let src = self.src(ty)?;
+                Ok(PtxOp::Mov { ty, dst, src: Some(src), special: None, shared_addr: None })
+            }
+        }
+    }
+
+    fn bin(&mut self, head: &str, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let kind = match head {
+            "add" => BinKind::Add,
+            "sub" => BinKind::Sub,
+            "min" => BinKind::Min,
+            "max" => BinKind::Max,
+            "and" => BinKind::And,
+            "or" => BinKind::Or,
+            "xor" => BinKind::Xor,
+            "shl" => BinKind::Shl,
+            "shr" => BinKind::Shr,
+            _ => unreachable!(),
+        };
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(ty)?;
+        Ok(PtxOp::Bin { kind, ty, dst, a, b })
+    }
+
+    fn mul(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let kind = match parts.get(1) {
+            Some(&"wide") => BinKind::MulWide,
+            _ => BinKind::MulLo, // `.lo` explicit or float `mul.f32`
+        };
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(ty)?;
+        Ok(PtxOp::Bin { kind, ty, dst, a, b })
+    }
+
+    fn mad(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let wide = parts.get(1) == Some(&"wide");
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(ty)?;
+        self.comma()?;
+        let c = self.expect_reg()?;
+        Ok(PtxOp::Mad { wide, ty, dst, a, b, c })
+    }
+
+    fn setp(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let cmp = parts
+            .get(1)
+            .and_then(|s| PCmp::from_suffix(s))
+            .ok_or_else(|| self.err("setp requires a comparison suffix".into()))?;
+        let ty = self.tail_type(parts)?;
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(ty)?;
+        Ok(PtxOp::Setp { cmp, ty, dst, a, b })
+    }
+
+    fn selp(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let ty = self.tail_type(parts)?;
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(ty)?;
+        self.comma()?;
+        let p = self.expect_reg()?;
+        Ok(PtxOp::Selp { ty, dst, a, b, p })
+    }
+
+    fn cvt(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        // `cvt.dty.sty` with an optional rounding part we ignore
+        // (`cvt.rn.f32.s32`).
+        let tys: Vec<PtxType> =
+            parts[1..].iter().filter_map(|s| PtxType::from_suffix(s)).collect();
+        if tys.len() != 2 {
+            return Err(self.err(format!("cvt requires two type suffixes in `{}`", parts.join("."))));
+        }
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let src = self.expect_reg()?;
+        Ok(PtxOp::Cvt { dty: tys[0], sty: tys[1], dst, src })
+    }
+
+    fn call(&mut self) -> Result<PtxOp> {
+        // `call (%ret), name, (%a, %b);` | `call name, (%a);` | `call name;`
+        let mut ret = None;
+        if self.eat_punct('(') {
+            ret = Some(self.expect_reg()?);
+            self.expect_punct(')')?;
+            self.comma()?;
+        }
+        let func = self.expect_word()?;
+        let mut args = Vec::new();
+        if self.eat_punct(',') {
+            self.expect_punct('(')?;
+            if !self.eat_punct(')') {
+                loop {
+                    args.push(self.expect_reg()?);
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    self.expect_punct(',')?;
+                }
+            }
+        }
+        Ok(PtxOp::Call { ret, func, args })
+    }
+
+    fn atom(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        if parts.get(1) != Some(&"global") {
+            return Err(self.err("atomics are supported on global memory only".into()));
+        }
+        let op = parts
+            .get(2)
+            .and_then(|s| AtomOp::from_suffix(s))
+            .ok_or_else(|| self.err("atom requires an operation suffix".into()))?;
+        let ty = self.tail_type(parts)?;
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let addr = self.addr()?;
+        self.comma()?;
+        let src = self.expect_reg()?;
+        let src2 = if self.eat_punct(',') { Some(self.expect_reg()?) } else { None };
+        if (op == AtomOp::Cas) != src2.is_some() {
+            return Err(self.err("cas takes two value operands; other atomics take one".into()));
+        }
+        Ok(PtxOp::Atom { op, ty, dst, addr, src, src2 })
+    }
+
+    fn red(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        if parts.get(1) != Some(&"global") {
+            return Err(self.err("reductions are supported on global memory only".into()));
+        }
+        let op = parts
+            .get(2)
+            .and_then(|s| AtomOp::from_suffix(s))
+            .ok_or_else(|| self.err("red requires an operation suffix".into()))?;
+        let ty = self.tail_type(parts)?;
+        let addr = self.addr()?;
+        self.comma()?;
+        let src = self.expect_reg()?;
+        Ok(PtxOp::Red { op, ty, addr, src })
+    }
+
+    fn vote(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        let mode = match parts.get(1) {
+            Some(&"all") => VoteMode::All,
+            Some(&"any") => VoteMode::Any,
+            Some(&"ballot") => VoteMode::Ballot,
+            other => return Err(self.err(format!("unknown vote mode {other:?}"))),
+        };
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let negated = self.eat_punct('!');
+        let src = self.expect_reg()?;
+        Ok(PtxOp::Vote { mode, dst, src, negated })
+    }
+
+    fn shfl(&mut self, parts: &[&str]) -> Result<PtxOp> {
+        // Accept both `shfl.mode.b32` and `shfl.sync.mode.b32`.
+        let mode_str = if parts.get(1) == Some(&"sync") { parts.get(2) } else { parts.get(1) };
+        let mode = match mode_str {
+            Some(&"idx") => ShflMode::Idx,
+            Some(&"up") => ShflMode::Up,
+            Some(&"down") => ShflMode::Down,
+            Some(&"bfly") => ShflMode::Bfly,
+            other => return Err(self.err(format!("unknown shfl mode {other:?}"))),
+        };
+        let dst = self.expect_reg()?;
+        self.comma()?;
+        let a = self.expect_reg()?;
+        self.comma()?;
+        let b = self.src(PtxType::U32)?;
+        Ok(PtxOp::Shfl { mode, dst, a, b })
+    }
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok().map(|v| v as i64)
+    } else {
+        s.parse::<i64>().ok()
+    }
+}
+
+/// Parses a literal token under a type context, producing the canonical
+/// immediate bits (f32 bits are sign-extended from 32; integer u32 values
+/// are canonicalized the same way).
+fn parse_typed_literal(tok: &str, neg: bool, ty: PtxType) -> Option<i64> {
+    // Raw-bits float forms.
+    if let Some(h) = tok.strip_prefix("0f").or_else(|| tok.strip_prefix("0F")) {
+        if h.len() == 8 {
+            let bits = u32::from_str_radix(h, 16).ok()?;
+            return Some((bits as i32) as i64);
+        }
+    }
+    if let Some(h) = tok.strip_prefix("0d").or_else(|| tok.strip_prefix("0D")) {
+        if h.len() == 16 {
+            return Some(u64::from_str_radix(h, 16).ok()? as i64);
+        }
+    }
+    match ty {
+        PtxType::F32 => {
+            let v: f32 = tok.parse().ok()?;
+            let v = if neg { -v } else { v };
+            Some((v.to_bits() as i32) as i64)
+        }
+        PtxType::F64 => {
+            let v: f64 = tok.parse().ok()?;
+            let v = if neg { -v } else { v };
+            Some(v.to_bits() as i64)
+        }
+        PtxType::U32 | PtxType::S32 | PtxType::B32 => {
+            let v = parse_int(tok)?;
+            let v = if neg { -v } else { v };
+            Some((v as i32) as i64)
+        }
+        PtxType::U64 | PtxType::S64 | PtxType::B64 => {
+            let v = parse_int(tok)?;
+            Some(if neg { -v } else { v })
+        }
+        PtxType::Pred => None,
+    }
+}
+
+fn parse_special(w: &str) -> Option<PtxSpecial> {
+    let comp = |s: &str| -> Option<u8> {
+        match s {
+            "x" => Some(0),
+            "y" => Some(1),
+            "z" => Some(2),
+            _ => None,
+        }
+    };
+    if let Some(rest) = w.strip_prefix("%tid.") {
+        return comp(rest).map(PtxSpecial::Tid);
+    }
+    if let Some(rest) = w.strip_prefix("%ntid.") {
+        return comp(rest).map(PtxSpecial::NTid);
+    }
+    if let Some(rest) = w.strip_prefix("%ctaid.") {
+        return comp(rest).map(PtxSpecial::CtaId);
+    }
+    if let Some(rest) = w.strip_prefix("%nctaid.") {
+        return comp(rest).map(PtxSpecial::NCtaId);
+    }
+    match w {
+        "%laneid" => Some(PtxSpecial::LaneId),
+        "%warpid" => Some(PtxSpecial::WarpId),
+        "%smid" => Some(PtxSpecial::SmId),
+        "%clock" => Some(PtxSpecial::Clock),
+        "%activemask" => Some(PtxSpecial::ActiveMask),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VECADD: &str = r#"
+.version 6.0
+.target sm_70
+.visible .entry vecadd(.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<8>;
+    .reg .f32 %f<4>;
+    .reg .pred %p<2>;
+
+    ld.param.u64 %rd1, [a];
+    ld.param.u32 %r1, [n];
+    mov.u32 %r2, %ctaid.x;
+    mov.u32 %r3, %ntid.x;
+    mov.u32 %r4, %tid.x;
+    mad.lo.u32 %r5, %r2, %r3, %r4;
+    setp.ge.u32 %p1, %r5, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r5, 4;
+    add.u64 %rd5, %rd1, %rd4;
+    ld.global.f32 %f1, [%rd5];
+    add.f32 %f1, %f1, 0f3F800000;
+    st.global.f32 [%rd5], %f1;
+DONE:
+    exit;
+}
+"#;
+
+    #[test]
+    fn parses_a_full_kernel() {
+        let m = parse(VECADD).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.name, "vecadd");
+        assert_eq!(f.kind, FunctionKind::Entry);
+        assert_eq!(f.params.len(), 4);
+        assert_eq!(f.regs.get("%r5"), Some(&PtxType::U32));
+        assert_eq!(f.regs.get("%p1"), Some(&PtxType::Pred));
+        let labels: Vec<_> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec!["DONE"]);
+    }
+
+    #[test]
+    fn guards_and_immediates_parse() {
+        let m = parse(VECADD).unwrap();
+        let f = &m.functions[0];
+        let instrs: Vec<_> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Instr(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        // The guarded branch.
+        let bra = instrs.iter().find(|i| matches!(i.op, PtxOp::Bra { .. })).unwrap();
+        assert_eq!(bra.guard.as_ref().unwrap().reg, "%p1");
+        // The float literal 1.0 parsed as raw bits.
+        let addf = instrs
+            .iter()
+            .find_map(|i| match &i.op {
+                PtxOp::Bin { kind: BinKind::Add, ty: PtxType::F32, b: Src::Imm(v), .. } => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(addf as u32, 1.0f32.to_bits());
+    }
+
+    #[test]
+    fn device_functions_with_returns_parse() {
+        let src = r#"
+.func (.reg .u32 %out) square(.reg .u32 %x)
+{
+    mul.lo.u32 %out, %x, %x;
+    ret;
+}
+"#;
+        let m = parse(src).unwrap();
+        let f = &m.functions[0];
+        assert_eq!(f.kind, FunctionKind::Device);
+        assert_eq!(f.ret, Some(PtxType::U32));
+        assert_eq!(f.ret_reg.as_deref(), Some("%out"));
+        assert_eq!(f.params, vec![("%x".to_string(), PtxType::U32)]);
+    }
+
+    #[test]
+    fn calls_parse_with_and_without_returns() {
+        let src = r#"
+.entry k()
+{
+    .reg .u32 %r<3>;
+    call (%r1), square, (%r2);
+    call helper, (%r1);
+    call barefn;
+    exit;
+}
+"#;
+        let m = parse(src).unwrap();
+        let calls: Vec<_> = m.functions[0]
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Instr(PtxInstr { op: PtxOp::Call { ret, func, args }, .. }) => {
+                    Some((ret.clone(), func.clone(), args.len()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                (Some("%r1".into()), "square".into(), 1),
+                (None, "helper".into(), 1),
+                (None, "barefn".into(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_decls_and_loc_parse() {
+        let src = r#"
+.entry k()
+{
+    .shared .align 8 .b8 tile[1024];
+    .reg .u32 %r<3>;
+    .loc "kern.cu" 42 ;
+    mov.u32 %r1, tile;
+    st.shared.u32 [%r1+16], %r2;
+    bar.sync 0;
+    exit;
+}
+"#;
+        let m = parse(src).unwrap();
+        let f = &m.functions[0];
+        assert_eq!(f.shared[0].bytes, 1024);
+        assert_eq!(f.shared[0].align, 8);
+        assert!(f
+            .body
+            .iter()
+            .any(|s| matches!(s, Statement::Loc { file, line: 42 } if file == "kern.cu")));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode_with_line() {
+        let src = ".entry k()\n{\n    frobnicate %r1;\n}\n";
+        match parse(src) {
+            Err(PtxError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomics_and_warp_ops_parse() {
+        let src = r#"
+.entry k(.param .u64 p)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<2>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [p];
+    atom.global.add.u32 %r1, [%rd1], %r2;
+    atom.global.cas.u32 %r1, [%rd1+8], %r2, %r3;
+    red.global.add.f32 [%rd1+16], %r4;
+    vote.ballot.b32 %r5, !%p1;
+    shfl.bfly.b32 %r1, %r2, 16;
+    popc.b32 %r1, %r5;
+    exit;
+}
+"#;
+        let m = parse(src).unwrap();
+        assert_eq!(m.functions.len(), 1);
+    }
+}

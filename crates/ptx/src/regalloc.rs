@@ -1,0 +1,637 @@
+//! Liveness analysis and linear-scan register allocation.
+//!
+//! Virtual registers are assigned one physical location for the whole
+//! function (no live-range splitting, no spilling — a function that exceeds
+//! the register file reports [`PtxError::OutOfRegisters`], mirroring how
+//! `ptxas` would spill where we instead reject).
+//!
+//! # ABI
+//!
+//! * `R0` — the NVBit device-API frame pointer inside instrumentation
+//!   functions (local-memory address of the caller's register save area);
+//!   unused elsewhere.
+//! * `R1` — stack pointer into per-thread local memory.
+//! * `R2`, `R3` — reserved lowering scratch (an even-aligned pair, so wide
+//!   temporaries fit).
+//! * `R4`–`R15` — caller-saved; device-function arguments and return value.
+//! * `R16`+ — callee-saved; values live across a `call` are placed here and
+//!   the function saves/restores what it uses.
+
+use crate::ast::{AddrBase, Function, PtxInstr, PtxOp, Src};
+use crate::cfg::{FnCfg, Linear};
+use crate::types::PtxType;
+use crate::{PtxError, Result};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// First caller-saved allocatable register.
+pub const FIRST_CALLER: u8 = 4;
+/// First callee-saved register.
+pub const FIRST_CALLEE: u8 = 16;
+/// Highest allocatable register (leaving headroom below `RZ`).
+pub const LAST_ALLOC: u8 = 250;
+
+/// Physical location assigned to a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// One general-purpose register.
+    Gpr(u8),
+    /// An even-aligned register pair (value is the low register).
+    Pair(u8),
+    /// A predicate register.
+    Pred(u8),
+}
+
+impl Loc {
+    /// The low general-purpose register index, if not a predicate.
+    pub fn gpr(&self) -> Option<u8> {
+        match self {
+            Loc::Gpr(r) | Loc::Pair(r) => Some(*r),
+            Loc::Pred(_) => None,
+        }
+    }
+}
+
+/// Result of allocation for one function.
+#[derive(Debug)]
+pub struct Allocation {
+    /// Virtual register → physical location.
+    pub map: HashMap<String, Loc>,
+    /// Highest general-purpose register index used (allocation only; the
+    /// lowering adds its scratch registers on top).
+    pub max_gpr: u8,
+    /// Callee-saved registers this function writes and must preserve.
+    pub used_callee_saved: Vec<u8>,
+    /// True if the function contains `call` instructions.
+    pub has_calls: bool,
+}
+
+/// Uses and defs of one instruction, as virtual register names.
+pub fn uses_defs<'a>(i: &'a PtxInstr) -> (Vec<&'a str>, Vec<&'a str>) {
+    let mut uses: Vec<&'a str> = Vec::new();
+    let mut defs: Vec<&'a str> = Vec::new();
+    if let Some(g) = &i.guard {
+        uses.push(&g.reg);
+    }
+    fn use_src<'a>(s: &'a Src, uses: &mut Vec<&'a str>) {
+        if let Src::Reg(r) = s {
+            uses.push(r.as_str());
+        }
+    }
+    fn use_addr<'a>(a: &'a crate::ast::Address, uses: &mut Vec<&'a str>) {
+        if let AddrBase::Reg(r) = &a.base {
+            uses.push(r.as_str());
+        }
+    }
+    match &i.op {
+        PtxOp::LdParam { dst, .. } => defs.push(dst),
+        PtxOp::Ld { dst, addr, .. } => {
+            use_addr(addr, &mut uses);
+            defs.push(dst);
+        }
+        PtxOp::St { addr, src, .. } => {
+            use_addr(addr, &mut uses);
+            uses.push(src);
+        }
+        PtxOp::Mov { dst, src, .. } => {
+            if let Some(s) = src {
+                use_src(s, &mut uses);
+            }
+            defs.push(dst);
+        }
+        PtxOp::Bin { dst, a, b, .. } => {
+            uses.push(a);
+            use_src(b, &mut uses);
+            defs.push(dst);
+        }
+        PtxOp::Mad { dst, a, b, c, .. } => {
+            uses.push(a);
+            use_src(b, &mut uses);
+            uses.push(c);
+            defs.push(dst);
+        }
+        PtxOp::Setp { dst, a, b, .. } => {
+            uses.push(a);
+            use_src(b, &mut uses);
+            defs.push(dst);
+        }
+        PtxOp::Selp { dst, a, b, p, .. } => {
+            uses.push(a);
+            use_src(b, &mut uses);
+            uses.push(p);
+            defs.push(dst);
+        }
+        PtxOp::Cvt { dst, src, .. } => {
+            uses.push(src);
+            defs.push(dst);
+        }
+        PtxOp::Bra { .. } | PtxOp::Ret | PtxOp::Exit | PtxOp::BarSync | PtxOp::Membar => {}
+        PtxOp::RetVal { src } => uses.push(src),
+        PtxOp::Call { ret, args, .. } => {
+            for a in args {
+                uses.push(a);
+            }
+            if let Some(r) = ret {
+                defs.push(r);
+            }
+        }
+        PtxOp::Atom { dst, addr, src, src2, .. } => {
+            use_addr(addr, &mut uses);
+            uses.push(src);
+            if let Some(s2) = src2 {
+                uses.push(s2);
+            }
+            defs.push(dst);
+        }
+        PtxOp::Red { addr, src, .. } => {
+            use_addr(addr, &mut uses);
+            uses.push(src);
+        }
+        PtxOp::Vote { dst, src, .. } => {
+            uses.push(src);
+            defs.push(dst);
+        }
+        PtxOp::Shfl { dst, a, b, .. } => {
+            uses.push(a);
+            use_src(b, &mut uses);
+            defs.push(dst);
+        }
+        PtxOp::Popc { dst, src } | PtxOp::Mufu { dst, src, .. } => {
+            uses.push(src);
+            defs.push(dst);
+        }
+        PtxOp::Proxy { dst, src, .. } => {
+            uses.push(src);
+            defs.push(dst);
+        }
+        PtxOp::NvReadReg { dst, idx } => {
+            use_src(idx, &mut uses);
+            defs.push(dst);
+        }
+        PtxOp::NvWriteReg { idx, src } => {
+            use_src(idx, &mut uses);
+            uses.push(src);
+        }
+    }
+    (uses, defs)
+}
+
+/// A conservative live interval over instruction indices.
+#[derive(Debug, Clone)]
+struct Interval {
+    name: String,
+    ty: PtxType,
+    start: usize,
+    end: usize,
+    crosses_call: bool,
+}
+
+/// Runs liveness and linear-scan allocation for a function.
+///
+/// # Errors
+///
+/// [`PtxError::Semantic`] for undeclared registers, [`PtxError::OutOfRegisters`]
+/// when the register file is exhausted.
+pub fn allocate<'a>(f: &'a Function, lin: &Linear<'a>, cfg: &FnCfg) -> Result<Allocation> {
+    let sem = |reason: String| PtxError::Semantic { function: f.name.clone(), reason };
+
+    // Verify all referenced registers are declared.
+    for i in &lin.instrs {
+        let (uses, defs) = uses_defs(i);
+        for r in uses.iter().chain(defs.iter()) {
+            if !f.regs.contains_key(*r) {
+                return Err(sem(format!("undeclared register `{r}`")));
+            }
+        }
+    }
+
+    let _n = lin.instrs.len();
+    let nb = cfg.blocks.len();
+
+    // Block-level use/def sets.
+    let mut gen: Vec<HashSet<&str>> = vec![HashSet::new(); nb];
+    let mut kill: Vec<HashSet<&str>> = vec![HashSet::new(); nb];
+    for (bid, b) in cfg.blocks.iter().enumerate() {
+        for idx in b.start..b.end {
+            let (uses, defs) = uses_defs(lin.instrs[idx]);
+            for u in uses {
+                if !kill[bid].contains(u) {
+                    gen[bid].insert(u);
+                }
+            }
+            for d in defs {
+                kill[bid].insert(d);
+            }
+        }
+    }
+
+    // Iterative backward liveness.
+    let mut live_in: Vec<HashSet<&str>> = vec![HashSet::new(); nb];
+    let mut live_out: Vec<HashSet<&str>> = vec![HashSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bid in (0..nb).rev() {
+            let mut out: HashSet<&str> = HashSet::new();
+            for &s in &cfg.blocks[bid].succs {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inp: HashSet<&str> = gen[bid].clone();
+            for v in out.iter() {
+                if !kill[bid].contains(v) {
+                    inp.insert(v);
+                }
+            }
+            if out != live_out[bid] || inp != live_in[bid] {
+                live_out[bid] = out;
+                live_in[bid] = inp;
+                changed = true;
+            }
+        }
+    }
+
+    // Build conservative intervals: a register is live at position p if it is
+    // live anywhere in [start, end] covering p.
+    let mut ivs: BTreeMap<&'a str, (usize, usize)> = BTreeMap::new();
+    fn touch<'a>(name: &'a str, pos: usize, ivs: &mut BTreeMap<&'a str, (usize, usize)>) {
+        let e = ivs.entry(name).or_insert((pos, pos));
+        e.0 = e.0.min(pos);
+        e.1 = e.1.max(pos);
+    }
+    for (bid, b) in cfg.blocks.iter().enumerate() {
+        if b.start == b.end {
+            continue;
+        }
+        for v in live_in[bid].iter() {
+            touch(v, b.start, &mut ivs);
+        }
+        for v in live_out[bid].iter() {
+            touch(v, b.end.saturating_sub(1), &mut ivs);
+        }
+        for idx in b.start..b.end {
+            let (uses, defs) = uses_defs(lin.instrs[idx]);
+            for u in uses {
+                touch(u, idx, &mut ivs);
+            }
+            for d in defs {
+                touch(d, idx, &mut ivs);
+            }
+        }
+    }
+
+    // Call positions, for the caller/callee-saved split.
+    let call_positions: Vec<usize> = lin
+        .instrs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, PtxOp::Call { .. }))
+        .map(|(idx, _)| idx)
+        .collect();
+    let has_calls = !call_positions.is_empty();
+
+    let mut intervals: Vec<Interval> = ivs
+        .into_iter()
+        .map(|(name, (start, end))| {
+            let ty = f.regs[name];
+            // Live "across" a call: the interval strictly covers it.
+            let crosses_call = call_positions.iter().any(|&c| start < c && c < end);
+            Interval { name: name.to_string(), ty, start, end, crosses_call }
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.end));
+
+    // Linear scan with three pools.
+    let mut gpr_free = [true; 256];
+    for r in 0..FIRST_CALLER {
+        gpr_free[r as usize] = false; // reserved scratch + SP
+    }
+    gpr_free[255] = false; // RZ
+    for slot in gpr_free.iter_mut().take(255).skip(LAST_ALLOC as usize + 1) {
+        *slot = false;
+    }
+    let mut pred_free = [true; 7];
+
+    #[derive(Debug)]
+    struct Active {
+        end: usize,
+        loc: Loc,
+    }
+    let mut active: Vec<Active> = Vec::new();
+    let mut map = HashMap::new();
+    let mut max_gpr = 0u8;
+    let mut used_callee: HashSet<u8> = HashSet::new();
+
+    for iv in &intervals {
+        // Expire finished intervals.
+        active.retain(|a| {
+            if a.end < iv.start {
+                match a.loc {
+                    Loc::Gpr(r) => gpr_free[r as usize] = true,
+                    Loc::Pair(r) => {
+                        gpr_free[r as usize] = true;
+                        gpr_free[r as usize + 1] = true;
+                    }
+                    Loc::Pred(p) => pred_free[p as usize] = true,
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        let loc = match iv.ty {
+            PtxType::Pred => {
+                let p = (0..7).find(|&p| pred_free[p]).ok_or(PtxError::OutOfRegisters {
+                    function: f.name.clone(),
+                    required: 8,
+                })?;
+                pred_free[p] = false;
+                Loc::Pred(p as u8)
+            }
+            ty if ty.is_wide() => {
+                let r = find_pair(&gpr_free, iv.crosses_call).ok_or_else(|| {
+                    PtxError::OutOfRegisters { function: f.name.clone(), required: 256 }
+                })?;
+                gpr_free[r as usize] = false;
+                gpr_free[r as usize + 1] = false;
+                Loc::Pair(r)
+            }
+            _ => {
+                let r = find_single(&gpr_free, iv.crosses_call).ok_or_else(|| {
+                    PtxError::OutOfRegisters { function: f.name.clone(), required: 256 }
+                })?;
+                gpr_free[r as usize] = false;
+                Loc::Gpr(r)
+            }
+        };
+        if let Some(r) = loc.gpr() {
+            let hi = if matches!(loc, Loc::Pair(_)) { r + 1 } else { r };
+            max_gpr = max_gpr.max(hi);
+            for reg in r..=hi {
+                if reg >= FIRST_CALLEE {
+                    used_callee.insert(reg);
+                }
+            }
+        }
+        active.push(Active { end: iv.end, loc });
+        map.insert(iv.name.clone(), loc);
+    }
+
+    let mut used_callee_saved: Vec<u8> = used_callee.into_iter().collect();
+    used_callee_saved.sort_unstable();
+    Ok(Allocation { map, max_gpr, used_callee_saved, has_calls })
+}
+
+fn find_single(free: &[bool; 256], callee_only: bool) -> Option<u8> {
+    let start = if callee_only { FIRST_CALLEE } else { FIRST_CALLER };
+    (start..=LAST_ALLOC).find(|&r| free[r as usize])
+}
+
+fn find_pair(free: &[bool; 256], callee_only: bool) -> Option<u8> {
+    let start = if callee_only { FIRST_CALLEE } else { FIRST_CALLER };
+    let mut r = start + (start % 2);
+    while r < LAST_ALLOC {
+        if free[r as usize] && free[r as usize + 1] {
+            return Some(r);
+        }
+        r += 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{FnCfg, Linear};
+    use crate::parser::parse;
+
+    fn alloc(src: &str) -> Allocation {
+        let m = parse(src).unwrap();
+        let f = &m.functions[0];
+        let lin = Linear::of(f);
+        let cfg = FnCfg::build(&lin);
+        allocate(f, &lin, &cfg).unwrap()
+    }
+
+    #[test]
+    fn distinct_live_values_get_distinct_registers() {
+        let a = alloc(
+            r#"
+.entry k()
+{
+    .reg .u32 %r<4>;
+    mov.u32 %r1, 1;
+    mov.u32 %r2, 2;
+    add.u32 %r3, %r1, %r2;
+    st.global.u32 [%r3], %r3;
+    exit;
+}
+"#,
+        );
+        // %r3's address use is bogus PTX (32-bit base) but allocation does
+        // not care; r1, r2, r3 overlap pairwise.
+        let l1 = a.map["%r1"];
+        let l2 = a.map["%r2"];
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn wide_registers_get_even_pairs() {
+        let a = alloc(
+            r#"
+.entry k(.param .u64 p)
+{
+    .reg .u64 %rd<3>;
+    ld.param.u64 %rd1, [p];
+    add.u64 %rd2, %rd1, 8;
+    st.global.u64 [%rd2], %rd1;
+    exit;
+}
+"#,
+        );
+        for v in ["%rd1", "%rd2"] {
+            match a.map[v] {
+                Loc::Pair(r) => assert_eq!(r % 2, 0, "{v} pair not even-aligned"),
+                other => panic!("{v} should be a pair, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn registers_are_reused_after_death() {
+        let a = alloc(
+            r#"
+.entry k()
+{
+    .reg .u32 %r<10>;
+    mov.u32 %r1, 1;
+    st.global.u32 [%r1], %r1;
+    mov.u32 %r2, 2;
+    st.global.u32 [%r2], %r2;
+    mov.u32 %r3, 3;
+    st.global.u32 [%r3], %r3;
+    exit;
+}
+"#,
+        );
+        // All three die immediately; they can share one register.
+        assert_eq!(a.map["%r1"], a.map["%r2"]);
+        assert_eq!(a.map["%r2"], a.map["%r3"]);
+    }
+
+    #[test]
+    fn values_live_across_calls_use_callee_saved() {
+        let a = alloc(
+            r#"
+.func helper()
+{
+    ret;
+}
+.entry k()
+{
+    .reg .u32 %r<3>;
+    mov.u32 %r1, 7;
+    call helper;
+    st.global.u32 [%r1], %r1;
+    exit;
+}
+"#,
+        );
+        // Note: alloc() compiles functions[0] = helper; redo for k.
+        let _ = a;
+        let m = parse(
+            r#"
+.func helper()
+{
+    ret;
+}
+.entry k()
+{
+    .reg .u32 %r<3>;
+    mov.u32 %r1, 7;
+    call helper;
+    st.global.u32 [%r1], %r1;
+    exit;
+}
+"#,
+        )
+        .unwrap();
+        let f = m.function("k").unwrap();
+        let lin = Linear::of(f);
+        let cfg = FnCfg::build(&lin);
+        let a = allocate(f, &lin, &cfg).unwrap();
+        match a.map["%r1"] {
+            Loc::Gpr(r) => assert!(r >= FIRST_CALLEE, "live-across-call got caller-saved R{r}"),
+            other => panic!("unexpected loc {other:?}"),
+        }
+        assert!(a.has_calls);
+        assert!(!a.used_callee_saved.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_values_stay_allocated_through_the_loop() {
+        let a = alloc(
+            r#"
+.entry k()
+{
+    .reg .u32 %r<4>;
+    .reg .pred %p<2>;
+    mov.u32 %r1, 0;
+    mov.u32 %r2, 0;
+TOP:
+    add.u32 %r2, %r2, %r1;
+    add.u32 %r1, %r1, 1;
+    setp.lt.u32 %p1, %r1, 10;
+    @%p1 bra TOP;
+    st.global.u32 [%r2], %r2;
+    exit;
+}
+"#,
+        );
+        // %r1 and %r2 are simultaneously live through the loop.
+        assert_ne!(a.map["%r1"], a.map["%r2"]);
+    }
+
+    #[test]
+    fn undeclared_register_is_a_semantic_error() {
+        let m = parse(".entry k()\n{\n    mov.u32 %nope, 1;\n    exit;\n}\n").unwrap();
+        let f = &m.functions[0];
+        let lin = Linear::of(f);
+        let cfg = FnCfg::build(&lin);
+        assert!(matches!(
+            allocate(f, &lin, &cfg),
+            Err(PtxError::Semantic { .. })
+        ));
+    }
+
+    #[test]
+    fn predicates_allocate_from_the_predicate_file() {
+        let a = alloc(
+            r#"
+.entry k()
+{
+    .reg .u32 %r<2>;
+    .reg .pred %p<3>;
+    setp.eq.u32 %p1, %r1, 0;
+    setp.ne.u32 %p2, %r1, 0;
+    vote.ballot.b32 %r1, %p1;
+    vote.ballot.b32 %r1, %p2;
+    exit;
+}
+"#,
+        );
+        let (p1, p2) = (a.map["%p1"], a.map["%p2"]);
+        assert!(matches!(p1, Loc::Pred(_)));
+        assert!(matches!(p2, Loc::Pred(_)));
+        assert_ne!(p1, p2);
+    }
+}
+// (additional tests appended)
+#[cfg(test)]
+mod pressure_tests {
+    use super::*;
+    use crate::cfg::{FnCfg, Linear};
+    use crate::parser::parse;
+
+    #[test]
+    fn exhausting_the_register_file_is_reported() {
+        // 130 simultaneously-live 64-bit pairs = 260 slots > the file.
+        let mut src = String::from(".entry k(.param .u64 p)\n{\n    .reg .u64 %rd<132>;\n");
+        src.push_str("    ld.param.u64 %rd0, [p];\n");
+        for i in 1..130 {
+            src.push_str(&format!("    add.u64 %rd{i}, %rd0, {i};\n"));
+        }
+        // Keep them all live by storing each at the end.
+        for i in 0..130 {
+            src.push_str(&format!("    st.global.u64 [%rd0+{}], %rd{i};\n", 8 * i));
+        }
+        src.push_str("    exit;\n}\n");
+        let m = parse(&src).unwrap();
+        let f = &m.functions[0];
+        let lin = Linear::of(f);
+        let cfg = FnCfg::build(&lin);
+        assert!(matches!(
+            allocate(f, &lin, &cfg),
+            Err(PtxError::OutOfRegisters { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausting_predicates_is_reported() {
+        let mut src = String::from(".entry k()\n{\n    .reg .u32 %r<2>;\n    .reg .pred %p<9>;\n");
+        for i in 0..8 {
+            src.push_str(&format!("    setp.eq.u32 %p{i}, %r1, {i};\n"));
+        }
+        for i in 0..8 {
+            src.push_str(&format!("    @%p{i} st.global.u32 [%r1], %r1;\n"));
+        }
+        src.push_str("    exit;\n}\n");
+        let m = parse(&src).unwrap();
+        let f = &m.functions[0];
+        let lin = Linear::of(f);
+        let cfg = FnCfg::build(&lin);
+        assert!(matches!(
+            allocate(f, &lin, &cfg),
+            Err(PtxError::OutOfRegisters { .. })
+        ));
+    }
+}

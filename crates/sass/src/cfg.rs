@@ -1,0 +1,226 @@
+//! Basic-block partitioning of instruction sequences.
+//!
+//! Implements the paper's definition (§4, Inspection API): blocks are maximal
+//! runs of consecutive PCs ending at (a) the PC before a control-flow
+//! instruction or (b) the PC that is the target of a control-flow
+//! instruction. Indirect control flow (`BRX`) makes static partitioning
+//! impossible, in which case [`basic_blocks`] returns `None` and callers
+//! must fall back to the flat view — the same behaviour NVBit documents.
+
+use crate::arch::Arch;
+use crate::inst::Instruction;
+use crate::op::CfClass;
+use std::ops::Range;
+
+/// A basic block: a half-open range of instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id, equal to its position in the returned vector.
+    pub id: usize,
+    /// Indices into the instruction slice this block covers.
+    pub range: Range<usize>,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True if the block is empty (never produced by [`basic_blocks`]).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+}
+
+/// Partitions a function body into basic blocks.
+///
+/// `instrs` is the complete body in program order; relative targets are
+/// interpreted using `arch`'s instruction size. Returns `None` when the body
+/// contains indirect control flow (the paper's ICF exception). Targets that
+/// fall outside the body (calls into other functions, absolute jumps) do not
+/// create leaders.
+pub fn basic_blocks(instrs: &[Instruction], arch: Arch) -> Option<Vec<BasicBlock>> {
+    if instrs.is_empty() {
+        return Some(Vec::new());
+    }
+    let isize = arch.instruction_size() as i64;
+    let n = instrs.len();
+    let mut leader = vec![false; n];
+    leader[0] = true;
+
+    for (idx, i) in instrs.iter().enumerate() {
+        let cf = i.cf_class();
+        if cf == CfClass::IndirectBranch {
+            return None;
+        }
+        // Reconvergence-point pushes (SSY) mark their target a leader but do
+        // not themselves end a block.
+        if let Some(off) = i.rel_target() {
+            let next = idx as i64 + 1;
+            let target = next + off / isize;
+            if off % isize == 0 && (0..n as i64).contains(&target) {
+                leader[target as usize] = true;
+            }
+        }
+        if cf.ends_block() && idx + 1 < n {
+            leader[idx + 1] = true;
+        }
+    }
+
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    #[allow(clippy::needless_range_loop)] // index IS the leader position
+    for idx in 1..n {
+        if leader[idx] {
+            blocks.push(BasicBlock { id: blocks.len(), range: start..idx });
+            start = idx;
+        }
+    }
+    blocks.push(BasicBlock { id: blocks.len(), range: start..n });
+    Some(blocks)
+}
+
+/// Successor block ids of `block` within a partition, following fall-through
+/// and in-range relative branch edges. Calls fall through; `EXIT`/`RET` have
+/// no successors.
+pub fn successors(
+    instrs: &[Instruction],
+    blocks: &[BasicBlock],
+    block: &BasicBlock,
+    arch: Arch,
+) -> Vec<usize> {
+    let isize = arch.instruction_size() as i64;
+    let mut out = Vec::new();
+    let last_idx = block.range.end - 1;
+    let last = &instrs[last_idx];
+    let cf = last.cf_class();
+
+    let block_at = |idx: usize| blocks.iter().find(|b| b.range.start == idx).map(|b| b.id);
+
+    let mut push = |idx: Option<usize>| {
+        if let Some(i) = idx {
+            if let Some(id) = block_at(i) {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+    };
+
+    match cf {
+        CfClass::Ret | CfClass::Exit | CfClass::Trap => {}
+        CfClass::RelBranch => {
+            if let Some(off) = last.rel_target() {
+                let t = last_idx as i64 + 1 + off / isize;
+                if (0..instrs.len() as i64).contains(&t) {
+                    push(Some(t as usize));
+                }
+            }
+            // A predicated branch also falls through; an unconditional one
+            // does not.
+            if !last.guard.is_always() && last_idx + 1 < instrs.len() {
+                push(Some(last_idx + 1));
+            }
+        }
+        CfClass::Sync => {
+            // SYNC transfers to the pushed reconvergence point, which is not
+            // statically known here; treat as fall-through for CFG purposes.
+            if last_idx + 1 < instrs.len() {
+                push(Some(last_idx + 1));
+            }
+        }
+        _ => {
+            if last_idx + 1 < instrs.len() {
+                push(Some(last_idx + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_arch;
+
+    const BODY: &str = "\
+    S2R R0, SR_TID.X ;
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA skip ;
+    IADD R1, R0, 0x1 ;
+    STG [R2], R1 ;
+skip:
+    EXIT ;
+";
+
+    #[test]
+    fn blocks_split_at_branches_and_targets() {
+        for arch in [Arch::Kepler, Arch::Volta] {
+            let prog = assemble_arch(BODY, arch).unwrap();
+            let blocks = basic_blocks(&prog, arch).unwrap();
+            let ranges: Vec<_> = blocks.iter().map(|b| b.range.clone()).collect();
+            assert_eq!(ranges, vec![0..3, 3..5, 5..6], "arch {arch}");
+        }
+    }
+
+    #[test]
+    fn blocks_partition_all_instructions() {
+        let prog = assemble_arch(BODY, Arch::Pascal).unwrap();
+        let blocks = basic_blocks(&prog, Arch::Pascal).unwrap();
+        let total: usize = blocks.iter().map(BasicBlock::len).sum();
+        assert_eq!(total, prog.len());
+        // Contiguous and ordered.
+        let mut next = 0;
+        for b in &blocks {
+            assert_eq!(b.range.start, next);
+            assert!(!b.is_empty());
+            next = b.range.end;
+        }
+        assert_eq!(next, prog.len());
+    }
+
+    #[test]
+    fn indirect_branches_defeat_partitioning() {
+        let prog = assemble_arch("BRX R4 ;\nEXIT ;", Arch::Kepler).unwrap();
+        assert_eq!(basic_blocks(&prog, Arch::Kepler), None);
+    }
+
+    #[test]
+    fn ssy_targets_are_leaders_but_ssy_does_not_end_a_block() {
+        let text = "\
+    SSY merge ;
+    ISETP.EQ.S32 P0, R0, RZ ;
+@P0 BRA merge ;
+    IADD R1, R1, 0x1 ;
+merge:
+    SYNC ;
+    EXIT ;
+";
+        let prog = assemble_arch(text, Arch::Maxwell).unwrap();
+        let blocks = basic_blocks(&prog, Arch::Maxwell).unwrap();
+        let ranges: Vec<_> = blocks.iter().map(|b| b.range.clone()).collect();
+        // SSY and the compare/branch share a block; the SSY target (`merge`)
+        // starts one.
+        assert_eq!(ranges, vec![0..3, 3..4, 4..5, 5..6]);
+    }
+
+    #[test]
+    fn successor_edges() {
+        let prog = assemble_arch(BODY, Arch::Kepler).unwrap();
+        let blocks = basic_blocks(&prog, Arch::Kepler).unwrap();
+        // Block 0 ends in a predicated branch: both the target and the
+        // fall-through are successors.
+        let s0 = successors(&prog, &blocks, &blocks[0], Arch::Kepler);
+        assert_eq!(s0, vec![2, 1]);
+        // Block 1 falls through to block 2.
+        assert_eq!(successors(&prog, &blocks, &blocks[1], Arch::Kepler), vec![2]);
+        // Block 2 exits.
+        assert!(successors(&prog, &blocks, &blocks[2], Arch::Kepler).is_empty());
+    }
+
+    #[test]
+    fn empty_body_yields_no_blocks() {
+        assert_eq!(basic_blocks(&[], Arch::Volta), Some(Vec::new()));
+    }
+}

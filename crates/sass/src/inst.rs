@@ -1,0 +1,593 @@
+//! The machine instruction structure: guards, modifiers and operands.
+
+use crate::op::{CfClass, CmpOp, IType, OKind, Op, SubOp};
+use crate::reg::{Pred, Reg, SpecialReg};
+use serde::{Deserialize, Serialize};
+
+/// Access width of a memory operation (also selects register pairs/quads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Width {
+    /// 32 bits (one register).
+    #[default]
+    B32 = 0,
+    /// 64 bits (an aligned register pair).
+    B64 = 1,
+    /// 128 bits (an aligned register quad).
+    B128 = 2,
+}
+
+impl Width {
+    /// All widths in encoding order.
+    pub const ALL: [Width; 3] = [Width::B32, Width::B64, Width::B128];
+
+    /// Decode from the 2-bit field value.
+    pub fn from_index(v: u8) -> Option<Width> {
+        Width::ALL.get(v as usize).copied()
+    }
+
+    /// Size of the access in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::B32 => 4,
+            Width::B64 => 8,
+            Width::B128 => 16,
+        }
+    }
+
+    /// Number of consecutive 32-bit registers transferred.
+    pub fn regs(self) -> usize {
+        self.bytes() / 4
+    }
+
+    /// Assembly suffix, empty for the default 32-bit width.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Width::B32 => "",
+            Width::B64 => "64",
+            Width::B128 => "128",
+        }
+    }
+}
+
+/// Memory space targeted by a load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Device-wide global memory.
+    Global,
+    /// Per-CTA shared memory.
+    Shared,
+    /// Per-thread local memory (stack).
+    Local,
+    /// Read-only constant banks.
+    Constant,
+}
+
+impl std::fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+            MemSpace::Constant => "constant",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The predicate guard of an instruction (`@P3`, `@!P0`, or always-on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Guard {
+    /// Guarding predicate register.
+    pub pred: Pred,
+    /// True if the guard is negated (`@!P`).
+    pub negated: bool,
+}
+
+impl Guard {
+    /// The always-true guard (`@PT`).
+    pub const ALWAYS: Guard = Guard { pred: Pred::PT, negated: false };
+
+    /// The never-true guard (`@!PT`), used to express a disabled instruction.
+    pub const NEVER: Guard = Guard { pred: Pred::PT, negated: true };
+
+    /// True if this guard unconditionally enables the instruction.
+    pub fn is_always(self) -> bool {
+        self.pred.is_true_reg() && !self.negated
+    }
+}
+
+impl Default for Guard {
+    fn default() -> Self {
+        Guard::ALWAYS
+    }
+}
+
+impl std::fmt::Display for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_always() {
+            Ok(())
+        } else if self.negated {
+            write!(f, "@!{} ", self.pred)
+        } else {
+            write!(f, "@{} ", self.pred)
+        }
+    }
+}
+
+/// Modifier fields shared by all instructions.
+///
+/// Only the fields meaningful for a given opcode are encoded with non-default
+/// values; the codec rejects out-of-range values and the simulator ignores
+/// fields irrelevant to the opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Mods {
+    /// Access width (memory operations, shuffles of pairs).
+    pub width: Width,
+    /// Scalar type selector (integer ops, atomics, conversions).
+    pub itype: IType,
+    /// Comparison operator (`*SETP`, min/max).
+    pub cmp: CmpOp,
+    /// Sub-operation selector.
+    pub sub: SubOp,
+    /// Convergence-barrier slot (meaningful on ABI v2 / Volta encodings of
+    /// `SSY`/`SYNC`; ignored and encoded as zero elsewhere).
+    pub barrier: u8,
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// General-purpose register.
+    Reg(Reg),
+    /// Predicate register, optionally negated when read.
+    Pred {
+        /// The predicate register.
+        pred: Pred,
+        /// True when the source reads the complement.
+        negated: bool,
+    },
+    /// Immediate value (sign-extended to 64 bits).
+    Imm(i64),
+    /// Memory reference `[base + offset]`; the space comes from the opcode.
+    MRef {
+        /// Base address register (a 64-bit pair `base:base+1` for global and
+        /// local accesses; a 32-bit byte offset register for shared memory).
+        base: Reg,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// Constant-bank reference `c[bank][base + offset]`.
+    CBank {
+        /// Constant bank index (0..4).
+        bank: u8,
+        /// Optional 32-bit index register (`RZ` when absent).
+        base: Reg,
+        /// Unsigned byte offset within the bank.
+        offset: u16,
+    },
+    /// Special register name.
+    SReg(SpecialReg),
+    /// PC-relative branch target: signed byte offset from the address of the
+    /// **next** instruction.
+    Rel(i64),
+    /// Absolute code address in device memory.
+    Abs(u64),
+}
+
+impl Operand {
+    /// Convenience constructor for a non-negated predicate operand.
+    pub fn pred(p: Pred) -> Operand {
+        Operand::Pred { pred: p, negated: false }
+    }
+
+    /// The register, if this operand is [`Operand::Reg`].
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if this operand is [`Operand::Imm`].
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Pred { pred, negated } => {
+                if *negated {
+                    write!(f, "!{pred}")
+                } else {
+                    write!(f, "{pred}")
+                }
+            }
+            Operand::Imm(v) => {
+                if *v < 0 {
+                    write!(f, "-0x{:x}", -v)
+                } else {
+                    write!(f, "0x{v:x}")
+                }
+            }
+            Operand::MRef { base, offset } => {
+                if *offset == 0 {
+                    write!(f, "[{base}]")
+                } else if *offset < 0 {
+                    write!(f, "[{base}-0x{:x}]", -(*offset as i64))
+                } else {
+                    write!(f, "[{base}+0x{offset:x}]")
+                }
+            }
+            Operand::CBank { bank, base, offset } => {
+                if base.is_zero() {
+                    write!(f, "c[0x{bank:x}][0x{offset:x}]")
+                } else {
+                    write!(f, "c[0x{bank:x}][{base}+0x{offset:x}]")
+                }
+            }
+            Operand::SReg(sr) => write!(f, "{sr}"),
+            Operand::Rel(off) => {
+                if *off < 0 {
+                    write!(f, ".-0x{:x}", -off)
+                } else {
+                    write!(f, ".+0x{off:x}")
+                }
+            }
+            Operand::Abs(a) => write!(f, "`0x{a:x}"),
+        }
+    }
+}
+
+/// A decoded machine instruction.
+///
+/// Instructions are values: building one does not validate it against its
+/// opcode's format. Validation happens in [`Instruction::validate`], which
+/// codecs and the assembler invoke.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Predicate guard.
+    pub guard: Guard,
+    /// Opcode.
+    pub op: Op,
+    /// Modifier fields.
+    pub mods: Mods,
+    /// Operands, in the order required by [`Op::format`].
+    pub operands: Vec<Operand>,
+}
+
+impl Instruction {
+    /// Builds an unguarded instruction with default modifiers.
+    pub fn new(op: Op, operands: Vec<Operand>) -> Instruction {
+        Instruction { guard: Guard::ALWAYS, op, mods: Mods::default(), operands }
+    }
+
+    /// Sets the guard, builder-style.
+    pub fn with_guard(mut self, guard: Guard) -> Instruction {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the modifiers, builder-style.
+    pub fn with_mods(mut self, mods: Mods) -> Instruction {
+        self.mods = mods;
+        self
+    }
+
+    /// A `NOP` instruction.
+    pub fn nop() -> Instruction {
+        Instruction::new(Op::Nop, vec![])
+    }
+
+    /// Checks the operand list against the opcode's format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SassError::BadOperands`] if an operand's kind is not
+    /// permitted at its position, or if the operand count mismatches.
+    pub fn validate(&self) -> crate::Result<()> {
+        let fmt = self.op.format();
+        if self.operands.len() != fmt.len() {
+            return Err(crate::SassError::BadOperands {
+                instr: self.to_string(),
+                reason: format!("expected {} operands, found {}", fmt.len(), self.operands.len()),
+            });
+        }
+        for (i, (kind, opnd)) in fmt.iter().zip(&self.operands).enumerate() {
+            let ok = match kind {
+                OKind::RegW | OKind::RegR => matches!(opnd, Operand::Reg(_)),
+                OKind::RegRI => matches!(opnd, Operand::Reg(_) | Operand::Imm(_)),
+                OKind::PredW | OKind::PredR => matches!(opnd, Operand::Pred { .. }),
+                OKind::MRef | OKind::MRefAtom => matches!(opnd, Operand::MRef { .. }),
+                OKind::CBankRef => matches!(opnd, Operand::CBank { .. }),
+                OKind::SReg => matches!(opnd, Operand::SReg(_)),
+                OKind::Rel => matches!(opnd, Operand::Rel(_)),
+                OKind::Abs => matches!(opnd, Operand::Abs(_)),
+                OKind::Imm32 => matches!(opnd, Operand::Imm(_)),
+            };
+            if !ok {
+                return Err(crate::SassError::BadOperands {
+                    instr: self.to_string(),
+                    reason: format!("operand {i} has the wrong kind for {kind:?}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The relative control-flow offset, if the instruction has one.
+    pub fn rel_target(&self) -> Option<i64> {
+        self.operands.iter().find_map(|o| match o {
+            Operand::Rel(off) => Some(*off),
+            _ => None,
+        })
+    }
+
+    /// Replaces the relative control-flow offset. Panics if none exists.
+    pub fn set_rel_target(&mut self, off: i64) {
+        for o in &mut self.operands {
+            if let Operand::Rel(v) = o {
+                *v = off;
+                return;
+            }
+        }
+        panic!("set_rel_target on instruction without a relative target: {self}");
+    }
+
+    /// General-purpose registers read by this instruction, accounting for
+    /// width (pairs/quads) and double-precision sources.
+    pub fn reg_reads(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        let fmt = self.op.format();
+        let src_regs = |r: Reg, n: usize, out: &mut Vec<Reg>| {
+            for k in 0..n {
+                let idx = r.0 as usize + k;
+                if idx < 255 {
+                    out.push(Reg(idx as u8));
+                }
+            }
+        };
+        for (kind, opnd) in fmt.iter().zip(&self.operands) {
+            match (kind, opnd) {
+                (OKind::RegR | OKind::RegRI, Operand::Reg(r)) => {
+                    let n = if self.op.is_double() {
+                        2
+                    } else if matches!(kind, OKind::RegR)
+                        && matches!(self.op, Op::Stg | Op::Sts | Op::Stl)
+                    {
+                        self.mods.width.regs()
+                    } else {
+                        1
+                    };
+                    src_regs(*r, n, &mut out);
+                }
+                (OKind::MRef | OKind::MRefAtom, Operand::MRef { base, .. }) => {
+                    // Global/local bases are 64-bit pairs; shared bases are
+                    // 32-bit. Conservatively report the pair for non-shared.
+                    let n = match self.op.mem_space() {
+                        Some(MemSpace::Shared) => 1,
+                        _ => 2,
+                    };
+                    src_regs(*base, n, &mut out);
+                }
+                (OKind::CBankRef, Operand::CBank { base, .. })
+                    if !base.is_zero() => {
+                        out.push(*base);
+                    }
+                _ => {}
+            }
+        }
+        if self.op == Op::Brx {
+            // BRX reads an address pair.
+            if let Some(Operand::Reg(r)) = self.operands.first() {
+                if r.0 < 254 {
+                    out.push(Reg(r.0 + 1));
+                }
+            }
+        }
+        out.retain(|r| !r.is_zero());
+        out
+    }
+
+    /// General-purpose registers written by this instruction, accounting for
+    /// width (pairs/quads) and double-precision results.
+    pub fn reg_writes(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        for (kind, opnd) in self.op.format().iter().zip(&self.operands) {
+            if let (OKind::RegW, Operand::Reg(r)) = (kind, opnd) {
+                let n = if self.op.is_double() && self.op != Op::D2f && self.op != Op::Dsetp {
+                    2
+                } else if self.op.is_load() && self.op != Op::Atom {
+                    self.mods.width.regs()
+                } else if self.op == Op::F2d {
+                    2
+                } else {
+                    1
+                };
+                for k in 0..n {
+                    let idx = r.0 as usize + k;
+                    if idx < 255 {
+                        out.push(Reg(idx as u8));
+                    }
+                }
+            }
+        }
+        out.retain(|r| !r.is_zero());
+        out
+    }
+
+    /// Highest general-purpose register index touched, if any.
+    pub fn max_reg(&self) -> Option<u8> {
+        self.reg_reads().iter().chain(self.reg_writes().iter()).map(|r| r.0).max()
+    }
+
+    /// The control-flow class of the opcode (convenience forwarder).
+    pub fn cf_class(&self) -> CfClass {
+        self.op.cf_class()
+    }
+
+    /// Full mnemonic including modifier suffixes, e.g. `LDG.64` or
+    /// `ISETP.LT.S32`. This is what NVBit's `Instr::getOpcode` exposes.
+    pub fn opcode_string(&self) -> String {
+        let mut s = String::from(self.op.mnemonic());
+        if self.mods.sub != SubOp::None {
+            s.push('.');
+            s.push_str(self.mods.sub.suffix());
+        }
+        if uses_cmp(self.op) {
+            s.push('.');
+            s.push_str(self.mods.cmp.suffix());
+        }
+        if uses_itype(self.op) {
+            s.push('.');
+            s.push_str(self.mods.itype.suffix());
+        }
+        if uses_width(self.op) && self.mods.width != Width::B32 {
+            s.push('.');
+            s.push_str(self.mods.width.suffix());
+        }
+        s
+    }
+}
+
+/// True if the opcode consumes the `cmp` modifier.
+pub(crate) fn uses_cmp(op: Op) -> bool {
+    matches!(op, Op::Isetp | Op::Fsetp | Op::Dsetp)
+}
+
+/// True if the opcode consumes the `itype` modifier.
+pub(crate) fn uses_itype(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Isetp | Op::Shr | Op::Imnmx | Op::I2f | Op::F2i | Op::Atom | Op::Red
+    )
+}
+
+/// True if the opcode consumes the `width` modifier.
+pub(crate) fn uses_width(op: Op) -> bool {
+    matches!(op, Op::Ldg | Op::Stg | Op::Lds | Op::Sts | Op::Ldl | Op::Stl | Op::Ldc)
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.guard, self.opcode_string())?;
+        for (i, o) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {o}")?;
+            } else {
+                write!(f, ", {o}")?;
+            }
+        }
+        write!(f, " ;")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iadd(dst: u8, a: u8, b: u8) -> Instruction {
+        Instruction::new(
+            Op::Iadd,
+            vec![Operand::Reg(Reg(dst)), Operand::Reg(Reg(a)), Operand::Reg(Reg(b))],
+        )
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_and_rejects_malformed() {
+        assert!(iadd(0, 1, 2).validate().is_ok());
+
+        let bad = Instruction::new(Op::Iadd, vec![Operand::Reg(Reg(0))]);
+        assert!(bad.validate().is_err());
+
+        let wrong_kind = Instruction::new(
+            Op::Iadd,
+            vec![Operand::Imm(1), Operand::Reg(Reg(1)), Operand::Reg(Reg(2))],
+        );
+        assert!(wrong_kind.validate().is_err());
+
+        // RegRI accepts both registers and immediates.
+        let with_imm = Instruction::new(
+            Op::Iadd,
+            vec![Operand::Reg(Reg(0)), Operand::Reg(Reg(1)), Operand::Imm(5)],
+        );
+        assert!(with_imm.validate().is_ok());
+    }
+
+    #[test]
+    fn display_formats_match_expectation() {
+        let i = iadd(4, 5, 6);
+        assert_eq!(i.to_string(), "IADD R4, R5, R6 ;");
+
+        let mut guarded = iadd(4, 5, 6);
+        guarded.guard = Guard { pred: Pred(2), negated: true };
+        assert_eq!(guarded.to_string(), "@!P2 IADD R4, R5, R6 ;");
+
+        let ldg = Instruction::new(
+            Op::Ldg,
+            vec![Operand::Reg(Reg(2)), Operand::MRef { base: Reg(6), offset: 0x100 }],
+        )
+        .with_mods(Mods { width: Width::B64, ..Mods::default() });
+        assert_eq!(ldg.to_string(), "LDG.64 R2, [R6+0x100] ;");
+
+        let setp = Instruction::new(
+            Op::Isetp,
+            vec![Operand::pred(Pred(1)), Operand::Reg(Reg(3)), Operand::Imm(-4)],
+        )
+        .with_mods(Mods { cmp: CmpOp::Lt, itype: IType::S32, ..Mods::default() });
+        assert_eq!(setp.to_string(), "ISETP.LT.S32 P1, R3, -0x4 ;");
+    }
+
+    #[test]
+    fn reg_reads_and_writes_track_widths() {
+        let ldg128 = Instruction::new(
+            Op::Ldg,
+            vec![Operand::Reg(Reg(8)), Operand::MRef { base: Reg(2), offset: 0 }],
+        )
+        .with_mods(Mods { width: Width::B128, ..Mods::default() });
+        assert_eq!(ldg128.reg_writes(), vec![Reg(8), Reg(9), Reg(10), Reg(11)]);
+        // Global base is a 64-bit pair.
+        assert_eq!(ldg128.reg_reads(), vec![Reg(2), Reg(3)]);
+
+        let dadd = Instruction::new(
+            Op::Dadd,
+            vec![Operand::Reg(Reg(4)), Operand::Reg(Reg(6)), Operand::Reg(Reg(8))],
+        );
+        assert_eq!(dadd.reg_writes(), vec![Reg(4), Reg(5)]);
+        assert_eq!(dadd.reg_reads(), vec![Reg(6), Reg(7), Reg(8), Reg(9)]);
+
+        // RZ never appears in use/def sets.
+        let mov = Instruction::new(Op::Mov, vec![Operand::Reg(Reg::RZ), Operand::Reg(Reg(1))]);
+        assert!(mov.reg_writes().is_empty());
+    }
+
+    #[test]
+    fn opcode_string_includes_modifiers() {
+        let atom = Instruction::new(
+            Op::Atom,
+            vec![
+                Operand::Reg(Reg(0)),
+                Operand::MRef { base: Reg(2), offset: 0 },
+                Operand::Reg(Reg(4)),
+                Operand::Reg(Reg::RZ),
+            ],
+        )
+        .with_mods(Mods { sub: SubOp::Add, itype: IType::F32, ..Mods::default() });
+        assert_eq!(atom.opcode_string(), "ATOM.ADD.F32");
+    }
+
+    #[test]
+    fn rel_target_accessors() {
+        let mut bra = Instruction::new(Op::Bra, vec![Operand::Rel(16)]);
+        assert_eq!(bra.rel_target(), Some(16));
+        bra.set_rel_target(-8);
+        assert_eq!(bra.rel_target(), Some(-8));
+        assert_eq!(Instruction::nop().rel_target(), None);
+    }
+}

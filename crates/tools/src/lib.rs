@@ -1,0 +1,97 @@
+//! NVBit instrumentation tools reproducing the paper's use cases.
+//!
+//! * [`InstrCount`] — the thread-level instruction counter of Listing 1,
+//!   plus its basic-block-optimized variant ([`BbInstrCount`]).
+//! * [`OpcodeHistogram`] — the per-opcode execution histogram of §6.2, with
+//!   optional **grid-dimension sampling** (instrumented once per unique
+//!   grid, uninstrumented otherwise, with counts extrapolated).
+//! * [`MemDivergence`] — the memory-address-divergence tool of Listing 8
+//!   (average unique cache lines per warp-level global memory instruction),
+//!   with a switch to exclude pre-compiled libraries (emulating what a
+//!   compiler-based instrumenter could see, Figure 6).
+//! * [`WfftEmu`] — the `WFFT32` instruction-emulation tool of §6.3.
+//! * [`MemTrace`] + [`CacheSim`] — an address-trace tool and a host-side
+//!   cache simulator built on it (the paper's "entire cache simulators can
+//!   be built around these mechanisms").
+//! * [`FaultInjector`] — single-bit register fault injection (§6.3's
+//!   prior-art use case).
+//!
+//! Each tool is attached with [`nvbit::attach_tool`] and exposes its results
+//! through a shared handle that remains readable after the run:
+//!
+//! ```
+//! use cuda::Driver;
+//! use gpu::DeviceSpec;
+//! use nvbit::attach_tool;
+//! use nvbit_tools::InstrCount;
+//! use sass::Arch;
+//! use workloads::specaccel::{benchmark, Size};
+//!
+//! let drv = Driver::new(DeviceSpec::preset(Arch::Volta));
+//! let (tool, results) = InstrCount::new();
+//! attach_tool(&drv, tool);
+//! benchmark("ostencil").unwrap().run(&drv, Size::Small).unwrap();
+//! drv.shutdown();
+//! assert!(results.total() > 0);
+//! ```
+
+pub mod cache_sim;
+pub mod fault;
+pub mod instr_count;
+pub mod mem_divergence;
+pub mod mem_trace;
+pub mod opcode_hist;
+pub mod wfft_emu;
+
+pub use cache_sim::{CacheConfig, CacheSim, CacheSimResults};
+pub use fault::{FaultInjector, FaultSpec};
+pub use instr_count::{BbInstrCount, InstrCount, InstrCountResults};
+pub use mem_divergence::{MemDivergence, MemDivergenceResults};
+pub use mem_trace::{MemTrace, MemTraceResults};
+pub use opcode_hist::{OpcodeHistogram, OpcodeHistogramResults, SamplingMode};
+pub use wfft_emu::WfftEmu;
+
+/// Reads a `u64` device counter.
+pub(crate) fn read_u64(drv: &cuda::Driver, addr: u64) -> u64 {
+    let mut b = [0u8; 8];
+    drv.memcpy_dtoh(&mut b, addr).expect("counter readback");
+    u64::from_le_bytes(b)
+}
+
+/// Reads an `f32` device counter.
+pub(crate) fn read_f32(drv: &cuda::Driver, addr: u64) -> f32 {
+    let mut b = [0u8; 4];
+    drv.memcpy_dtoh(&mut b, addr).expect("counter readback");
+    f32::from_bits(u32::from_le_bytes(b))
+}
+
+/// The shared `count_one` instrumentation device function (Listing 1's
+/// counting body): bumps a `u64` counter once per executing thread.
+pub(crate) const COUNT_FN: &str = r#"
+.func nvbit_count_one(.reg .u32 %pred, .reg .u64 %ctr)
+{
+    .reg .u64 %rd<3>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    mov.u64 %rd1, 1;
+    atom.global.add.u64 %rd2, [%ctr], %rd1;
+    ret;
+}
+"#;
+
+/// Basic-block counting function: adds the block's instruction count once
+/// per thread entering the block (the optimization the paper sketches after
+/// Listing 1).
+pub(crate) const COUNT_BB_FN: &str = r#"
+.func nvbit_count_block(.reg .u32 %pred, .reg .u32 %len, .reg .u64 %ctr)
+{
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    cvt.u64.u32 %rd1, %len;
+    atom.global.add.u64 %rd2, [%ctr], %rd1;
+    ret;
+}
+"#;

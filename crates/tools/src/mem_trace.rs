@@ -1,0 +1,205 @@
+//! Global-memory address tracing (the substrate for trace-driven cache
+//! simulation, paper §6.1).
+
+use crate::read_u64;
+use cuda::{CbId, CbParams, Driver};
+use nvbit::{IPoint, NvbitApi, NvbitTool};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// The trace-append device function: every executing lane appends its
+/// effective address to a bounded device buffer
+/// (`u64 count` at +0, records at +8).
+const TRACE_FN: &str = r#"
+.func nvbit_trace(.reg .u32 %pred, .reg .u64 %base, .reg .u32 %off, .reg .u64 %buf,
+                  .reg .u32 %cap)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<10>;
+    .reg .pred %p<3>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    cvt.s64.s32 %rd1, %off;
+    add.u64 %rd2, %base, %rd1;
+    mov.u64 %rd3, 1;
+    atom.global.add.u64 %rd4, [%buf], %rd3;
+    // slot >= cap => drop (the count still records demand).
+    cvt.u32.u64 %r2, %rd4;
+    setp.ge.u32 %p2, %r2, %cap;
+    @%p2 ret;
+    shl.b64 %rd6, %rd4, 3;
+    add.u64 %rd7, %buf, %rd6;
+    st.global.u64 [%rd7+8], %rd2;
+    ret;
+}
+"#;
+
+/// Results handle of [`MemTrace`].
+#[derive(Debug, Default)]
+pub struct MemTraceResults {
+    addresses: RefCell<Vec<u64>>,
+    demanded: RefCell<u64>,
+}
+
+impl MemTraceResults {
+    /// The captured addresses, in execution order (warp-major, lane order).
+    pub fn addresses(&self) -> Vec<u64> {
+        self.addresses.borrow().clone()
+    }
+
+    /// Total records demanded (may exceed the captured count when the
+    /// buffer filled up).
+    pub fn demanded(&self) -> u64 {
+        *self.demanded.borrow()
+    }
+
+    /// True when the buffer overflowed and the trace is truncated.
+    pub fn truncated(&self) -> bool {
+        self.demanded() > self.addresses.borrow().len() as u64
+    }
+}
+
+/// The tracing tool.
+pub struct MemTrace {
+    capacity: u32,
+    buf: u64,
+    results: Rc<MemTraceResults>,
+    seen: HashSet<u32>,
+}
+
+impl MemTrace {
+    /// Creates the tool with a record capacity.
+    pub fn new(capacity: u32) -> (MemTrace, Rc<MemTraceResults>) {
+        let results = Rc::new(MemTraceResults::default());
+        (
+            MemTrace { capacity, buf: 0, results: results.clone(), seen: HashSet::new() },
+            results,
+        )
+    }
+
+    fn publish(&self, drv: &Driver) {
+        if self.buf == 0 {
+            return;
+        }
+        let demanded = read_u64(drv, self.buf);
+        let n = demanded.min(self.capacity as u64) as usize;
+        let mut bytes = vec![0u8; n * 8];
+        if n > 0 {
+            drv.memcpy_dtoh(&mut bytes, self.buf + 8).expect("trace readback");
+        }
+        *self.results.addresses.borrow_mut() =
+            bytes.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        *self.results.demanded.borrow_mut() = demanded;
+    }
+}
+
+impl NvbitTool for MemTrace {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.load_tool_functions(TRACE_FN).expect("tool functions compile");
+        self.buf = api
+            .driver()
+            .with_device(|d| d.alloc(8 + self.capacity as u64 * 8))
+            .expect("trace buffer alloc");
+    }
+
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.publish(api.driver());
+    }
+
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if cbid != CbId::LaunchKernel {
+            return;
+        }
+        if is_exit {
+            self.publish(api.driver());
+            return;
+        }
+        if !self.seen.insert(func.raw()) {
+            return;
+        }
+        for instr in api.get_instrs(*func).expect("inspection") {
+            if instr.mem_space() != Some(sass::MemSpace::Global) {
+                continue;
+            }
+            let Some((base, offset)) = instr.mref() else { continue };
+            api.insert_call(*func, instr.idx, "nvbit_trace", IPoint::Before).unwrap();
+            api.add_call_arg_guard_pred(*func, instr.idx).unwrap();
+            api.add_call_arg_reg_val64(*func, instr.idx, base.0).unwrap();
+            api.add_call_arg_imm32(*func, instr.idx, offset).unwrap();
+            api.add_call_arg_imm64(*func, instr.idx, self.buf).unwrap();
+            api.add_call_arg_imm32(*func, instr.idx, self.capacity as i32).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda::{FatBinary, KernelArg};
+    use gpu::{DeviceSpec, Dim3};
+    use nvbit::attach_tool;
+    use sass::Arch;
+
+    const APP: &str = r#"
+.entry k(.param .u64 buf)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    ld.param.u64 %rd1, [buf];
+    mov.u32 %r1, %tid.x;
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    ld.global.u32 %r2, [%rd3];
+    st.global.u32 [%rd3+64], %r2;
+    exit;
+}
+"#;
+
+    #[test]
+    fn trace_captures_every_lane_address() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let (tool, results) = MemTrace::new(4096);
+        attach_tool(&drv, tool);
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "k").unwrap();
+        let buf = drv.mem_alloc(1024).unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
+            .unwrap();
+        drv.shutdown();
+
+        let addrs = results.addresses();
+        assert_eq!(addrs.len(), 64, "32 loads + 32 stores");
+        assert!(!results.truncated());
+        // Loads at buf + 4t, stores at buf + 4t + 64.
+        for t in 0..32u64 {
+            assert!(addrs.contains(&(buf + 4 * t)), "missing load address of lane {t}");
+            assert!(addrs.contains(&(buf + 4 * t + 64)), "missing store address of lane {t}");
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported_as_truncation() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let (tool, results) = MemTrace::new(16);
+        attach_tool(&drv, tool);
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "k").unwrap();
+        let buf = drv.mem_alloc(1024).unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
+            .unwrap();
+        drv.shutdown();
+        assert!(results.truncated());
+        assert_eq!(results.addresses().len(), 16);
+        assert_eq!(results.demanded(), 64);
+    }
+}

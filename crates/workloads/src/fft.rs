@@ -1,0 +1,280 @@
+//! The warp-wide 32-point FFT workload of paper §6.3.
+//!
+//! A hypothetical `WFFT32` instruction computes one complex 32-point FFT
+//! per warp (each lane holds one complex sample packed as two `f32`s in a
+//! register pair). The kernel in [`wfft_kernel_ptx`] uses the proxy
+//! instruction; executing it natively faults, and the `wfft_emu` tool
+//! (in `nvbit-tools`) replaces it with the emulation function.
+//!
+//! [`soft_fft_kernel_ptx`] is the software implementation using warp
+//! shuffles — the same arithmetic sequence as the emulation function (both
+//! come from [`fft_stages_body`]), so the two paths produce bit-identical
+//! results while executing wildly different instruction counts (the
+//! paper's 21 vs 150 instructions per warp).
+
+use std::fmt::Write as _;
+
+/// The proxy-instruction name.
+pub const WFFT32: &str = "WFFT32";
+
+/// Emits the shared 5-stage decimation-in-frequency butterfly network plus
+/// the final bit-reversal, operating on the complex value in registers
+/// `(%fre, %fim)` of each lane. Uses `%fa..%fk` and `%ra..%rd` as scratch
+/// (all `.f32`/`.u32` and must be declared by the caller).
+pub fn fft_stages_body() -> String {
+    let mut s = String::new();
+    s.push_str("    mov.u32 %ra, %laneid;\n");
+    for m in [16u32, 8, 4, 2, 1] {
+        // Partner values.
+        let _ = writeln!(s, "    shfl.bfly.b32 %rb, %fre, {m};");
+        s.push_str("    mov.f32 %fa, %rb;\n");
+        let _ = writeln!(s, "    shfl.bfly.b32 %rb, %fim, {m};");
+        s.push_str("    mov.f32 %fb, %rb;\n");
+        // Upper-half lanes apply the twiddle to (partner - self); lower
+        // half adds. angle = -pi * (lane & (m-1)) / m.
+        let _ = writeln!(s, "    and.b32 %rc, %ra, {};", m - 1);
+        s.push_str("    cvt.rn.f32.u32 %fc, %rc;\n");
+        let inv_m = -std::f32::consts::PI / m as f32;
+        let _ = writeln!(s, "    mul.f32 %fc, %fc, 0f{:08X};", inv_m.to_bits());
+        s.push_str("    cos.approx.f32 %fd, %fc;\n    sin.approx.f32 %fe, %fc;\n");
+        // Sum path: self + partner.
+        s.push_str("    add.f32 %ff, %fre, %fa;\n    add.f32 %fg, %fim, %fb;\n");
+        // Diff path: (partner - self) * w.
+        s.push_str("    sub.f32 %fh, %fa, %fre;\n    sub.f32 %fi, %fb, %fim;\n");
+        s.push_str("    mul.f32 %fj, %fh, %fd;\n");
+        s.push_str("    mul.f32 %fk, %fi, %fe;\n");
+        s.push_str("    sub.f32 %fj, %fj, %fk;\n"); // re' = hr*wr - hi*wi
+        s.push_str("    mul.f32 %fk, %fh, %fe;\n");
+        s.push_str("    fma.rn.f32 %fk, %fi, %fd, %fk;\n"); // im' = hr*wi + hi*wr
+        // Select by butterfly half.
+        let _ = writeln!(s, "    and.b32 %rc, %ra, {m};");
+        s.push_str("    setp.eq.u32 %pp, %rc, 0;\n");
+        s.push_str("    selp.b32 %fre, %ff, %fj, %pp;\n");
+        s.push_str("    selp.b32 %fim, %fg, %fk, %pp;\n");
+    }
+    // Bit-reverse the 5-bit lane index and permute via shfl.idx.
+    s.push_str(
+        "    mov.u32 %rb, 0;\n\
+         \x20   mov.u32 %rc, %ra;\n",
+    );
+    for _ in 0..5 {
+        s.push_str(
+            "    shl.b32 %rb, %rb, 1;\n\
+             \x20   and.b32 %rd, %rc, 1;\n\
+             \x20   or.b32 %rb, %rb, %rd;\n\
+             \x20   shr.u32 %rc, %rc, 1;\n",
+        );
+    }
+    s.push_str(
+        "    shfl.idx.b32 %rd, %fre, %rb;\n\
+         \x20   mov.f32 %fre, %rd;\n\
+         \x20   shfl.idx.b32 %rd, %fim, %rb;\n\
+         \x20   mov.f32 %fim, %rd;\n",
+    );
+    s
+}
+
+/// Register declarations required by [`fft_stages_body`].
+fn fft_decls() -> &'static str {
+    "    .reg .u32 %ra;\n    .reg .u32 %rb;\n    .reg .u32 %rc;\n    .reg .u32 %rd;\n\
+     \x20   .reg .f32 %fre;\n    .reg .f32 %fim;\n\
+     \x20   .reg .f32 %fa;\n    .reg .f32 %fb;\n    .reg .f32 %fc;\n    .reg .f32 %fd;\n\
+     \x20   .reg .f32 %fe;\n    .reg .f32 %ff;\n    .reg .f32 %fg;\n    .reg .f32 %fh;\n\
+     \x20   .reg .f32 %fi;\n    .reg .f32 %fj;\n    .reg .f32 %fk;\n\
+     \x20   .reg .pred %pp;\n"
+}
+
+/// The kernel that uses the hypothetical `WFFT32` instruction (paper
+/// Listing 10). Each lane loads one packed complex sample, the proxy
+/// consumes a register pair and produces a register pair, and the result is
+/// stored back.
+pub fn wfft_kernel_ptx() -> String {
+    format!(
+        r#".version 6.0
+.entry fft32(.param .u64 pin, .param .u64 pout)
+{{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<8>;
+    ld.param.u64 %rd1, [pin];
+    ld.param.u64 %rd2, [pout];
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.u32 %r1, %r1, %r2, %r3;
+    mul.wide.u32 %rd3, %r1, 8;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u64 %rd5, [%rd4];
+    proxy.b32 %rd6, %rd5, "{WFFT32}";
+    add.u64 %rd7, %rd2, %rd3;
+    st.global.u64 [%rd7], %rd6;
+    exit;
+}}
+"#
+    )
+}
+
+/// The software warp-FFT kernel: identical I/O, the butterfly network
+/// executed in ordinary instructions.
+pub fn soft_fft_kernel_ptx() -> String {
+    format!(
+        r#".version 6.0
+.entry fft32_soft(.param .u64 pin, .param .u64 pout)
+{{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<8>;
+{decls}
+    ld.param.u64 %rd1, [pin];
+    ld.param.u64 %rd2, [pout];
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.u32 %r1, %r1, %r2, %r3;
+    mul.wide.u32 %rd3, %r1, 8;
+    add.u64 %rd4, %rd1, %rd3;
+    ld.global.u64 %rd5, [%rd4];
+    // Unpack (re, im) from the 64-bit value.
+    cvt.u32.u64 %rb, %rd5;
+    mov.f32 %fre, %rb;
+    shr.b64 %rd5, %rd5, 32;
+    cvt.u32.u64 %rb, %rd5;
+    mov.f32 %fim, %rb;
+{body}
+    // Repack.
+    mov.u32 %rb, %fre;
+    cvt.u64.u32 %rd6, %rb;
+    mov.u32 %rb, %fim;
+    cvt.u64.u32 %rd5, %rb;
+    shl.b64 %rd5, %rd5, 32;
+    add.u64 %rd6, %rd6, %rd5;
+    add.u64 %rd7, %rd2, %rd3;
+    st.global.u64 [%rd7], %rd6;
+    exit;
+}}
+"#,
+        decls = fft_decls(),
+        body = fft_stages_body(),
+    )
+}
+
+/// The emulation tool device function (paper Listing 9): reads the source
+/// register pair of the removed `WFFT32` through the device API, runs the
+/// same butterfly network, and writes the destination pair back —
+/// *permanently*, via the save-area write-back.
+pub fn wfft_emu_function_ptx() -> String {
+    format!(
+        r#".func wfft32_emu(.reg .u32 %srcidx, .reg .u32 %dstidx)
+{{
+{decls}
+    .reg .u32 %ri<3>;
+    nvbit.readreg.b32 %rb, %srcidx;
+    mov.f32 %fre, %rb;
+    add.u32 %ri1, %srcidx, 1;
+    nvbit.readreg.b32 %rb, %ri1;
+    mov.f32 %fim, %rb;
+{body}
+    mov.u32 %rb, %fre;
+    nvbit.writereg.b32 %dstidx, %rb;
+    add.u32 %ri2, %dstidx, 1;
+    mov.u32 %rb, %fim;
+    nvbit.writereg.b32 %ri2, %rb;
+    ret;
+}}
+"#,
+        decls = fft_decls(),
+        body = fft_stages_body(),
+    )
+}
+
+/// CPU reference: 32-point complex DFT (direct evaluation) used by tests
+/// to sanity-check the butterfly network's output shape.
+pub fn reference_dft(input: &[(f32, f32); 32]) -> [(f32, f32); 32] {
+    let mut out = [(0.0f32, 0.0f32); 32];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut re = 0.0f64;
+        let mut im = 0.0f64;
+        for (n, (xr, xi)) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * n) as f64 / 32.0;
+            let (s, c) = ang.sin_cos();
+            re += *xr as f64 * c - *xi as f64 * s;
+            im += *xr as f64 * s + *xi as f64 * c;
+        }
+        *o = (re as f32, im as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuda::{Driver, FatBinary, KernelArg};
+    use gpu::{DeviceSpec, Dim3};
+    use sass::Arch;
+
+    #[test]
+    fn kernels_compile_everywhere() {
+        for arch in Arch::ALL {
+            ptx::compile_module(&wfft_kernel_ptx(), arch).unwrap();
+            ptx::compile_module(&soft_fft_kernel_ptx(), arch).unwrap();
+            ptx::compile_module(&wfft_emu_function_ptx(), arch).unwrap();
+        }
+    }
+
+    #[test]
+    fn software_fft_matches_reference_dft() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", soft_fft_kernel_ptx())).unwrap();
+        let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+        let input: [(f32, f32); 32] =
+            std::array::from_fn(|i| ((i as f32 * 0.5).sin(), (i as f32 * 0.3).cos()));
+        let bytes: Vec<u8> = input
+            .iter()
+            .flat_map(|(r, i)| {
+                let mut v = r.to_bits().to_le_bytes().to_vec();
+                v.extend(i.to_bits().to_le_bytes());
+                v
+            })
+            .collect();
+        let din = drv.mem_alloc(256).unwrap();
+        let dout = drv.mem_alloc(256).unwrap();
+        drv.memcpy_htod(din, &bytes).unwrap();
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+        )
+        .unwrap();
+        let mut out = vec![0u8; 256];
+        drv.memcpy_dtoh(&mut out, dout).unwrap();
+        let want = reference_dft(&input);
+        for k in 0..32 {
+            let re = f32::from_bits(u32::from_le_bytes(out[k * 8..k * 8 + 4].try_into().unwrap()));
+            let im =
+                f32::from_bits(u32::from_le_bytes(out[k * 8 + 4..k * 8 + 8].try_into().unwrap()));
+            let (wr, wi) = want[k];
+            assert!(
+                (re - wr).abs() < 0.05 && (im - wi).abs() < 0.05,
+                "bin {k}: got ({re}, {im}), want ({wr}, {wi})"
+            );
+        }
+    }
+
+    #[test]
+    fn proxy_kernel_faults_without_instrumentation() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", wfft_kernel_ptx())).unwrap();
+        let f = drv.module_get_function(&m, "fft32").unwrap();
+        let din = drv.mem_alloc(256).unwrap();
+        let dout = drv.mem_alloc(256).unwrap();
+        assert!(drv
+            .launch_kernel(
+                &f,
+                Dim3::linear(1),
+                Dim3::linear(32),
+                &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+            )
+            .is_err());
+    }
+}

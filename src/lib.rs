@@ -1,0 +1,14 @@
+//! Umbrella crate for the NVBit reproduction: re-exports every layer of the
+//! stack under one roof for examples and integration tests.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+pub use accel;
+pub use cuda;
+pub use gpu;
+pub use nvbit;
+pub use nvbit_tools as tools;
+pub use ptx;
+pub use sass;
+pub use workloads;
