@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 build+test — all fully offline —
+# plus a guard that no crates.io dependency re-enters any manifest.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== dependency guard: manifests must stay path-only =="
+# Inside any *dependencies section, a `key = "x.y.z"` or
+# `{ version = ... }` entry would resolve against crates.io; every
+# dependency in this workspace is a path dep declared once in the root
+# [workspace.dependencies] table.
+bad=$(awk '
+    /^\[/ { dep = ($0 ~ /dependencies\]$/) }
+    dep && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("[0-9]|\{.*version)/ {
+        print FILENAME ":" FNR ": " $0
+    }
+' Cargo.toml crates/*/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "crates.io-style dependency found:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "CI OK"

@@ -1,7 +1,8 @@
-//! Criterion ablation: per-instruction versus basic-block instrumentation
-//! granularity (the optimization the paper sketches after Listing 1).
+//! Micro-bench ablation: per-instruction versus basic-block
+//! instrumentation granularity (the optimization the paper sketches after
+//! Listing 1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use common::bench::Group;
 use cuda::Driver;
 use gpu::DeviceSpec;
 use nvbit::attach_tool;
@@ -22,13 +23,10 @@ fn run(bb: bool) {
     drv.shutdown();
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bb_vs_instr");
+fn main() {
+    let mut g = Group::new("bb_vs_instr");
     g.sample_size(10);
-    g.bench_function("per_instruction", |b| b.iter(|| run(false)));
-    g.bench_function("per_basic_block", |b| b.iter(|| run(true)));
+    g.bench("per_instruction", || run(false));
+    g.bench("per_basic_block", || run(true));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

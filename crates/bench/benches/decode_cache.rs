@@ -1,8 +1,8 @@
-//! Criterion ablation: the executor's decode cache (fetches revalidate the
-//! cached raw bytes, so the cache is safe under NVBit's code patching —
+//! Micro-bench ablation: the executor's decode cache (fetches revalidate
+//! the cached raw bytes, so the cache is safe under NVBit's code patching —
 //! this bench shows what it buys).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use common::bench::Group;
 use gpu::{Device, DeviceSpec, Dim3, LaunchConfig};
 use sass::{asm, codec::codec_for, Arch};
 
@@ -29,18 +29,15 @@ fn setup(enabled: bool) -> (Device, LaunchConfig) {
     (dev, cfg)
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decode_cache");
+fn main() {
+    let mut g = Group::new("decode_cache");
     g.sample_size(10);
     for enabled in [true, false] {
         let name = if enabled { "enabled" } else { "disabled" };
-        g.bench_function(name, |b| {
-            let (mut dev, cfg) = setup(enabled);
-            b.iter(|| dev.launch(&cfg).unwrap());
+        let (mut dev, cfg) = setup(enabled);
+        g.bench(name, || {
+            dev.launch(&cfg).unwrap();
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench: JIT-compilation cost (lift + codegen + swap) as a
+//! Micro-bench: JIT-compilation cost (lift + codegen + swap) as a
 //! function of the number of unique kernels, isolated from execution by
 //! disabling instrumentation after generation (paper §5.2: overhead grows
 //! with unique kernels).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use common::bench::Group;
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
 use nvbit::{attach_tool, IPoint, NvbitApi, NvbitTool};
@@ -59,9 +59,8 @@ fn run_many_kernels(num_kernels: u32, instrument: bool) {
         attach_tool(&drv, CodegenOnly { ctr: 0 });
     }
     let ctx = drv.ctx_create().unwrap();
-    let srcs: Vec<String> = (0..num_kernels)
-        .map(|v| workloads::kernels::short_unique(&format!("k{v}"), v))
-        .collect();
+    let srcs: Vec<String> =
+        (0..num_kernels).map(|v| workloads::kernels::short_unique(&format!("k{v}"), v)).collect();
     let src = format!(".version 6.0\n{}", srcs.join("\n"));
     let m = drv.module_load(&ctx, FatBinary::from_ptx("many", src)).unwrap();
     let buf = drv.mem_alloc(4096).unwrap();
@@ -78,19 +77,12 @@ fn run_many_kernels(num_kernels: u32, instrument: bool) {
     drv.shutdown();
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("jit_overhead");
+fn main() {
+    let mut g = Group::new("jit_overhead");
     g.sample_size(10);
     for kernels in [4u32, 16, 32] {
-        g.bench_with_input(BenchmarkId::new("native", kernels), &kernels, |b, &k| {
-            b.iter(|| run_many_kernels(k, false));
-        });
-        g.bench_with_input(BenchmarkId::new("jit_only", kernels), &kernels, |b, &k| {
-            b.iter(|| run_many_kernels(k, true));
-        });
+        g.bench(&format!("native/{kernels}"), || run_many_kernels(kernels, false));
+        g.bench(&format!("jit_only/{kernels}"), || run_many_kernels(kernels, true));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench: native vs fully-instrumented vs grid-dim-sampled
+//! Micro-bench: native vs fully-instrumented vs grid-dim-sampled
 //! execution of a stencil benchmark (the Figure 8 mechanism at small
 //! scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use common::bench::Group;
 use cuda::Driver;
 use gpu::DeviceSpec;
 use nvbit::attach_tool;
@@ -20,14 +20,11 @@ fn run(mode: Option<SamplingMode>) {
     drv.shutdown();
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sampling");
+fn main() {
+    let mut g = Group::new("sampling");
     g.sample_size(10);
-    g.bench_function("native", |b| b.iter(|| run(None)));
-    g.bench_function("full_instrumentation", |b| b.iter(|| run(Some(SamplingMode::Full))));
-    g.bench_function("griddim_sampling", |b| b.iter(|| run(Some(SamplingMode::GridDim))));
+    g.bench("native", || run(None));
+    g.bench("full_instrumentation", || run(Some(SamplingMode::Full)));
+    g.bench("griddim_sampling", || run(Some(SamplingMode::GridDim)));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

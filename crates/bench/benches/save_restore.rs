@@ -1,8 +1,8 @@
-//! Criterion ablation: cost of the register save/restore tiers. Reading a
-//! high register forces the largest tier (255 registers saved per
+//! Micro-bench ablation: cost of the register save/restore tiers. Reading
+//! a high register forces the largest tier (255 registers saved per
 //! injection) versus the default minimal tier.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use common::bench::Group;
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
 use nvbit::{attach_tool, Arg, IPoint, NvbitApi, NvbitTool};
@@ -83,13 +83,10 @@ fn run(high_reg: bool) {
     drv.shutdown();
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("save_restore_tiers");
+fn main() {
+    let mut g = Group::new("save_restore_tiers");
     g.sample_size(10);
-    g.bench_function("tier_minimal", |b| b.iter(|| run(false)));
-    g.bench_function("tier_255", |b| b.iter(|| run(true)));
+    g.bench("tier_minimal", || run(false));
+    g.bench("tier_255", || run(true));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

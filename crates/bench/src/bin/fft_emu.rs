@@ -124,8 +124,5 @@ fn main() {
     let software = run(fft::soft_fft_kernel_ptx(), "fft32_soft", false, warps);
     println!("kernel with WFFT32 (emulated): {with_proxy:.0} instructions per warp");
     println!("software shuffle-based FFT:    {software:.0} instructions per warp");
-    println!(
-        "ratio: {:.1}x  (paper: 21 vs 150 instructions, ~7.1x)",
-        software / with_proxy
-    );
+    println!("ratio: {:.1}x  (paper: 21 vs 150 instructions, ~7.1x)", software / with_proxy);
 }

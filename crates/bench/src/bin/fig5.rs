@@ -65,7 +65,14 @@ fn main() {
 
     print_table(
         &[
-            "benchmark", "jit(ms)", "retr%", "disas%", "conv%", "user%", "cgen%", "swap%",
+            "benchmark",
+            "jit(ms)",
+            "retr%",
+            "disas%",
+            "conv%",
+            "user%",
+            "cgen%",
+            "swap%",
             "jit/native%",
         ],
         &rows,

@@ -38,11 +38,7 @@ fn main() {
         sum += err;
         rows.push(vec![
             b.name.to_string(),
-            format!(
-                "{}/{}",
-                sampled.instrumented_launches(),
-                sampled.total_launches()
-            ),
+            format!("{}/{}", sampled.instrumented_launches(), sampled.total_launches()),
             format!("{err:.3}%"),
         ]);
     }

@@ -1,0 +1,171 @@
+//! A wall-clock micro-bench harness for `harness = false` bench binaries.
+//!
+//! Replaces `criterion` for this workspace: each benchmark is timed for a
+//! fixed number of samples after one warm-up run, and [`Group::finish`]
+//! prints an aligned table of median/mean/min/max per benchmark. There is
+//! no statistical outlier analysis — the bench binaries here compare
+//! multiples (2× JIT overhead, 5× save/restore cost), not percent-level
+//! regressions, and medians over ten samples resolve that comfortably.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark name.
+    pub name: String,
+    /// Median sample time.
+    pub median: Duration,
+    /// Mean sample time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct Group {
+    name: String,
+    sample_size: u32,
+    records: Vec<Record>,
+}
+
+impl Group {
+    /// Starts a group; results print when [`Group::finish`] runs.
+    #[must_use]
+    pub fn new(name: &str) -> Group {
+        Group { name: name.to_string(), sample_size: 10, records: Vec::new() }
+    }
+
+    /// Sets how many timed samples each benchmark takes (default 10).
+    pub fn sample_size(&mut self, n: u32) -> &mut Group {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `body` (one warm-up call, then `sample_size` timed calls) and
+    /// records the result under `name`.
+    pub fn bench(&mut self, name: &str, mut body: impl FnMut()) -> &mut Group {
+        let samples = env_samples().unwrap_or(self.sample_size);
+        body(); // warm-up: touch caches, trigger lazy init
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                body();
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        self.records.push(Record {
+            name: name.to_string(),
+            median: times[times.len() / 2],
+            mean: total / samples,
+            min: times[0],
+            max: times[times.len() - 1],
+        });
+        self
+    }
+
+    /// Prints the result table and returns the records for further
+    /// analysis (speedup ratios, overhead factors).
+    pub fn finish(&mut self) -> Vec<Record> {
+        let name_w = self.records.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+        println!("\n== {} ==", self.name);
+        println!(
+            "{:name_w$}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "name", "median", "mean", "min", "max"
+        );
+        for r in &self.records {
+            println!(
+                "{:name_w$}  {:>12}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                fmt_duration(r.median),
+                fmt_duration(r.mean),
+                fmt_duration(r.min),
+                fmt_duration(r.max),
+            );
+        }
+        std::mem::take(&mut self.records)
+    }
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        if !self.records.is_empty() {
+            self.finish();
+        }
+    }
+}
+
+/// `NVBIT_BENCH_SAMPLES` overrides every group's sample size (useful for
+/// quick smoke runs of the bench binaries in CI).
+fn env_samples() -> Option<u32> {
+    std::env::var("NVBIT_BENCH_SAMPLES").ok()?.trim().parse().ok().filter(|n| *n > 0)
+}
+
+/// Renders a duration with a unit that keeps 3–4 significant digits.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Ratio of two medians, for overhead/speedup reporting.
+#[must_use]
+pub fn ratio(num: &Record, den: &Record) -> f64 {
+    num.median.as_secs_f64() / den.median.as_secs_f64().max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_all_samples() {
+        let mut g = Group::new("t");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench("counting", || calls += 1);
+        let records = g.finish();
+        assert_eq!(calls, 4, "one warm-up plus three samples");
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert!(r.min <= r.median && r.median <= r.max);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(250)), "250 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(150)), "150.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+
+    #[test]
+    fn ratio_compares_medians() {
+        let fast = Record {
+            name: "fast".into(),
+            median: Duration::from_millis(10),
+            mean: Duration::from_millis(10),
+            min: Duration::from_millis(9),
+            max: Duration::from_millis(11),
+        };
+        let slow =
+            Record { name: "slow".into(), median: Duration::from_millis(20), ..fast.clone() };
+        let r = ratio(&slow, &fast);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! The std-only engine layer shared by every crate in the workspace.
+//!
+//! This crate exists so the whole stack builds with `CARGO_NET_OFFLINE=true`
+//! and an empty registry cache: it provides in-tree, dependency-free
+//! replacements for the external crates the workspace used to pull in.
+//!
+//! * [`rng`] — a seeded SplitMix64/xoshiro256** PRNG covering the `rand`
+//!   surface the workloads and tests actually use (`seed_from_u64`,
+//!   `gen_range`, `shuffle`);
+//! * [`prop`] — a shrink-free randomized property-test harness replacing
+//!   `proptest` (deterministic per-case seeds, reproducible via
+//!   `NVBIT_PROP_SEED`);
+//! * [`json`] — a minimal JSON value type with parser and printer, replacing
+//!   the `serde` derives (device specs round-trip through it);
+//! * [`bench`] — a wall-clock micro-bench harness replacing `criterion` for
+//!   the `harness = false` bench binaries;
+//! * [`Dim3`] — the single definition of a 3-component launch dimension,
+//!   re-exported by the `gpu` and `driver` crates.
+
+pub mod bench;
+pub mod dim3;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use dim3::Dim3;
+pub use rng::Rng;

@@ -1,0 +1,104 @@
+//! A shrink-free randomized property-test harness.
+//!
+//! Replaces `proptest` for this workspace: a property is a closure over a
+//! seeded [`Rng`]; the harness runs it for a number of cases with
+//! deterministic per-case seeds derived from the property name, so failures
+//! reproduce across machines without a persisted regression file.
+//!
+//! Environment knobs:
+//!
+//! * `NVBIT_PROP_CASES=<n>` — override the case count of every property;
+//! * `NVBIT_PROP_SEED=<u64>` — run each property once with exactly this
+//!   seed (the failure message of a failing case prints the value to use).
+//!
+//! There is no shrinking: cases are generated small-to-moderate by
+//! construction, and the failing seed replays the exact case.
+
+use crate::rng::{splitmix64, Rng};
+
+/// FNV-1a hash of the property name — the per-property seed base.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for `cases` deterministic random cases.
+///
+/// # Panics
+///
+/// Re-raises the body's panic after printing the reproducing seed.
+pub fn run_cases(name: &str, cases: u32, mut body: impl FnMut(&mut Rng)) {
+    if let Some(seed) = env_u64("NVBIT_PROP_SEED") {
+        let mut rng = Rng::seed_from_u64(seed);
+        body(&mut rng);
+        return;
+    }
+    let cases = env_u64("NVBIT_PROP_CASES").map_or(cases, |n| n as u32);
+    let mut base = name_seed(name);
+    for case in 0..cases {
+        let seed = splitmix64(&mut base);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::seed_from_u64(seed);
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases}; \
+                 reproduce with NVBIT_PROP_SEED={seed}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.trim().parse().ok()
+}
+
+/// A `Vec` of `len ∈ lens` elements drawn from `gen`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    lens: std::ops::Range<usize>,
+    mut gen: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let len = rng.gen_range(lens);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        run_cases("det", 5, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        run_cases("det", 5, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+
+        let mut other: Vec<u64> = Vec::new();
+        run_cases("other-name", 5, |rng| other.push(rng.next_u64()));
+        assert_ne!(first, other, "different properties must see different cases");
+    }
+
+    #[test]
+    fn failing_case_reports_and_reraises() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases("always-fails", 3, |_rng| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        run_cases("vec-lens", 20, |rng| {
+            let v = vec_of(rng, 1..8, |r| r.next_u32());
+            assert!((1..8).contains(&v.len()));
+        });
+    }
+}

@@ -285,11 +285,13 @@ fn emit_injection(
             Op::Ldl,
             vec![Operand::Reg(scratch), Operand::MRef { base: Reg::SP, offset: pred_mask_off }],
         ));
-        out.push(Instruction::new(
-            Op::Shr,
-            vec![Operand::Reg(scratch), Operand::Reg(scratch), Operand::Imm(p as i64)],
-        )
-        .with_mods(Mods { itype: sass::op::IType::U32, ..Mods::default() }));
+        out.push(
+            Instruction::new(
+                Op::Shr,
+                vec![Operand::Reg(scratch), Operand::Reg(scratch), Operand::Imm(p as i64)],
+            )
+            .with_mods(Mods { itype: sass::op::IType::U32, ..Mods::default() }),
+        );
         out.push(
             Instruction::new(
                 Op::Lop,
@@ -306,10 +308,7 @@ fn emit_injection(
                 .with_mods(Mods { sub: sass::SubOp::Xor, ..Mods::default() }),
             );
         }
-        out.push(Instruction::new(
-            Op::Mov,
-            vec![Operand::Reg(Reg(slot)), Operand::Reg(scratch)],
-        ));
+        out.push(Instruction::new(Op::Mov, vec![Operand::Reg(Reg(slot)), Operand::Reg(scratch)]));
     };
 
     for arg in &inj.args {
@@ -374,10 +373,8 @@ fn emit_injection(
 /// Loads saved register `r` into ABI slot register `slot`.
 fn emit_regval(r: u8, slot: u8, frame: u32, out: &mut Vec<Instruction>) {
     match r {
-        255 => out.push(Instruction::new(
-            Op::Mov,
-            vec![Operand::Reg(Reg(slot)), Operand::Reg(Reg::RZ)],
-        )),
+        255 => out
+            .push(Instruction::new(Op::Mov, vec![Operand::Reg(Reg(slot)), Operand::Reg(Reg::RZ)])),
         1 => {
             // The stack pointer is not stored; reconstruct the pre-save
             // value.
@@ -533,18 +530,8 @@ mod tests {
         // Re-run emit_site directly to inspect the relocated branch.
         let routines = fake_routines();
         let routine = routines[&16];
-        let out = emit_site(
-            &hal,
-            &info,
-            &instrs,
-            &spec,
-            &tool_fns(),
-            &routine,
-            16,
-            1,
-            tramp_base,
-        )
-        .unwrap();
+        let out = emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routine, 16, 1, tramp_base)
+            .unwrap();
         let _ = code;
         let isize = hal.instruction_size();
         // Locate the relocated BRA.
@@ -573,18 +560,9 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::Before);
         spec.remove_orig(0);
         let routines = fake_routines();
-        let out = emit_site(
-            &hal,
-            &info,
-            &instrs,
-            &spec,
-            &tool_fns(),
-            &routines[&16],
-            16,
-            0,
-            0x9000,
-        )
-        .unwrap();
+        let out =
+            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
+                .unwrap();
         assert!(out.iter().all(|i| i.op != Op::Proxy));
         assert!(out.iter().any(|i| i.op == Op::Nop));
         let _ = code;
@@ -595,17 +573,11 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "BPT ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.remove_orig(0);
-        let img = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            |_| Ok(0x9000),
-        )
-        .unwrap();
+        let img =
+            generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
+                Ok(0x9000)
+            })
+            .unwrap();
         let patched = hal.disassemble(&img.instrumented).unwrap();
         assert_eq!(patched[0].op, Op::Nop);
         assert_eq!(patched[1].op, Op::Exit);
@@ -618,25 +590,12 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::After);
         spec.insert_call(0, "ifunc", IPoint::Before);
         let routines = fake_routines();
-        let out = emit_site(
-            &hal,
-            &info,
-            &instrs,
-            &spec,
-            &tool_fns(),
-            &routines[&16],
-            16,
-            0,
-            0x9000,
-        )
-        .unwrap();
+        let out =
+            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
+                .unwrap();
         let iadd_pos = out.iter().position(|i| i.op == Op::Iadd).unwrap();
-        let jcal_positions: Vec<usize> = out
-            .iter()
-            .enumerate()
-            .filter(|(_, i)| i.op == Op::Jcal)
-            .map(|(p, _)| p)
-            .collect();
+        let jcal_positions: Vec<usize> =
+            out.iter().enumerate().filter(|(_, i)| i.op == Op::Jcal).map(|(p, _)| p).collect();
         // 3 JCALs before the original (save/tool/restore) and 3 after.
         assert_eq!(jcal_positions.iter().filter(|&&p| p < iadd_pos).count(), 3);
         assert_eq!(jcal_positions.iter().filter(|&&p| p > iadd_pos).count(), 3);
@@ -647,16 +606,9 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "missing", IPoint::Before);
-        let e = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            |_| Ok(0x9000),
-        );
+        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
+            Ok(0x9000)
+        });
         assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
     }
 
@@ -665,16 +617,9 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "EXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(5, "ifunc", IPoint::Before);
-        let e = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            |_| Ok(0x9000),
-        );
+        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
+            Ok(0x9000)
+        });
         assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
     }
 
@@ -685,17 +630,11 @@ mod tests {
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "ifunc", IPoint::Before);
         spec.add_arg(0, Arg::RegVal(70)); // forces tier 128
-        let img = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            |_| Ok(0x9000),
-        )
-        .unwrap();
+        let img =
+            generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
+                Ok(0x9000)
+            })
+            .unwrap();
         assert_eq!(img.tier, 128);
         assert!(img.extra_local >= frame_bytes(128, &hal));
     }
@@ -708,16 +647,9 @@ mod tests {
         for _ in 0..7 {
             spec.add_arg(0, Arg::Imm64(1)); // 14 slots > 12 available
         }
-        let e = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            |_| Ok(0x9000),
-        );
+        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
+            Ok(0x9000)
+        });
         assert!(matches!(e, Err(NvbitError::BadRequest(_))));
     }
 }

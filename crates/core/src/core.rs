@@ -239,7 +239,6 @@ impl NvbitCore {
     pub fn new(tool: impl NvbitTool + 'static) -> NvbitCore {
         NvbitCore { tool: Box::new(tool), state: Rc::new(RefCell::new(CoreState::new())) }
     }
-
 }
 
 /// Attaches a tool to a driver: the run-time injection step (the analog of

@@ -88,11 +88,8 @@ impl JitOverhead {
         JitComponent::ALL
             .iter()
             .map(|c| {
-                let share = if total > 0.0 {
-                    100.0 * self.of(*c).as_secs_f64() / total
-                } else {
-                    0.0
-                };
+                let share =
+                    if total > 0.0 { 100.0 * self.of(*c).as_secs_f64() / total } else { 0.0 };
                 (*c, share)
             })
             .collect()
@@ -120,12 +117,7 @@ impl std::fmt::Display for OverheadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "JIT-compilation overhead ({} functions):", self.per_function.len())?;
         for (c, pct) in self.total.breakdown() {
-            writeln!(
-                f,
-                "  {:12} {:>10.1?} ({pct:5.1}%)",
-                c.label(),
-                self.total.of(c)
-            )?;
+            writeln!(f, "  {:12} {:>10.1?} ({pct:5.1}%)", c.label(), self.total.of(c))?;
         }
         writeln!(f, "  {:12} {:>10.1?}", "total", self.total.total())
     }

@@ -120,8 +120,7 @@ fn instr_count_tool(counter: Rc<RefCell<u64>>) -> impl NvbitTool {
     impl NvbitTool for Tool {
         fn at_init(&mut self, api: &NvbitApi<'_>) {
             api.load_tool_functions(COUNT_FN).unwrap();
-            *self.counter_addr.borrow_mut() =
-                api.driver().with_device(|d| d.alloc(8)).unwrap();
+            *self.counter_addr.borrow_mut() = api.driver().with_device(|d| d.alloc(8)).unwrap();
         }
         fn at_term(&mut self, api: &NvbitApi<'_>) {
             let mut buf = [0u8; 8];
@@ -136,8 +135,7 @@ fn instr_count_tool(counter: Rc<RefCell<u64>>) -> impl NvbitTool {
             params: &CbParams<'_>,
         ) {
             let CbParams::LaunchKernel { func, .. } = params else { return };
-            if is_exit || cbid != CbId::LaunchKernel || !self.seen.borrow_mut().insert(func.raw())
-            {
+            if is_exit || cbid != CbId::LaunchKernel || !self.seen.borrow_mut().insert(func.raw()) {
                 return;
             }
             let n = api.get_instrs(*func).unwrap().len();
@@ -221,8 +219,7 @@ JOIN:
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", DIVERGE)).unwrap();
         let f = drv.module_get_function(&m, "diverge").unwrap();
         let out = drv.mem_alloc(128).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(out)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(out)]).unwrap();
         let mut buf = vec![0u8; 128];
         drv.memcpy_dtoh(&mut buf, out).unwrap();
         drv.shutdown();
@@ -235,8 +232,7 @@ JOIN:
     assert!(count > 0);
     // Spot-check values: even threads 222+t, odd 111+t.
     for t in 0..32u32 {
-        let v =
-            u32::from_le_bytes(native[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
+        let v = u32::from_le_bytes(native[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
         assert_eq!(v, if t % 2 == 0 { 222 + t } else { 111 + t });
     }
 }
@@ -289,12 +285,7 @@ fn sampling_switches_between_versions_per_launch() {
     let m = drv.module_load(&ctx, FatBinary::from_ptx("app", VECADD)).unwrap();
     let f = drv.module_get_function(&m, "vecadd").unwrap();
     let buf = drv.mem_alloc(1024).unwrap();
-    let args = [
-        KernelArg::Ptr(buf),
-        KernelArg::Ptr(buf),
-        KernelArg::Ptr(buf),
-        KernelArg::U32(64),
-    ];
+    let args = [KernelArg::Ptr(buf), KernelArg::Ptr(buf), KernelArg::Ptr(buf), KernelArg::U32(64)];
     let mut cycles = Vec::new();
     for _ in 0..4 {
         let stats = drv.launch_kernel(&f, Dim3::linear(2), Dim3::linear(64), &args).unwrap();
@@ -461,10 +452,8 @@ fn register_value_arguments_deliver_addresses_to_the_tool() {
     assert_eq!(u32::from_le_bytes(hdr), 32, "one trace record per thread");
     let mut records = vec![0u8; 8 * 32];
     drv.memcpy_dtoh(&mut records, trace + 8).unwrap();
-    let mut addrs: Vec<u64> = records
-        .chunks(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let mut addrs: Vec<u64> =
+        records.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
     addrs.sort_unstable();
     let mut expected: Vec<u64> = (0..32u64).map(|t| out + 8 * t + 4).collect();
     expected.sort_unstable();
@@ -594,12 +583,7 @@ fn reset_instrumented_restores_native_behaviour() {
     let m = drv.module_load(&ctx, FatBinary::from_ptx("app", VECADD)).unwrap();
     let f = drv.module_get_function(&m, "vecadd").unwrap();
     let buf = drv.mem_alloc(1024).unwrap();
-    let args = [
-        KernelArg::Ptr(buf),
-        KernelArg::Ptr(buf),
-        KernelArg::Ptr(buf),
-        KernelArg::U32(32),
-    ];
+    let args = [KernelArg::Ptr(buf), KernelArg::Ptr(buf), KernelArg::Ptr(buf), KernelArg::U32(32)];
     let s0 = drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &args).unwrap();
     let s1 = drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &args).unwrap();
     let s2 = drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &args).unwrap();
@@ -686,9 +670,7 @@ fn kernels_with_device_function_calls_can_be_instrumented_throughout() {
     let nm = native.module_load(&nctx, FatBinary::from_ptx("app", APP)).unwrap();
     let nf = native.module_get_function(&nm, "k").unwrap();
     let nout = native.mem_alloc(128).unwrap();
-    native
-        .launch_kernel(&nf, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(nout)])
-        .unwrap();
+    native.launch_kernel(&nf, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(nout)]).unwrap();
     let native_count = native.total_stats().thread_instructions;
     let mut expected = vec![0u8; 128];
     native.memcpy_dtoh(&mut expected, nout).unwrap();
@@ -746,10 +728,7 @@ fn overhead_report_attributes_all_six_components() {
     let report = report.borrow().clone().unwrap();
     use nvbit::JitComponent as C;
     for c in [C::Retrieve, C::Disassemble, C::Convert, C::UserCode, C::Codegen, C::Swap] {
-        assert!(
-            report.total.of(c) > std::time::Duration::ZERO,
-            "component {c:?} not attributed"
-        );
+        assert!(report.total.of(c) > std::time::Duration::ZERO, "component {c:?} not attributed");
     }
     assert_eq!(report.per_function.len(), 1);
     assert!(report.per_function.contains_key("vecadd"));
@@ -809,8 +788,7 @@ fn cbank_predval_and_sp_arguments_materialize_correctly() {
                 api.insert_call(func, idx, "rec3", nvbit::IPoint::Before).unwrap();
                 // The kernel's `n` parameter lives in constant bank 0 at the
                 // ABI parameter base + 8 (after the u64 pointer).
-                api.add_call_arg(func, idx, nvbit::Arg::CBank { bank: 0, offset: 0x168 })
-                    .unwrap();
+                api.add_call_arg(func, idx, nvbit::Arg::CBank { bank: 0, offset: 0x168 }).unwrap();
                 // P0 holds `n > 10` at the store (allocation puts %p1 in P0).
                 api.add_call_arg(func, idx, nvbit::Arg::PredVal(0)).unwrap();
                 // R1 is the stack pointer; the framework reconstructs the
@@ -904,8 +882,7 @@ JOIN:
                                 api.insert_call(func, instr.idx, "count_one", IPoint::Before)
                                     .unwrap();
                                 api.add_call_arg_guard_pred(func, instr.idx).unwrap();
-                                api.add_call_arg_imm64(func, instr.idx, *counter.borrow())
-                                    .unwrap();
+                                api.add_call_arg_imm64(func, instr.idx, *counter.borrow()).unwrap();
                             }
                         }
                     })
@@ -917,8 +894,7 @@ JOIN:
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
         let f = drv.module_get_function(&m, "k").unwrap();
         let out = drv.mem_alloc(128).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(out)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(out)]).unwrap();
         let mut b = vec![0u8; 128];
         drv.memcpy_dtoh(&mut b, out).unwrap();
         drv.shutdown();

@@ -319,9 +319,9 @@ impl Driver {
                 } else {
                     let mut instrs = f.decode();
                     for r in &f.relocs {
-                        let target = *addrs.get(&r.target).ok_or_else(|| {
-                            DriverError::NotFound { name: r.target.clone() }
-                        })?;
+                        let target = *addrs
+                            .get(&r.target)
+                            .ok_or_else(|| DriverError::NotFound { name: r.target.clone() })?;
                         for o in instrs[r.instr_index].operands.iter_mut() {
                             if let Operand::Abs(a) = o {
                                 *a = target;
@@ -346,8 +346,7 @@ impl Driver {
             }
             for f in &image.functions {
                 let h = fn_handles[&f.name];
-                let related =
-                    f.related.iter().filter_map(|n| fn_handles.get(n).copied()).collect();
+                let related = f.related.iter().filter_map(|n| fn_handles.get(n).copied()).collect();
                 st.functions.insert(
                     h.0,
                     FunctionInfo {
@@ -418,11 +417,7 @@ impl Driver {
             .functions
             .values()
             .copied()
-            .filter(|h| {
-                st.functions
-                    .get(&h.0)
-                    .is_some_and(|f| f.kind == ptx::FunctionKind::Entry)
-            })
+            .filter(|h| st.functions.get(&h.0).is_some_and(|f| f.kind == ptx::FunctionKind::Entry))
             .collect();
         v.sort_by_key(|h| h.0);
         Ok(v)
@@ -712,17 +707,10 @@ DONE:
         let drv = driver();
         let ctx = drv.ctx_create().unwrap();
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
-        assert!(matches!(
-            drv.module_get_function(&m, "nope"),
-            Err(DriverError::NotFound { .. })
-        ));
+        assert!(matches!(drv.module_get_function(&m, "nope"), Err(DriverError::NotFound { .. })));
         assert!(drv.function_info(CuFunction(9999)).is_err());
-        let sass_only = FatBinary {
-            name: "noimg".into(),
-            library: false,
-            images: Vec::new(),
-            ptx: None,
-        };
+        let sass_only =
+            FatBinary { name: "noimg".into(), library: false, images: Vec::new(), ptx: None };
         assert!(matches!(
             drv.module_load(&ctx, sass_only),
             Err(DriverError::NoBinaryForDevice { .. })
@@ -782,8 +770,7 @@ DONE:
         assert!(termed.get());
 
         let evs = events.borrow();
-        let launches: Vec<_> =
-            evs.iter().filter(|(_, c)| *c == CbId::LaunchKernel).collect();
+        let launches: Vec<_> = evs.iter().filter(|(_, c)| *c == CbId::LaunchKernel).collect();
         assert_eq!(launches.len(), 2, "entry + exit, no recursion: {evs:?}");
         // The MemAlloc performed inside the callback must NOT appear, while
         // the application's own does.
@@ -826,8 +813,7 @@ DONE:
         assert_eq!(twice.kind, ptx::FunctionKind::Device);
 
         let buf = drv.mem_alloc(128).unwrap();
-        drv.launch_kernel(&k, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&k, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         let mut out = vec![0u8; 128];
         drv.memcpy_dtoh(&mut out, buf).unwrap();
         for t in 0..32u32 {

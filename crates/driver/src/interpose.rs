@@ -127,11 +127,5 @@ pub trait Interposer {
 
     /// Called at entry (`is_exit == false`) and exit (`is_exit == true`) of
     /// every driver API call.
-    fn at_cuda_event(
-        &mut self,
-        drv: &Driver,
-        is_exit: bool,
-        cbid: CbId,
-        params: &CbParams<'_>,
-    );
+    fn at_cuda_event(&mut self, drv: &Driver, is_exit: bool, cbid: CbId, params: &CbParams<'_>);
 }

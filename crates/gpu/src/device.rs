@@ -1,17 +1,20 @@
 //! The device: memory, decode cache and launch orchestration.
 
-use crate::executor::{CtaCtx, ExecEnv, Warp};
-use crate::mem::Memory;
+use crate::executor::{CtaCtx, DecodeCache, ExecEnv, Warp};
+use crate::mem::{Memory, SharedMem};
 use crate::spec::{DeviceSpec, Dim3};
 use crate::stats::ExecStats;
 use crate::{GpuError, Result};
-use sass::Instruction;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Offset of the kernel parameter area in constant bank 0 (matching the
 /// real ABI's `c[0x0][0x160]`).
 pub const PARAM_BASE: usize = 0x160;
+
+/// What one CTA's execution produces: its statistics (or fault) plus the
+/// decode-cache overlay it accumulated.
+type CtaResult = (Result<ExecStats>, DecodeCache);
 
 /// A kernel launch description.
 #[derive(Debug, Clone)]
@@ -90,13 +93,53 @@ impl LaunchConfig {
     }
 }
 
+/// How CTAs of a launch are mapped onto host threads.
+///
+/// Every scheduler produces **bit-identical** results — device memory,
+/// statistics and decode-cache state after the launch do not depend on the
+/// choice. Parallel execution is safe because CTAs of a (race-free) kernel
+/// are independent by construction: per-CTA state (registers, shared and
+/// local memory, statistics, the decode-cache overlay) is owned by the
+/// worker, global-memory atomics serialize, and all per-CTA results merge
+/// in CTA-linear order afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// One CTA at a time, in CTA-linear order, on the calling thread.
+    Serial,
+    /// CTAs distributed over a pool of scoped worker threads.
+    Parallel {
+        /// Worker count; `0` means one per available hardware thread.
+        threads: usize,
+    },
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::Parallel { threads: 0 }
+    }
+}
+
+impl Scheduler {
+    fn workers(self) -> usize {
+        match self {
+            Scheduler::Serial => 1,
+            Scheduler::Parallel { threads: 0 } => {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            }
+            Scheduler::Parallel { threads } => threads,
+        }
+    }
+}
+
 /// A simulated GPU device.
 pub struct Device {
     spec: DeviceSpec,
     mem: Memory,
-    decode_cache: HashMap<u64, (u128, Rc<Instruction>)>,
+    decode_cache: DecodeCache,
     /// Decode-cache switch (ablation benchmarks turn it off).
     pub decode_cache_enabled: bool,
+    /// CTA-to-host-thread mapping; results are identical for every setting.
+    pub scheduler: Scheduler,
     launches: u64,
 }
 
@@ -104,7 +147,14 @@ impl Device {
     /// Creates a device from a specification.
     pub fn new(spec: DeviceSpec) -> Device {
         let mem = Memory::new(spec.global_mem);
-        Device { spec, mem, decode_cache: HashMap::new(), decode_cache_enabled: true, launches: 0 }
+        Device {
+            spec,
+            mem,
+            decode_cache: DecodeCache::new(),
+            decode_cache_enabled: true,
+            scheduler: Scheduler::default(),
+            launches: 0,
+        }
     }
 
     /// The device specification.
@@ -166,13 +216,18 @@ impl Device {
 
     /// Launches a kernel and runs it to completion.
     ///
-    /// CTAs execute sequentially and warps round-robin inside each CTA, so
-    /// execution is deterministic.
+    /// Warps round-robin inside each CTA; CTAs run serially or on a worker
+    /// pool per [`Device::scheduler`]. Results are bit-identical either
+    /// way: every CTA owns its statistics, decode-cache overlay and
+    /// shared/local memories, and the per-CTA results merge in CTA-linear
+    /// order once all CTAs retire.
     ///
     /// # Errors
     ///
     /// [`GpuError::BadLaunch`] for invalid configurations and
-    /// [`GpuError::Fault`] for execution faults.
+    /// [`GpuError::Fault`] for execution faults. When several CTAs fault,
+    /// the fault of the lowest CTA-linear index is reported, matching
+    /// serial execution.
     pub fn launch(&mut self, cfg: &LaunchConfig) -> Result<ExecStats> {
         let block_threads = cfg.block.count();
         if block_threads == 0 || block_threads > 1024 {
@@ -180,7 +235,8 @@ impl Device {
                 "block size {block_threads} outside 1..=1024"
             )));
         }
-        if cfg.grid.count() == 0 {
+        let cta_count = cfg.grid.count();
+        if cta_count == 0 {
             return Err(GpuError::BadLaunch("empty grid".into()));
         }
         if cfg.shared_size > self.spec.shared_per_cta {
@@ -189,15 +245,10 @@ impl Device {
                 cfg.shared_size, self.spec.shared_per_cta
             )));
         }
-        let local_size = if cfg.local_size == 0 {
-            self.spec.default_local
-        } else {
-            cfg.local_size
-        };
+        let local_size = if cfg.local_size == 0 { self.spec.default_local } else { cfg.local_size };
 
         self.launches += 1;
         let launch_id = if cfg.launch_id != 0 { cfg.launch_id } else { self.launches };
-        let mut stats = ExecStats::default();
         let cbanks: [Vec<u8>; 4] = [
             cfg.cbank0.clone(),
             cfg.cbanks[0].clone(),
@@ -205,47 +256,131 @@ impl Device {
             cfg.cbanks[2].clone(),
         ];
 
-        let mut env = ExecEnv {
-            spec: &self.spec,
-            mem: &mut self.mem,
-            decode_cache: &mut self.decode_cache,
-            decode_cache_enabled: self.decode_cache_enabled,
-            stats: &mut stats,
-            grid: cfg.grid,
-            block: cfg.block,
-            cbanks: &cbanks,
-            launch_id,
-            steps: 0,
+        // Per-launch snapshot of the decode cache: CTAs read it immutably
+        // and collect their own decodes in per-CTA overlays, merged back
+        // below. Cross-launch caching still works (the snapshot carries
+        // previous launches' entries) while hit/miss counts and final cache
+        // state stay independent of the CTA schedule.
+        let snapshot = std::mem::take(&mut self.decode_cache);
+        let shared = self.mem.shared_view();
+
+        let run_one = |cta_linear: u64| -> CtaResult {
+            run_cta(
+                &self.spec,
+                &shared,
+                &snapshot,
+                self.decode_cache_enabled,
+                cfg,
+                &cbanks,
+                launch_id,
+                cta_linear,
+                block_threads as u32,
+                local_size,
+            )
         };
 
-        let mut cta_linear = 0u64;
-        for cz in 0..cfg.grid.z {
-            for cy in 0..cfg.grid.y {
-                for cx in 0..cfg.grid.x {
-                    run_cta(
-                        &mut env,
-                        Dim3::xyz(cx, cy, cz),
-                        cta_linear,
-                        cfg,
-                        block_threads as u32,
-                        local_size,
-                    )?;
-                    cta_linear += 1;
+        let workers = self.scheduler.workers().max(1).min(cta_count as usize);
+        let mut results: Vec<Option<CtaResult>> = (0..cta_count).map(|_| None).collect();
+        if workers <= 1 {
+            for i in 0..cta_count {
+                let r = run_one(i);
+                let failed = r.0.is_err();
+                results[i as usize] = Some(r);
+                if failed {
+                    break;
                 }
             }
+        } else {
+            let next = AtomicU64::new(0);
+            let failed = AtomicBool::new(false);
+            let collected: Mutex<Vec<(u64, CtaResult)>> = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        // Indices are handed out in increasing order, so by
+                        // the time any CTA faults, every lower index has
+                        // already been claimed and will produce a result.
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cta_count {
+                            break;
+                        }
+                        let r = run_one(i);
+                        if r.0.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        collected.lock().unwrap().push((i, r));
+                    });
+                }
+            });
+            for (i, r) in collected.into_inner().unwrap() {
+                results[i as usize] = Some(r);
+            }
         }
-        Ok(stats)
+
+        // Deterministic reduction: walk CTAs in linear order up to (and
+        // including) the first fault, merging statistics and decode-cache
+        // overlays. CTAs past a fault are discarded even if a parallel
+        // worker already ran them, so the post-launch cache state matches
+        // serial execution exactly.
+        let first_err = results.iter().position(|r| matches!(r, Some((Err(_), _))));
+        let upto = first_err.map_or(cta_count as usize, |k| k + 1);
+        let mut cache = snapshot;
+        let mut stats = ExecStats::default();
+        let mut error = None;
+        for r in results.drain(..upto) {
+            let (res, overlay) = r.expect("every CTA below the first fault produced a result");
+            cache.extend(overlay);
+            match res {
+                Ok(s) => stats.merge(&s),
+                Err(e) => error = Some(e),
+            }
+        }
+        self.decode_cache = cache;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
     }
 }
 
+/// Runs one CTA to completion, returning its statistics and decode-cache
+/// overlay (the overlay is returned even when the CTA faults, so the
+/// post-launch cache matches what serial execution would have built).
+#[allow(clippy::too_many_arguments)]
 fn run_cta(
-    env: &mut ExecEnv<'_>,
-    cta_coords: Dim3,
-    cta_linear: u64,
+    spec: &DeviceSpec,
+    mem: &SharedMem,
+    snapshot: &DecodeCache,
+    decode_cache_enabled: bool,
     cfg: &LaunchConfig,
+    cbanks: &[Vec<u8>; 4],
+    launch_id: u64,
+    cta_linear: u64,
     block_threads: u32,
     local_size: u32,
-) -> Result<()> {
+) -> CtaResult {
+    let g = cfg.grid;
+    let cta_coords = Dim3::xyz(
+        (cta_linear % g.x as u64) as u32,
+        ((cta_linear / g.x as u64) % g.y as u64) as u32,
+        (cta_linear / (g.x as u64 * g.y as u64)) as u32,
+    );
+    let mut env = ExecEnv {
+        spec,
+        mem,
+        snapshot,
+        overlay: DecodeCache::new(),
+        decode_cache_enabled,
+        stats: ExecStats::default(),
+        grid: cfg.grid,
+        block: cfg.block,
+        cbanks,
+        launch_id,
+        steps: 0,
+    };
     let mut cta = CtaCtx {
         cta: cta_coords,
         cta_linear,
@@ -267,17 +402,24 @@ fn run_cta(
         })
         .collect();
 
-    loop {
+    let result = loop {
         let mut progressed = false;
+        let mut fault = None;
         for w in warps.iter_mut() {
             if w.done || w.at_barrier {
                 continue;
             }
             progressed = true;
-            env.run_warp(w, &mut cta)?;
+            if let Err(e) = env.run_warp(w, &mut cta) {
+                fault = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = fault {
+            break Err(e);
         }
         if warps.iter().all(|w| w.done) {
-            return Ok(());
+            break Ok(());
         }
         if warps.iter().all(|w| w.done || w.at_barrier) {
             for w in warps.iter_mut() {
@@ -286,12 +428,13 @@ fn run_cta(
             continue;
         }
         if !progressed {
-            return Err(GpuError::Fault {
+            break Err(GpuError::Fault {
                 pc: cfg.entry_pc,
                 reason: "CTA scheduling deadlock".into(),
             });
         }
-    }
+    };
+    (result.map(|()| env.stats), env.overlay)
 }
 
 #[cfg(test)]

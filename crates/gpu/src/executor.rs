@@ -19,19 +19,24 @@
 //! on divergence, so device functions may be called from partially-active
 //! warps.
 
-use crate::mem::Memory;
+use crate::mem::SharedMem;
 use crate::spec::{DeviceSpec, Dim3};
 use crate::stats::ExecStats;
 use crate::{GpuError, Result};
 use sass::op::IType;
 use sass::{CmpOp, Instruction, Op, Operand, Reg, SpecialReg, SubOp};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const WARP: usize = 32;
-/// Per-launch warp-instruction budget; a runaway kernel faults instead of
-/// hanging the host.
+/// Per-CTA warp-instruction budget; a runaway kernel faults instead of
+/// hanging the host. Counted per CTA so the limit is independent of the
+/// CTA schedule.
 const STEP_LIMIT: u64 = 2_000_000_000;
+
+/// A decoded-instruction cache keyed by fetch address, each entry holding
+/// the raw encoding it was decoded from (for revalidation under patching).
+pub(crate) type DecodeCache = HashMap<u64, (u128, Arc<Instruction>)>;
 
 /// One SIMT-stack entry.
 #[derive(Debug, Clone)]
@@ -116,13 +121,21 @@ pub(crate) struct CtaCtx {
     pub locals: Vec<Vec<u8>>,
 }
 
-/// Everything the executor needs, borrowed from the device.
+/// Everything one CTA's execution needs. Shared state comes in behind
+/// `Sync` references; mutable state (statistics, the decode-cache overlay,
+/// the step counter) is owned per CTA, which is what makes the environment
+/// `Send`-able into a worker thread and the collected results independent
+/// of the CTA schedule.
 pub(crate) struct ExecEnv<'d> {
     pub spec: &'d DeviceSpec,
-    pub mem: &'d mut Memory,
-    pub decode_cache: &'d mut HashMap<u64, (u128, Rc<Instruction>)>,
+    pub mem: &'d SharedMem,
+    /// Immutable per-launch snapshot of the device decode cache.
+    pub snapshot: &'d DecodeCache,
+    /// Entries this CTA decoded; merged back in CTA-linear order after the
+    /// launch so cross-launch cache state is scheduler-independent.
+    pub overlay: DecodeCache,
     pub decode_cache_enabled: bool,
-    pub stats: &'d mut ExecStats,
+    pub stats: ExecStats,
     pub grid: Dim3,
     pub block: Dim3,
     pub cbanks: &'d [Vec<u8>; 4],
@@ -137,37 +150,38 @@ impl<'d> ExecEnv<'d> {
 
     /// Fetches and decodes the instruction at `pc`. The decode cache is
     /// coherent under code patching: cached entries revalidate against the
-    /// current raw bytes on every fetch.
-    fn fetch(&mut self, pc: u64) -> Result<Rc<Instruction>> {
+    /// current raw bytes on every fetch. Lookups consult this CTA's overlay
+    /// before the launch snapshot, so hit/miss counts do not depend on how
+    /// CTAs interleave across worker threads.
+    fn fetch(&mut self, pc: u64) -> Result<Arc<Instruction>> {
         let isize = self.spec.arch.instruction_size() as u64;
         if !pc.is_multiple_of(isize) {
             return Err(self.fault(pc, "misaligned instruction fetch"));
         }
-        let bytes = self
-            .mem
-            .slice(pc, isize)
-            .map_err(|_| self.fault(pc, "instruction fetch outside device memory"))?;
         let mut raw = [0u8; 16];
-        raw[..bytes.len()].copy_from_slice(bytes);
+        self.mem
+            .read_into(pc, &mut raw[..isize as usize])
+            .map_err(|_| self.fault(pc, "instruction fetch outside device memory"))?;
         let raw_word = u128::from_le_bytes(raw);
         if self.decode_cache_enabled {
-            if let Some((cached_raw, decoded)) = self.decode_cache.get(&pc) {
+            if let Some((cached_raw, decoded)) =
+                self.overlay.get(&pc).or_else(|| self.snapshot.get(&pc))
+            {
                 if *cached_raw == raw_word {
                     self.stats.decode_hits += 1;
-                    return Ok(Rc::clone(decoded));
+                    return Ok(Arc::clone(decoded));
                 }
             }
         }
         self.stats.decode_misses += 1;
         let codec = sass::codec::codec_for(self.spec.arch);
-        let bytes = self.mem.slice(pc, isize)?.to_vec();
-        let instr = Rc::new(
+        let instr = Arc::new(
             codec
-                .decode(&bytes)
+                .decode(&raw[..isize as usize])
                 .map_err(|e| self.fault(pc, format!("undecodable instruction: {e}")))?,
         );
         if self.decode_cache_enabled {
-            self.decode_cache.insert(pc, (raw_word, Rc::clone(&instr)));
+            self.overlay.insert(pc, (raw_word, Arc::clone(&instr)));
         }
         Ok(instr)
     }
@@ -257,10 +271,8 @@ impl<'d> ExecEnv<'d> {
 
     /// Number of distinct cache lines a warp-level global access touches.
     fn global_lines(&self, warp: &Warp, instr: &Instruction, exec: u32) -> Result<u64> {
-        let Some(Operand::MRef { base, offset }) = instr
-            .operands
-            .iter()
-            .find(|o| matches!(o, Operand::MRef { .. }))
+        let Some(Operand::MRef { base, offset }) =
+            instr.operands.iter().find(|o| matches!(o, Operand::MRef { .. }))
         else {
             return Ok(1);
         };
@@ -412,7 +424,9 @@ impl<'d> ExecEnv<'d> {
             CfClass::Sync => {
                 warp.entries.pop();
                 if warp.entries.is_empty() {
-                    return Err(self.fault(pc, "SYNC with no reconvergence entry (stack underflow)"));
+                    return Err(
+                        self.fault(pc, "SYNC with no reconvergence entry (stack underflow)")
+                    );
                 }
                 Ok(true)
             }
@@ -596,7 +610,13 @@ impl<'d> ExecEnv<'d> {
                     warp.set_pair(lane, d, r);
                 }
             }
-            Op::Iadd | Op::Isub | Op::Imul | Op::Imnmx | Op::Shl | Op::Shr | Op::Lop
+            Op::Iadd
+            | Op::Isub
+            | Op::Imul
+            | Op::Imnmx
+            | Op::Shl
+            | Op::Shr
+            | Op::Lop
             | Op::Iadd32i => {
                 let d = dst_reg(&ops[0]);
                 let Operand::Reg(a) = ops[1] else {
@@ -690,8 +710,10 @@ impl<'d> ExecEnv<'d> {
                 let Operand::Pred { pred: d, .. } = ops[0] else {
                     return Err(self.fault(pc, "PSETP without destination"));
                 };
-                let (Operand::Pred { pred: a, negated: na }, Operand::Pred { pred: b, negated: nb }) =
-                    (&ops[1], &ops[2])
+                let (
+                    Operand::Pred { pred: a, negated: na },
+                    Operand::Pred { pred: b, negated: nb },
+                ) = (&ops[1], &ops[2])
                 else {
                     return Err(self.fault(pc, "PSETP without predicate sources"));
                 };
@@ -740,8 +762,8 @@ impl<'d> ExecEnv<'d> {
                     return Err(self.fault(pc, "FFMA operands must be registers"));
                 };
                 for lane in lanes {
-                    let r = f(warp.reg(lane, *a))
-                        .mul_add(f(warp.reg(lane, *b)), f(warp.reg(lane, *c)));
+                    let r =
+                        f(warp.reg(lane, *a)).mul_add(f(warp.reg(lane, *b)), f(warp.reg(lane, *c)));
                     warp.set_reg(lane, d, r.to_bits());
                 }
             }
@@ -828,11 +850,8 @@ impl<'d> ExecEnv<'d> {
                 let d = dst_reg(&ops[0]);
                 for lane in lanes {
                     let v = val32(warp, lane, &ops[1]);
-                    let r = if instr.mods.itype == IType::S32 {
-                        (v as i32) as f32
-                    } else {
-                        v as f32
-                    };
+                    let r =
+                        if instr.mods.itype == IType::S32 { (v as i32) as f32 } else { v as f32 };
                     warp.set_reg(lane, d, r.to_bits());
                 }
             }
@@ -843,11 +862,8 @@ impl<'d> ExecEnv<'d> {
                 };
                 for lane in lanes {
                     let v = f(warp.reg(lane, a));
-                    let r = if instr.mods.itype == IType::S32 {
-                        (v as i32) as u32
-                    } else {
-                        v as u32
-                    };
+                    let r =
+                        if instr.mods.itype == IType::S32 { (v as i32) as u32 } else { v as u32 };
                     warp.set_reg(lane, d, r);
                 }
             }
@@ -1059,10 +1075,6 @@ impl<'d> ExecEnv<'d> {
                 continue;
             }
             let addr = warp.pair(lane, *base).wrapping_add(*offset as i64 as u64);
-            let old = self
-                .mem
-                .read_scalar(addr, len)
-                .map_err(|_| self.fault(pc, format!("atomic fault at 0x{addr:x}")))?;
             let sv = if wide {
                 match src {
                     Operand::Reg(r) => warp.pair(lane, *r),
@@ -1079,30 +1091,44 @@ impl<'d> ExecEnv<'d> {
                 Operand::Reg(r) => warp.pair(lane, *r),
                 _ => 0,
             };
-            let new = match (instr.mods.sub, instr.mods.itype) {
-                (SubOp::Add, IType::F32) => ((f32::from_bits(old as u32)
-                    + f32::from_bits(sv as u32))
-                .to_bits()) as u64,
-                (SubOp::Add, _) => old.wrapping_add(sv) & mask_len(len),
-                (SubOp::Min, IType::S32) => ((old as i32).min(sv as i32)) as u32 as u64,
-                (SubOp::Min, _) => old.min(sv),
-                (SubOp::Max, IType::S32) => ((old as i32).max(sv as i32)) as u32 as u64,
-                (SubOp::Max, _) => old.max(sv),
-                (SubOp::And, _) => old & sv,
-                (SubOp::Or, _) => old | sv,
-                (SubOp::Xor, _) => old ^ sv,
-                (SubOp::Exch, _) => sv,
-                (SubOp::Cas, _) => {
-                    if old == sv {
-                        s2v
-                    } else {
-                        old
+            let (sub, itype) = (instr.mods.sub, instr.mods.itype);
+            if !matches!(
+                sub,
+                SubOp::Add
+                    | SubOp::Min
+                    | SubOp::Max
+                    | SubOp::And
+                    | SubOp::Or
+                    | SubOp::Xor
+                    | SubOp::Exch
+                    | SubOp::Cas
+            ) {
+                return Err(self.fault(pc, "atomic with invalid operation"));
+            }
+            let old = self
+                .mem
+                .atomic_rmw(addr, len, |old| match (sub, itype) {
+                    (SubOp::Add, IType::F32) => {
+                        ((f32::from_bits(old as u32) + f32::from_bits(sv as u32)).to_bits()) as u64
                     }
-                }
-                _ => return Err(self.fault(pc, "atomic with invalid operation")),
-            };
-            self.mem
-                .write_scalar(addr, len, new)
+                    (SubOp::Add, _) => old.wrapping_add(sv) & mask_len(len),
+                    (SubOp::Min, IType::S32) => ((old as i32).min(sv as i32)) as u32 as u64,
+                    (SubOp::Min, _) => old.min(sv),
+                    (SubOp::Max, IType::S32) => ((old as i32).max(sv as i32)) as u32 as u64,
+                    (SubOp::Max, _) => old.max(sv),
+                    (SubOp::And, _) => old & sv,
+                    (SubOp::Or, _) => old | sv,
+                    (SubOp::Xor, _) => old ^ sv,
+                    (SubOp::Exch, _) => sv,
+                    (SubOp::Cas, _) => {
+                        if old == sv {
+                            s2v
+                        } else {
+                            old
+                        }
+                    }
+                    _ => unreachable!("validated above"),
+                })
                 .map_err(|_| self.fault(pc, format!("atomic fault at 0x{addr:x}")))?;
             if let Some(Operand::Reg(d)) = dst {
                 if wide {
@@ -1239,10 +1265,7 @@ mod tests {
         };
         match run("NOP ;") {
             Err(GpuError::Fault { reason, .. }) => {
-                assert!(
-                    reason.contains("undecodable") || reason.contains("fetch"),
-                    "{reason}"
-                )
+                assert!(reason.contains("undecodable") || reason.contains("fetch"), "{reason}")
             }
             other => panic!("expected fault, got {other:?}"),
         }

@@ -16,6 +16,8 @@
 //! * per-entry return-address stacks, so calls work under divergence;
 //! * global/shared/local/constant memories, warp-serialized atomics;
 //! * CTA barriers with round-robin warp scheduling (deterministic);
+//! * CTAs execute serially or across a scoped thread pool
+//!   ([`device::Scheduler`]) with bit-identical results either way;
 //! * an instruction-cost timing model in which global-memory cost grows
 //!   with the number of unique cache lines touched per warp access.
 //!
@@ -55,7 +57,7 @@ pub mod mem;
 pub mod spec;
 pub mod stats;
 
-pub use device::{Device, LaunchConfig};
+pub use device::{Device, LaunchConfig, Scheduler};
 pub use mem::Memory;
 pub use spec::{CostModel, DeviceSpec, Dim3};
 pub use stats::{ExecStats, MemStats};

@@ -61,10 +61,9 @@ impl Memory {
             return Ok(addr);
         }
         let addr = self.bump;
-        let end = addr.checked_add(size).ok_or(GpuError::OutOfMemory {
-            requested: size,
-            available: 0,
-        })?;
+        let end = addr
+            .checked_add(size)
+            .ok_or(GpuError::OutOfMemory { requested: size, available: 0 })?;
         if end > self.capacity() {
             return Err(GpuError::OutOfMemory {
                 requested: size,
@@ -82,10 +81,7 @@ impl Memory {
     ///
     /// [`GpuError::BadAddress`] if `addr` is not a live allocation base.
     pub fn free(&mut self, addr: u64) -> Result<()> {
-        let len = self
-            .allocs
-            .remove(&addr)
-            .ok_or(GpuError::BadAddress { addr, len: 0 })?;
+        let len = self.allocs.remove(&addr).ok_or(GpuError::BadAddress { addr, len: 0 })?;
         self.free.push((addr, len));
         Ok(())
     }
@@ -139,10 +135,92 @@ impl Memory {
         Ok(())
     }
 
-    /// Raw view for the fetch path (bounds pre-checked by the caller).
-    pub(crate) fn slice(&self, addr: u64, len: u64) -> Result<&[u8]> {
-        self.check(addr, len)?;
-        Ok(&self.data[addr as usize..(addr + len) as usize])
+    /// A [`SharedMem`] view for the duration of a launch. The view aliases
+    /// the backing store, so `&mut self` pins out every other access path
+    /// while CTAs execute.
+    pub(crate) fn shared_view(&mut self) -> SharedMem {
+        SharedMem {
+            data: self.data.as_mut_ptr(),
+            len: self.data.len() as u64,
+            atomic_lock: std::sync::Mutex::new(()),
+        }
+    }
+}
+
+/// A launch-scoped view of device memory that CTA worker threads share.
+///
+/// Raw-pointer based because CTAs running on different host threads all
+/// read and write the same flat array. Atomic read-modify-writes serialize
+/// under `atomic_lock`; plain loads and stores do not. A kernel in which
+/// two CTAs race non-atomically on the same location is undefined behaviour
+/// on real hardware, and it is simulator-UB here for the same reason — the
+/// workloads this stack ships are race-free or use atomics.
+pub(crate) struct SharedMem {
+    data: *mut u8,
+    len: u64,
+    atomic_lock: std::sync::Mutex<()>,
+}
+
+// SAFETY: the view only exists inside `Device::launch`, which holds
+// `&mut Memory` for its whole lifetime, so no host-side access can alias
+// it. Cross-thread access from CTA workers is the intended use; see the
+// struct docs for the race discipline.
+unsafe impl Send for SharedMem {}
+unsafe impl Sync for SharedMem {}
+
+impl SharedMem {
+    fn check(&self, addr: u64, len: u64) -> Result<()> {
+        let end = addr.checked_add(len).ok_or(GpuError::BadAddress { addr, len })?;
+        if addr == 0 || end > self.len {
+            return Err(GpuError::BadAddress { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Copies bytes at a device address into `out`.
+    pub fn read_into(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.check(addr, out.len() as u64)?;
+        // SAFETY: bounds checked above; see the struct docs for aliasing.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.data.add(addr as usize),
+                out.as_mut_ptr(),
+                out.len(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian scalar of `len` (≤ 8) bytes.
+    pub fn read_scalar(&self, addr: u64, len: usize) -> Result<u64> {
+        self.check(addr, len as u64)?;
+        let mut v = 0u64;
+        for k in 0..len {
+            // SAFETY: bounds checked above.
+            v |= (unsafe { *self.data.add(addr as usize + k) } as u64) << (8 * k);
+        }
+        Ok(v)
+    }
+
+    /// Writes a little-endian scalar of `len` (≤ 8) bytes.
+    pub fn write_scalar(&self, addr: u64, len: usize, v: u64) -> Result<()> {
+        self.check(addr, len as u64)?;
+        for k in 0..len {
+            // SAFETY: bounds checked above.
+            unsafe { *self.data.add(addr as usize + k) = (v >> (8 * k)) as u8 };
+        }
+        Ok(())
+    }
+
+    /// Atomically applies `f` to the scalar at `addr`, returning the old
+    /// value. All atomics across all CTA workers serialize on one lock,
+    /// which keeps integer atomics linearizable (and their results
+    /// order-independent, since every shipped atomic is commutative).
+    pub fn atomic_rmw(&self, addr: u64, len: usize, f: impl FnOnce(u64) -> u64) -> Result<u64> {
+        let _guard = self.atomic_lock.lock().unwrap();
+        let old = self.read_scalar(addr, len)?;
+        self.write_scalar(addr, len, f(old))?;
+        Ok(old)
     }
 }
 

@@ -1,11 +1,10 @@
 //! Execution statistics collected per launch.
 
 use sass::{Op, OpCategory};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Memory-system counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Warp-level global loads executed.
     pub global_loads: u64,
@@ -22,7 +21,7 @@ pub struct MemStats {
 }
 
 /// Statistics of one kernel launch.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Warp-level instructions executed (one per issued instruction).
     pub warp_instructions: u64,

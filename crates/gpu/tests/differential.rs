@@ -3,8 +3,8 @@
 //! reference interpreter — across architectures, launch geometries and
 //! randomized inputs.
 
+use common::prop::{run_cases, vec_of};
 use gpu::{Device, DeviceSpec, Dim3, LaunchConfig};
-use proptest::prelude::*;
 use ptx::interp::{interpret_entry, LaunchGrid, ParamValue};
 use sass::codec::codec_for;
 use sass::{Arch, Operand};
@@ -24,11 +24,7 @@ enum Param {
 /// Loads a compiled module into the device, patching call relocations, and
 /// returns the entry PC of `kernel` plus per-function metadata needed for
 /// the launch.
-fn load_module(
-    dev: &mut Device,
-    module: &ptx::CompiledModule,
-    kernel: &str,
-) -> (u64, u32, u32) {
+fn load_module(dev: &mut Device, module: &ptx::CompiledModule, kernel: &str) -> (u64, u32, u32) {
     let mut addrs = std::collections::HashMap::new();
     for f in &module.functions {
         let addr = dev.alloc(f.code.len() as u64).unwrap();
@@ -80,8 +76,8 @@ fn check(src: &str, kernel: &str, grid: u32, block: u32, params: &[Param], arena
         .unwrap_or_else(|e| panic!("interp failed for {kernel}: {e}"));
 
     for arch in Arch::ALL {
-        let module = ptx::compile_ast(&m, arch)
-            .unwrap_or_else(|e| panic!("compile failed for {arch}: {e}"));
+        let module =
+            ptx::compile_ast(&m, arch).unwrap_or_else(|e| panic!("compile failed for {arch}: {e}"));
         let mut dev = Device::new(DeviceSpec::test(arch));
         let (entry, shared, local) = load_module(&mut dev, &module, kernel);
         let arena = dev.alloc(ARENA as u64).unwrap();
@@ -102,8 +98,7 @@ fn check(src: &str, kernel: &str, grid: u32, block: u32, params: &[Param], arena
                 }
             }
         }
-        dev.launch(&cfg)
-            .unwrap_or_else(|e| panic!("simulator failed for {kernel} on {arch}: {e}"));
+        dev.launch(&cfg).unwrap_or_else(|e| panic!("simulator failed for {kernel} on {arch}: {e}"));
 
         let mut smem = vec![0u8; ARENA];
         dev.read(arena, &mut smem).unwrap();
@@ -320,7 +315,8 @@ const ATOMICS: &str = r#"
 
 #[test]
 fn atomic_histogram_matches() {
-    let data: Vec<u8> = (0..128u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
+    let data: Vec<u8> =
+        (0..128u32).flat_map(|i| i.wrapping_mul(2654435761).to_le_bytes()).collect();
     check(ATOMICS, "hist", 4, 32, &[Param::Ptr(0), Param::Ptr(4096)], &data);
 }
 
@@ -433,29 +429,18 @@ const SELP_MINMAX: &str = r#"
 #[test]
 fn selp_and_minmax_match() {
     let init: Vec<u8> = (0..64u32).flat_map(|i| (i * 37 % 97).to_le_bytes()).collect();
-    check(
-        SELP_MINMAX,
-        "clampk",
-        2,
-        32,
-        &[Param::Ptr(0), Param::U32(10), Param::U32(80)],
-        &init,
-    );
+    check(SELP_MINMAX, "clampk", 2, 32, &[Param::Ptr(0), Param::U32(10), Param::U32(80)], &init);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random inputs and launch geometries keep both implementations in
-    /// agreement on the vecadd kernel.
-    #[test]
-    fn prop_vecadd_random_inputs(
-        data in proptest::collection::vec(any::<u32>(), 256),
-        blocks in 1u32..4,
-        threads in prop_oneof![Just(32u32), Just(64), Just(96)],
-        n in 0u32..200,
-    ) {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+/// Random inputs and launch geometries keep both implementations in
+/// agreement on the vecadd kernel.
+#[test]
+fn prop_vecadd_random_inputs() {
+    run_cases("prop_vecadd_random_inputs", 16, |rng| {
+        let bytes: Vec<u8> = (0..256).flat_map(|_| rng.next_u32().to_le_bytes()).collect();
+        let blocks = rng.gen_range(1u32..4);
+        let threads = *rng.choose(&[32u32, 64, 96]);
+        let n = rng.gen_range(0u32..200);
         check(
             VECADD,
             "vecadd",
@@ -464,27 +449,28 @@ proptest! {
             &[Param::Ptr(0), Param::Ptr(512), Param::Ptr(2048), Param::U32(n)],
             &bytes,
         );
-    }
+    });
+}
 
-    /// Random data keeps the atomic histogram in agreement (atomics are
-    /// warp- and lane-ordered deterministically in both implementations).
-    #[test]
-    fn prop_histogram_random_inputs(
-        data in proptest::collection::vec(any::<u32>(), 128),
-    ) {
-        let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+/// Random data keeps the atomic histogram in agreement (atomics are
+/// warp- and lane-ordered deterministically in both implementations).
+#[test]
+fn prop_histogram_random_inputs() {
+    run_cases("prop_histogram_random_inputs", 16, |rng| {
+        let bytes: Vec<u8> = (0..128).flat_map(|_| rng.next_u32().to_le_bytes()).collect();
         check(ATOMICS, "hist", 4, 32, &[Param::Ptr(0), Param::Ptr(4096)], &bytes);
-    }
+    });
+}
 
-    /// Divergence patterns driven by arbitrary input data reconverge
-    /// identically.
-    #[test]
-    fn prop_divergence_random_geometry(
-        blocks in 1u32..3,
-        threads in prop_oneof![Just(32u32), Just(64), Just(128)],
-    ) {
+/// Divergence patterns driven by arbitrary input data reconverge
+/// identically.
+#[test]
+fn prop_divergence_random_geometry() {
+    run_cases("prop_divergence_random_geometry", 16, |rng| {
+        let blocks = rng.gen_range(1u32..3);
+        let threads = *rng.choose(&[32u32, 64, 128]);
         check(DIVERGE, "diverge", blocks, threads, &[Param::Ptr(0)], &[]);
-    }
+    });
 }
 
 /// Builds a random straight-line arithmetic kernel over `n_ops` operations:
@@ -534,21 +520,22 @@ fn random_program(ops: &[(u8, u8, u8, i32)]) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Randomly generated straight-line programs agree between the PTX
-    /// interpreter and the compiled-SASS simulator on every architecture —
-    /// a broad differential check of instruction selection, immediate
-    /// legalization and register allocation.
-    #[test]
-    fn prop_random_programs_agree(
-        ops in proptest::collection::vec(
-            (any::<u8>(), any::<u8>(), any::<u8>(), -(1i32 << 16)..(1i32 << 16)),
-            1..24,
-        ),
-    ) {
+/// Randomly generated straight-line programs agree between the PTX
+/// interpreter and the compiled-SASS simulator on every architecture —
+/// a broad differential check of instruction selection, immediate
+/// legalization and register allocation.
+#[test]
+fn prop_random_programs_agree() {
+    run_cases("prop_random_programs_agree", 24, |rng| {
+        let ops = vec_of(rng, 1..24, |r| {
+            (
+                r.gen_range(0u32..256) as u8,
+                r.gen_range(0u32..256) as u8,
+                r.gen_range(0u32..256) as u8,
+                r.gen_range(-(1i32 << 16)..(1i32 << 16)),
+            )
+        });
         let src = random_program(&ops);
         check(&src, "rnd", 1, 64, &[Param::Ptr(0)], &[]);
-    }
+    });
 }

@@ -16,7 +16,8 @@ const BLOCK: u32 = 128;
 /// `ta`/`tb` select transposition of A/B; `wide` selects f64; `unroll` is
 /// the K-loop unroll factor (1, 2 or 4; callers must ensure divisibility).
 fn gemm_kernel(name: &str, ta: bool, tb: bool, wide: bool, unroll: u32) -> String {
-    let (fty, fsz, f0) = if wide { ("f64", 8, "0d0000000000000000") } else { ("f32", 4, "0f00000000") };
+    let (fty, fsz, f0) =
+        if wide { ("f64", 8, "0d0000000000000000") } else { ("f32", 4, "0f00000000") };
     let freg = if wide { "%d" } else { "%f" };
     let mut s = String::new();
     let _ = write!(
@@ -415,13 +416,18 @@ mod tests {
     fn download_f32(drv: &Driver, addr: u64, n: usize) -> Vec<f32> {
         let mut bytes = vec![0u8; n * 4];
         drv.memcpy_dtoh(&mut bytes, addr).unwrap();
-        bytes
-            .chunks(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
-            .collect()
+        bytes.chunks(4).map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))).collect()
     }
 
-    fn cpu_gemm(ta: bool, tb: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    fn cpu_gemm(
+        ta: bool,
+        tb: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
         let mut c = vec![0.0f32; m * n];
         for i in 0..m {
             for j in 0..n {

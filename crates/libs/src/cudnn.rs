@@ -480,10 +480,7 @@ mod tests {
     fn download(drv: &Driver, addr: u64, n: usize) -> Vec<f32> {
         let mut bytes = vec![0u8; n * 4];
         drv.memcpy_dtoh(&mut bytes, addr).unwrap();
-        bytes
-            .chunks(4)
-            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
-            .collect()
+        bytes.chunks(4).map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()))).collect()
     }
 
     fn setup() -> (Driver, Cudnn) {
@@ -514,10 +511,8 @@ mod tests {
                     for cc in 0..c {
                         for fy in 0..r {
                             for fx in 0..r {
-                                let iv = input
-                                    [((cc * h + oy + fy) * w + ox + fx) as usize];
-                                let wv = weights
-                                    [(((kk * c + cc) * r + fy) * r + fx) as usize];
+                                let iv = input[((cc * h + oy + fy) * w + ox + fx) as usize];
+                                let wv = weights[(((kk * c + cc) * r + fy) * r + fx) as usize];
                                 acc = iv.mul_add(wv, acc);
                             }
                         }
@@ -566,9 +561,7 @@ mod tests {
         for r in 0..rows as usize {
             let sum: f32 = got[r * cols as usize..(r + 1) * cols as usize].iter().sum();
             assert!((sum - 1.0).abs() < 1e-3, "row {r} sums to {sum}");
-            assert!(got[r * cols as usize..(r + 1) * cols as usize]
-                .iter()
-                .all(|v| *v >= 0.0));
+            assert!(got[r * cols as usize..(r + 1) * cols as usize].iter().all(|v| *v >= 0.0));
         }
     }
 }

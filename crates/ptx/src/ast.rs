@@ -1,11 +1,10 @@
 //! Abstract syntax tree of the PTX-like dialect.
 
 use crate::types::PtxType;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Whether a function is a kernel entry point or a callable device function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FunctionKind {
     /// `.entry` — launchable kernel; parameters arrive in constant bank 0.
     Entry,
@@ -127,7 +126,7 @@ pub struct Address {
 }
 
 /// Memory space of a load/store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// Device-wide global memory.
     Global,

@@ -12,31 +12,32 @@ use crate::ast::*;
 use crate::cfg::{ipostdom, FnCfg, Linear};
 use crate::types::PtxType;
 use crate::{PtxError, Result};
+pub use common::Dim3;
 use std::collections::HashMap;
 
 /// Launch dimensions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchGrid {
     /// Grid dimensions in blocks.
-    pub grid: (u32, u32, u32),
+    pub grid: Dim3,
     /// Block dimensions in threads.
-    pub block: (u32, u32, u32),
+    pub block: Dim3,
 }
 
 impl LaunchGrid {
     /// A 1-D launch.
     pub fn linear(blocks: u32, threads: u32) -> LaunchGrid {
-        LaunchGrid { grid: (blocks, 1, 1), block: (threads, 1, 1) }
+        LaunchGrid { grid: Dim3::linear(blocks), block: Dim3::linear(threads) }
     }
 
     /// Total threads per block.
     pub fn block_size(&self) -> u32 {
-        self.block.0 * self.block.1 * self.block.2
+        self.block.count() as u32
     }
 
     /// Total blocks.
     pub fn grid_size(&self) -> u32 {
-        self.grid.0 * self.grid.1 * self.grid.2
+        self.grid.count() as u32
     }
 }
 
@@ -90,15 +91,19 @@ pub fn interpret_entry(
     }
     if params.len() != f.params.len() {
         return Err(PtxError::Interp {
-            reason: format!("kernel `{name}` takes {} params, got {}", f.params.len(), params.len()),
+            reason: format!(
+                "kernel `{name}` takes {} params, got {}",
+                f.params.len(),
+                params.len()
+            ),
         });
     }
     let mut outcome = InterpOutcome::default();
     let mut machine = Machine { module, mem, outcome: &mut outcome };
-    for bz in 0..launch.grid.2 {
-        for by in 0..launch.grid.1 {
-            for bx in 0..launch.grid.0 {
-                machine.run_block(f, launch, (bx, by, bz), params)?;
+    for bz in 0..launch.grid.z {
+        for by in 0..launch.grid.y {
+            for bx in 0..launch.grid.x {
+                machine.run_block(f, launch, Dim3::xyz(bx, by, bz), params)?;
             }
         }
     }
@@ -176,7 +181,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         &mut self,
         f: &'a Function,
         launch: LaunchGrid,
-        block_id: (u32, u32, u32),
+        block_id: Dim3,
         params: &[ParamValue],
     ) -> Result<()> {
         let frame = Frame::new(f);
@@ -255,7 +260,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         frame: &Frame<'a>,
         st: &mut WarpState,
         launch: LaunchGrid,
-        block_id: (u32, u32, u32),
+        block_id: Dim3,
         warp_idx: usize,
         params: &[ParamValue],
         shared: &mut [u8],
@@ -421,7 +426,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         i: &PtxInstr,
         exec: u32,
         launch: LaunchGrid,
-        block_id: (u32, u32, u32),
+        block_id: Dim3,
         warp_idx: usize,
         params: &[ParamValue],
         shared: &mut [u8],
@@ -490,8 +495,20 @@ impl<'m, 'a> Machine<'m, 'a> {
                 if i.guard.is_some() {
                     return Err(err("guarded calls are unsupported".into()));
                 }
-                return self.call(frame, st, exec, func, args, ret.as_deref(), launch, block_id,
-                    warp_idx, params, shared, locals);
+                return self.call(
+                    frame,
+                    st,
+                    exec,
+                    func,
+                    args,
+                    ret.as_deref(),
+                    launch,
+                    block_id,
+                    warp_idx,
+                    params,
+                    shared,
+                    locals,
+                );
             }
             _ => {}
         }
@@ -500,18 +517,14 @@ impl<'m, 'a> Machine<'m, 'a> {
             if exec & (1 << lane) == 0 {
                 continue;
             }
-            self.exec_lane(frame, st, i, lane, exec, launch, block_id, warp_idx, params, shared, locals)?;
+            self.exec_lane(
+                frame, st, i, lane, exec, launch, block_id, warp_idx, params, shared, locals,
+            )?;
         }
         Ok(())
     }
 
-    fn read_src32(
-        &self,
-        frame: &Frame<'a>,
-        st: &WarpState,
-        lane: usize,
-        s: &Src,
-    ) -> Result<u32> {
+    fn read_src32(&self, frame: &Frame<'a>, st: &WarpState, lane: usize, s: &Src) -> Result<u32> {
         match s {
             Src::Reg(r) => Ok(st.regs[lane][frame.slot(r)?] as u32),
             Src::Imm(v) => Ok(*v as u32),
@@ -547,7 +560,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         lane: usize,
         exec: u32,
         launch: LaunchGrid,
-        block_id: (u32, u32, u32),
+        block_id: Dim3,
         warp_idx: usize,
         params: &[ParamValue],
         shared: &mut [u8],
@@ -581,7 +594,8 @@ impl<'m, 'a> Machine<'m, 'a> {
                     Space::Shared => shared,
                     Space::Local => &locals[tid_flat],
                 };
-                let end = a.checked_add(bytes as u64).ok_or_else(|| err("address overflow".into()))?;
+                let end =
+                    a.checked_add(bytes as u64).ok_or_else(|| err("address overflow".into()))?;
                 if end as usize > buf.len() {
                     return Err(err(format!("{space:?} load out of bounds at 0x{a:x}")));
                 }
@@ -600,7 +614,8 @@ impl<'m, 'a> Machine<'m, 'a> {
                     Space::Shared => shared,
                     Space::Local => &mut locals[tid_flat],
                 };
-                let end = a.checked_add(bytes as u64).ok_or_else(|| err("address overflow".into()))?;
+                let end =
+                    a.checked_add(bytes as u64).ok_or_else(|| err("address overflow".into()))?;
                 if end as usize > buf.len() {
                     return Err(err(format!("{space:?} store out of bounds at 0x{a:x}")));
                 }
@@ -613,18 +628,18 @@ impl<'m, 'a> Machine<'m, 'a> {
                 if let Some(sp) = special {
                     let tid = thread_coords(tid_flat as u32, launch);
                     let v = match sp {
-                        PtxSpecial::Tid(0) => tid.0,
-                        PtxSpecial::Tid(1) => tid.1,
-                        PtxSpecial::Tid(_) => tid.2,
-                        PtxSpecial::NTid(0) => launch.block.0,
-                        PtxSpecial::NTid(1) => launch.block.1,
-                        PtxSpecial::NTid(_) => launch.block.2,
-                        PtxSpecial::CtaId(0) => block_id.0,
-                        PtxSpecial::CtaId(1) => block_id.1,
-                        PtxSpecial::CtaId(_) => block_id.2,
-                        PtxSpecial::NCtaId(0) => launch.grid.0,
-                        PtxSpecial::NCtaId(1) => launch.grid.1,
-                        PtxSpecial::NCtaId(_) => launch.grid.2,
+                        PtxSpecial::Tid(0) => tid.x,
+                        PtxSpecial::Tid(1) => tid.y,
+                        PtxSpecial::Tid(_) => tid.z,
+                        PtxSpecial::NTid(0) => launch.block.x,
+                        PtxSpecial::NTid(1) => launch.block.y,
+                        PtxSpecial::NTid(_) => launch.block.z,
+                        PtxSpecial::CtaId(0) => block_id.x,
+                        PtxSpecial::CtaId(1) => block_id.y,
+                        PtxSpecial::CtaId(_) => block_id.z,
+                        PtxSpecial::NCtaId(0) => launch.grid.x,
+                        PtxSpecial::NCtaId(1) => launch.grid.y,
+                        PtxSpecial::NCtaId(_) => launch.grid.z,
                         PtxSpecial::LaneId => lane as u32,
                         PtxSpecial::WarpId => warp_idx as u32,
                         PtxSpecial::SmId => 0,
@@ -661,8 +676,8 @@ impl<'m, 'a> Machine<'m, 'a> {
                             v.to_bits() as u64
                         }
                         PtxType::F64 => {
-                            let v = f64::from_bits(av)
-                                .mul_add(f64::from_bits(bv), f64::from_bits(cv));
+                            let v =
+                                f64::from_bits(av).mul_add(f64::from_bits(bv), f64::from_bits(cv));
                             v.to_bits()
                         }
                         _ => (av as u32).wrapping_mul(bv as u32).wrapping_add(cv as u32) as u64,
@@ -739,9 +754,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         let bytes = ty.bytes() as usize;
         let end = addr as usize + bytes;
         if end > self.mem.len() {
-            return Err(PtxError::Interp {
-                reason: format!("atomic out of bounds at 0x{addr:x}"),
-            });
+            return Err(PtxError::Interp { reason: format!("atomic out of bounds at 0x{addr:x}") });
         }
         let mut old = 0u64;
         for k in 0..bytes {
@@ -783,9 +796,9 @@ impl<'m, 'a> Machine<'m, 'a> {
     ) -> Result<u64> {
         let base = match &addr.base {
             AddrBase::Reg(r) => st.regs[lane][frame.slot(r)?],
-            AddrBase::Shared(name) => shared_offset(frame.f, name).ok_or_else(|| {
-                PtxError::Interp { reason: format!("unknown shared `{name}`") }
-            })? as u64,
+            AddrBase::Shared(name) => shared_offset(frame.f, name)
+                .ok_or_else(|| PtxError::Interp { reason: format!("unknown shared `{name}`") })?
+                as u64,
         };
         Ok(base.wrapping_add(addr.offset as i64 as u64))
     }
@@ -801,7 +814,7 @@ impl<'m, 'a> Machine<'m, 'a> {
         args: &[String],
         ret: Option<&str>,
         launch: LaunchGrid,
-        block_id: (u32, u32, u32),
+        block_id: Dim3,
         warp_idx: usize,
         params: &[ParamValue],
         shared: &mut [u8],
@@ -848,9 +861,7 @@ impl<'m, 'a> Machine<'m, 'a> {
             let rr = callee
                 .ret_reg
                 .as_ref()
-                .ok_or_else(|| PtxError::Interp {
-                    reason: format!("`{func}` returns no value"),
-                })?;
+                .ok_or_else(|| PtxError::Interp { reason: format!("`{func}` returns no value") })?;
             let src_slot = cframe.slot(rr)?;
             let dst_slot = caller.slot(r)?;
             for lane in 0..WARP {
@@ -877,11 +888,11 @@ fn shared_offset(f: &Function, name: &str) -> Option<u32> {
     None
 }
 
-fn thread_coords(flat: u32, launch: LaunchGrid) -> (u32, u32, u32) {
-    let x = flat % launch.block.0;
-    let y = (flat / launch.block.0) % launch.block.1;
-    let z = flat / (launch.block.0 * launch.block.1);
-    (x, y, z)
+fn thread_coords(flat: u32, launch: LaunchGrid) -> Dim3 {
+    let x = flat % launch.block.x;
+    let y = (flat / launch.block.x) % launch.block.y;
+    let z = flat / (launch.block.x * launch.block.y);
+    Dim3::xyz(x, y, z)
 }
 
 /// Shared scalar evaluation for binary operations (also used in tests to
@@ -1033,12 +1044,7 @@ DONE:
             src,
             "vecadd",
             LaunchGrid::linear(4, 32),
-            &[
-                ParamValue::U64(0),
-                ParamValue::U64(400),
-                ParamValue::U64(800),
-                ParamValue::U32(n),
-            ],
+            &[ParamValue::U64(0), ParamValue::U64(400), ParamValue::U64(800), ParamValue::U32(n)],
             &mut mem,
         );
         for i in 0..n as usize {
@@ -1254,7 +1260,8 @@ DONE:
 "#;
         let m = parse(src).unwrap();
         let mut mem = vec![0u8; 64];
-        let r = interpret_entry(&m, "bad", LaunchGrid::linear(1, 1), &[ParamValue::U64(0)], &mut mem);
+        let r =
+            interpret_entry(&m, "bad", LaunchGrid::linear(1, 1), &[ParamValue::U64(0)], &mut mem);
         assert!(matches!(r, Err(PtxError::Interp { .. })));
     }
 }

@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn labels_do_not_swallow_colons() {
-        assert_eq!(
-            words("DONE:"),
-            vec![Tok::Word("DONE".into()), Tok::Punct(':')]
-        );
+        assert_eq!(words("DONE:"), vec![Tok::Word("DONE".into()), Tok::Punct(':')]);
     }
 
     #[test]

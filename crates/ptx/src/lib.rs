@@ -58,7 +58,6 @@ pub mod regalloc;
 pub mod types;
 
 use sass::Arch;
-use serde::{Deserialize, Serialize};
 
 pub use ast::{Function, FunctionKind, Module, PtxInstr, PtxOp, Statement};
 pub use types::PtxType;
@@ -131,7 +130,7 @@ pub type Result<T> = std::result::Result<T, PtxError>;
 ///
 /// Produced for `call` instructions; the module loader patches the operand
 /// once target load addresses are known.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Reloc {
     /// Index (not byte offset) of the instruction to patch.
     pub instr_index: usize,
@@ -140,7 +139,7 @@ pub struct Reloc {
 }
 
 /// Layout of one kernel parameter in constant bank 0.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamInfo {
     /// Parameter name.
     pub name: String,
@@ -152,7 +151,7 @@ pub struct ParamInfo {
 
 /// One entry of the source-correlation table: a SASS instruction index and
 /// the source position it descends from (paper: `Instr::getLineInfo`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LineInfo {
     /// SASS instruction index within the function body.
     pub instr_index: usize,
@@ -164,7 +163,7 @@ pub struct LineInfo {
 
 /// A function compiled to target SASS, plus the metadata the driver and the
 /// instrumentation framework need.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompiledFunction {
     /// Function name.
     pub name: String,
@@ -206,7 +205,7 @@ impl CompiledFunction {
 }
 
 /// A compiled module: the unit the driver loads.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CompiledModule {
     /// Target architecture.
     pub arch: Arch,

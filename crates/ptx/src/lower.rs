@@ -62,8 +62,7 @@ pub fn compile_function(f: &Function, arch: Arch) -> Result<CompiledFunction> {
 
 /// Rewrites multiple/early `ret`s into branches to a single return block.
 fn merge_returns(f: &Function) -> Function {
-    let is_ret =
-        |s: &Statement| matches!(s, Statement::Instr(i) if matches!(i.op, PtxOp::Ret | PtxOp::RetVal{..}));
+    let is_ret = |s: &Statement| matches!(s, Statement::Instr(i) if matches!(i.op, PtxOp::Ret | PtxOp::RetVal{..}));
     let ret_count = f.body.iter().filter(|s| is_ret(s)).count();
     let last_is_ret = f.body.last().map(is_ret).unwrap_or(false);
     if ret_count == 0 || (ret_count == 1 && last_is_ret) {
@@ -157,9 +156,8 @@ fn plan_reconvergence(lin: &Linear<'_>, cfg: &FnCfg) -> ReconvPlan {
     };
 
     let has_ret = |b: usize| {
-        (cfg.blocks[b].start..cfg.blocks[b].end).any(|i| {
-            matches!(lin.instrs[i].op, PtxOp::Ret | PtxOp::RetVal { .. })
-        })
+        (cfg.blocks[b].start..cfg.blocks[b].end)
+            .any(|i| matches!(lin.instrs[i].op, PtxOp::Ret | PtxOp::RetVal { .. }))
     };
 
     // Candidate branches, largest region first so that nested regions are
@@ -201,11 +199,9 @@ fn plan_reconvergence(lin: &Linear<'_>, cfg: &FnCfg) -> ReconvPlan {
             #[allow(clippy::nonminimal_bool)] // mirrors the prose condition
             let falls_through = {
                 let t = cfg.blocks[layout_pred].end - 1;
-                !matches!(
-                    lin.instrs[t].op,
-                    PtxOp::Ret | PtxOp::RetVal { .. } | PtxOp::Exit
-                ) && !(matches!(lin.instrs[t].op, PtxOp::Bra { .. })
-                    && lin.instrs[t].guard.is_none())
+                !matches!(lin.instrs[t].op, PtxOp::Ret | PtxOp::RetVal { .. } | PtxOp::Exit)
+                    && !(matches!(lin.instrs[t].op, PtxOp::Bra { .. })
+                        && lin.instrs[t].guard.is_none())
             };
             if falls_through && !region.contains(&layout_pred) && layout_pred != b {
                 continue 'cand;
@@ -229,12 +225,8 @@ fn plan_reconvergence(lin: &Linear<'_>, cfg: &FnCfg) -> ReconvPlan {
                 continue 'cand;
             }
             let entry = entries[0];
-            let outside: Vec<usize> = cfg.blocks[entry]
-                .preds
-                .iter()
-                .copied()
-                .filter(|p| !region.contains(p))
-                .collect();
+            let outside: Vec<usize> =
+                cfg.blocks[entry].preds.iter().copied().filter(|p| !region.contains(p)).collect();
             if outside.len() != 1 {
                 continue 'cand;
             }
@@ -429,11 +421,8 @@ impl<'a> Emitter<'a> {
                 .with_guard(guard),
         );
         self.push(
-            Instruction::new(
-                Op::Mov32i,
-                vec![Operand::Reg(Reg(lo.0 + 1)), Operand::Imm(hi_bits)],
-            )
-            .with_guard(guard),
+            Instruction::new(Op::Mov32i, vec![Operand::Reg(Reg(lo.0 + 1)), Operand::Imm(hi_bits)])
+                .with_guard(guard),
         );
     }
 
@@ -481,8 +470,10 @@ impl<'a> Emitter<'a> {
                 let is_term = idx == term;
                 if is_term {
                     if let Some(ds) = self.plan.ssy_at.get(&b).cloned() {
-                        let terminator_is_branch =
-                            matches!(self.lin.instrs[idx].op, PtxOp::Bra { .. } | PtxOp::Ret | PtxOp::RetVal { .. } | PtxOp::Exit);
+                        let terminator_is_branch = matches!(
+                            self.lin.instrs[idx].op,
+                            PtxOp::Bra { .. } | PtxOp::Ret | PtxOp::RetVal { .. } | PtxOp::Exit
+                        );
                         if terminator_is_branch {
                             for d in &ds {
                                 self.emit_ssy(*d);
@@ -585,10 +576,8 @@ impl<'a> Emitter<'a> {
                     continue;
                 }
                 let (d, _) = units[i];
-                let blocking = units
-                    .iter()
-                    .enumerate()
-                    .any(|(j, (_, s2))| !emitted[j] && j != i && *s2 == d);
+                let blocking =
+                    units.iter().enumerate().any(|(j, (_, s2))| !emitted[j] && j != i && *s2 == d);
                 if !blocking {
                     let (d, s) = units[i];
                     self.push(Instruction::new(
@@ -696,9 +685,12 @@ impl<'a> Emitter<'a> {
                 let (op, base, off) = self.mem_operand(*space, addr, g, false)?;
                 let width = if ty.is_wide() { Width::B64 } else { Width::B32 };
                 self.push(
-                    Instruction::new(op, vec![Operand::Reg(d), Operand::MRef { base, offset: off }])
-                        .with_mods(Mods { width, ..Mods::default() })
-                        .with_guard(g),
+                    Instruction::new(
+                        op,
+                        vec![Operand::Reg(d), Operand::MRef { base, offset: off }],
+                    )
+                    .with_mods(Mods { width, ..Mods::default() })
+                    .with_guard(g),
                 );
             }
             P::St { space, ty, addr, src } => {
@@ -706,9 +698,12 @@ impl<'a> Emitter<'a> {
                 let (op, base, off) = self.mem_operand(*space, addr, g, true)?;
                 let width = if ty.is_wide() { Width::B64 } else { Width::B32 };
                 self.push(
-                    Instruction::new(op, vec![Operand::MRef { base, offset: off }, Operand::Reg(s)])
-                        .with_mods(Mods { width, ..Mods::default() })
-                        .with_guard(g),
+                    Instruction::new(
+                        op,
+                        vec![Operand::MRef { base, offset: off }, Operand::Reg(s)],
+                    )
+                    .with_mods(Mods { width, ..Mods::default() })
+                    .with_guard(g),
                 );
             }
             P::Mov { ty, dst, src, special, shared_addr } => {
@@ -738,11 +733,8 @@ impl<'a> Emitter<'a> {
                         Src::Reg(r) => {
                             let s = self.gpr_of(r)?;
                             self.push(
-                                Instruction::new(
-                                    Op::Mov,
-                                    vec![Operand::Reg(d), Operand::Reg(s)],
-                                )
-                                .with_guard(g),
+                                Instruction::new(Op::Mov, vec![Operand::Reg(d), Operand::Reg(s)])
+                                    .with_guard(g),
                             );
                             if ty.is_wide() {
                                 self.push(
@@ -790,12 +782,7 @@ impl<'a> Emitter<'a> {
                 self.push(
                     Instruction::new(
                         op,
-                        vec![
-                            Operand::Reg(d),
-                            Operand::Reg(ra),
-                            Operand::Reg(rb),
-                            Operand::Reg(rc),
-                        ],
+                        vec![Operand::Reg(d), Operand::Reg(ra), Operand::Reg(rb), Operand::Reg(rc)],
                     )
                     .with_mods(Mods { itype, ..Mods::default() })
                     .with_guard(g),
@@ -817,12 +804,9 @@ impl<'a> Emitter<'a> {
                     self.sval32(b, g)?
                 };
                 self.push(
-                    Instruction::new(
-                        op,
-                        vec![Operand::pred(p), Operand::Reg(ra), bv.operand()],
-                    )
-                    .with_mods(Mods { cmp: cmp.to_sass(), itype, ..Mods::default() })
-                    .with_guard(g),
+                    Instruction::new(op, vec![Operand::pred(p), Operand::Reg(ra), bv.operand()])
+                        .with_mods(Mods { cmp: cmp.to_sass(), itype, ..Mods::default() })
+                        .with_guard(g),
                 );
             }
             P::Selp { ty, dst, a, b, p } => {
@@ -877,11 +861,7 @@ impl<'a> Emitter<'a> {
                 let tblock = self.cfg.instr_block.get(tidx).copied().unwrap_or(0);
                 // Retarget branches into a claimed join to its landing pad.
                 let label = if self.plan.sync_before.contains(&tblock)
-                    && self
-                        .plan
-                        .region_of
-                        .get(&tblock)
-                        .is_some_and(|r| r.contains(&block))
+                    && self.plan.region_of.get(&tblock).is_some_and(|r| r.contains(&block))
                     && self.cfg.blocks[tblock].start == tidx
                 {
                     self.cfg.blocks.len() + tblock
@@ -894,9 +874,9 @@ impl<'a> Emitter<'a> {
             }
             P::Call { ret, func, args } => {
                 if !g.is_always() {
-                    return Err(self.sem(format!(
-                        "guarded call to `{func}`: calls must be warp-uniform"
-                    )));
+                    return Err(
+                        self.sem(format!("guarded call to `{func}`: calls must be warp-uniform"))
+                    );
                 }
                 // Marshal arguments.
                 let mut slot = ARG_BASE;
@@ -1001,9 +981,8 @@ impl<'a> Emitter<'a> {
                     Some(r) => self.gpr_of(r)?,
                     None => Reg::RZ,
                 };
-                let itype = atom_itype(*ty).ok_or_else(|| {
-                    self.sem(format!("atomics unsupported for {ty}"))
-                })?;
+                let itype = atom_itype(*ty)
+                    .ok_or_else(|| self.sem(format!("atomics unsupported for {ty}")))?;
                 self.push(
                     Instruction::new(
                         Op::Atom,
@@ -1021,9 +1000,8 @@ impl<'a> Emitter<'a> {
             P::Red { op, ty, addr, src } => {
                 let (base, off) = self.global_addr(addr, g)?;
                 let s = self.gpr_of(src)?;
-                let itype = atom_itype(*ty).ok_or_else(|| {
-                    self.sem(format!("reductions unsupported for {ty}"))
-                })?;
+                let itype = atom_itype(*ty)
+                    .ok_or_else(|| self.sem(format!("reductions unsupported for {ty}")))?;
                 self.push(
                     Instruction::new(
                         Op::Red,
@@ -1176,11 +1154,7 @@ impl<'a> Emitter<'a> {
         self.push(
             Instruction::new(
                 Op::Iadd,
-                vec![
-                    Operand::Reg(SCRATCH_LO),
-                    Operand::Reg(SCRATCH_LO),
-                    Operand::Reg(NVBIT_FRAME),
-                ],
+                vec![Operand::Reg(SCRATCH_LO), Operand::Reg(SCRATCH_LO), Operand::Reg(NVBIT_FRAME)],
             )
             .with_guard(g),
         );
@@ -1210,9 +1184,8 @@ impl<'a> Emitter<'a> {
             }
             AddrBase::Shared(name) => {
                 if space != Space::Shared {
-                    return Err(self.sem(format!(
-                        "shared variable `{name}` addressed with {space:?} access"
-                    )));
+                    return Err(self
+                        .sem(format!("shared variable `{name}` addressed with {space:?} access")));
                 }
                 let off = *self
                     .shared_offsets
@@ -1268,8 +1241,11 @@ impl<'a> Emitter<'a> {
             (BinKind::Add, PtxType::F32) => {
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Fadd, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Fadd,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_guard(g),
                 );
             }
             (BinKind::Add, PtxType::F64) => {
@@ -1285,16 +1261,22 @@ impl<'a> Emitter<'a> {
             (BinKind::Add, t) if t.is_wide() => {
                 let bv = self.sval64(b, g)?;
                 self.push(
-                    Instruction::new(Op::Iadd, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_mods(mods(IType::U64))
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Iadd,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_mods(mods(IType::U64))
+                    .with_guard(g),
                 );
             }
             (BinKind::Add, _) => {
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Iadd, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Iadd,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_guard(g),
                 );
             }
             (BinKind::Sub, PtxType::F32) => match b {
@@ -1381,15 +1363,21 @@ impl<'a> Emitter<'a> {
             (BinKind::Sub, _) => {
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Isub, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Isub,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_guard(g),
                 );
             }
             (BinKind::MulLo, PtxType::F32) => {
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Fmul, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Fmul,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_guard(g),
                 );
             }
             (BinKind::MulLo, PtxType::F64) => {
@@ -1408,8 +1396,11 @@ impl<'a> Emitter<'a> {
             (BinKind::MulLo, _) => {
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Imul, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Imul,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_guard(g),
                 );
             }
             (BinKind::MulWide, _) => {
@@ -1452,18 +1443,24 @@ impl<'a> Emitter<'a> {
                 };
                 let bv = self.sval32(b, g)?;
                 self.push(
-                    Instruction::new(Op::Lop, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_mods(Mods { sub, ..Mods::default() })
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Lop,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_mods(Mods { sub, ..Mods::default() })
+                    .with_guard(g),
                 );
             }
             (BinKind::Shl, t) => {
                 let bv = self.sval32(b, g)?;
                 let itype = if t.is_wide() { IType::U64 } else { IType::S32 };
                 self.push(
-                    Instruction::new(Op::Shl, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_mods(mods(itype))
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Shl,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_mods(mods(itype))
+                    .with_guard(g),
                 );
             }
             (BinKind::Shr, t) => {
@@ -1474,9 +1471,12 @@ impl<'a> Emitter<'a> {
                     _ => IType::U32,
                 };
                 self.push(
-                    Instruction::new(Op::Shr, vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()])
-                        .with_mods(mods(itype))
-                        .with_guard(g),
+                    Instruction::new(
+                        Op::Shr,
+                        vec![Operand::Reg(d), Operand::Reg(ra), bv.operand()],
+                    )
+                    .with_mods(mods(itype))
+                    .with_guard(g),
                 );
             }
         }
@@ -1585,10 +1585,9 @@ impl<'a> Emitter<'a> {
 
     fn finish(self) -> Result<CompiledFunction> {
         let codec = codec_for(self.arch);
-        let code = codec.encode_stream(&self.out).map_err(|source| PtxError::Encode {
-            function: self.f.name.clone(),
-            source,
-        })?;
+        let code = codec
+            .encode_stream(&self.out)
+            .map_err(|source| PtxError::Encode { function: self.f.name.clone(), source })?;
         let reg_count = self
             .out
             .iter()
@@ -1713,13 +1712,8 @@ TOP:
         let ssy_pos = instrs.iter().position(|i| i.op == Op::Ssy).expect("loop gets SSY");
         // The SSY must be before the loop body (before the first IADD of the
         // loop counter), i.e. executed once.
-        let backedge = instrs
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, i)| i.op == Op::Bra)
-            .map(|(p, _)| p)
-            .unwrap();
+        let backedge =
+            instrs.iter().enumerate().rev().find(|(_, i)| i.op == Op::Bra).map(|(p, _)| p).unwrap();
         let isz = Arch::Pascal.instruction_size() as i64;
         let off = instrs[backedge].rel_target().unwrap();
         assert!(off < 0, "backedge branches backwards");

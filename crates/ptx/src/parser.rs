@@ -47,10 +47,7 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|t| t.line).unwrap_or(0)
     }
 
     fn err(&self, reason: String) -> PtxError {
@@ -131,28 +128,27 @@ impl Parser {
 
         let name = self.expect_word()?;
         let mut params = Vec::new();
-        if self.eat_punct('(')
-            && !self.eat_punct(')') {
-                loop {
-                    let lead = self.expect_word()?;
-                    let expected = match kind {
-                        FunctionKind::Entry => ".param",
-                        FunctionKind::Device => ".reg",
-                    };
-                    if lead != expected {
-                        return Err(
-                            self.err(format!("expected `{expected}` parameter, found `{lead}`"))
-                        );
-                    }
-                    let ty = self.type_word()?;
-                    let pname = self.expect_word()?;
-                    params.push((pname, ty));
-                    if self.eat_punct(')') {
-                        break;
-                    }
-                    self.expect_punct(',')?;
+        if self.eat_punct('(') && !self.eat_punct(')') {
+            loop {
+                let lead = self.expect_word()?;
+                let expected = match kind {
+                    FunctionKind::Entry => ".param",
+                    FunctionKind::Device => ".reg",
+                };
+                if lead != expected {
+                    return Err(
+                        self.err(format!("expected `{expected}` parameter, found `{lead}`"))
+                    );
                 }
+                let ty = self.type_word()?;
+                let pname = self.expect_word()?;
+                params.push((pname, ty));
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
             }
+        }
 
         self.expect_punct('{')?;
         let mut regs: BTreeMap<String, PtxType> = BTreeMap::new();
@@ -205,7 +201,9 @@ impl Parser {
                         w2 = self.expect_word()?;
                     }
                     if w2 != ".b8" {
-                        return Err(self.err(format!("shared declarations use `.b8`, found `{w2}`")));
+                        return Err(
+                            self.err(format!("shared declarations use `.b8`, found `{w2}`"))
+                        );
                     }
                     let sname = self.expect_word()?;
                     self.expect_punct('[')?;
@@ -228,14 +226,19 @@ impl Parser {
                 }
                 _ => {
                     // Label (`IDENT:`) or instruction.
-                    if w != "@" && !w.starts_with('%') && !w.starts_with('.')
-                        && matches!(self.toks.get(self.pos + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
-                        {
-                            self.bump();
-                            self.bump();
-                            body.push(Statement::Label(w));
-                            continue;
-                        }
+                    if w != "@"
+                        && !w.starts_with('%')
+                        && !w.starts_with('.')
+                        && matches!(
+                            self.toks.get(self.pos + 1).map(|t| &t.tok),
+                            Some(Tok::Punct(':'))
+                        )
+                    {
+                        self.bump();
+                        self.bump();
+                        body.push(Statement::Label(w));
+                        continue;
+                    }
                     let instr = self.instruction(&regs)?;
                     body.push(Statement::Instr(instr));
                 }
@@ -569,10 +572,11 @@ impl Parser {
     fn cvt(&mut self, parts: &[&str]) -> Result<PtxOp> {
         // `cvt.dty.sty` with an optional rounding part we ignore
         // (`cvt.rn.f32.s32`).
-        let tys: Vec<PtxType> =
-            parts[1..].iter().filter_map(|s| PtxType::from_suffix(s)).collect();
+        let tys: Vec<PtxType> = parts[1..].iter().filter_map(|s| PtxType::from_suffix(s)).collect();
         if tys.len() != 2 {
-            return Err(self.err(format!("cvt requires two type suffixes in `{}`", parts.join("."))));
+            return Err(
+                self.err(format!("cvt requires two type suffixes in `{}`", parts.join(".")))
+            );
         }
         let dst = self.expect_reg()?;
         self.comma()?;

@@ -340,10 +340,9 @@ pub fn allocate<'a>(f: &'a Function, lin: &Linear<'a>, cfg: &FnCfg) -> Result<Al
 
         let loc = match iv.ty {
             PtxType::Pred => {
-                let p = (0..7).find(|&p| pred_free[p]).ok_or(PtxError::OutOfRegisters {
-                    function: f.name.clone(),
-                    required: 8,
-                })?;
+                let p = (0..7)
+                    .find(|&p| pred_free[p])
+                    .ok_or(PtxError::OutOfRegisters { function: f.name.clone(), required: 8 })?;
                 pred_free[p] = false;
                 Loc::Pred(p as u8)
             }
@@ -557,10 +556,7 @@ TOP:
         let f = &m.functions[0];
         let lin = Linear::of(f);
         let cfg = FnCfg::build(&lin);
-        assert!(matches!(
-            allocate(f, &lin, &cfg),
-            Err(PtxError::Semantic { .. })
-        ));
+        assert!(matches!(allocate(f, &lin, &cfg), Err(PtxError::Semantic { .. })));
     }
 
     #[test]
@@ -609,10 +605,7 @@ mod pressure_tests {
         let f = &m.functions[0];
         let lin = Linear::of(f);
         let cfg = FnCfg::build(&lin);
-        assert!(matches!(
-            allocate(f, &lin, &cfg),
-            Err(PtxError::OutOfRegisters { .. })
-        ));
+        assert!(matches!(allocate(f, &lin, &cfg), Err(PtxError::OutOfRegisters { .. })));
     }
 
     #[test]
@@ -629,9 +622,6 @@ mod pressure_tests {
         let f = &m.functions[0];
         let lin = Linear::of(f);
         let cfg = FnCfg::build(&lin);
-        assert!(matches!(
-            allocate(f, &lin, &cfg),
-            Err(PtxError::OutOfRegisters { .. })
-        ));
+        assert!(matches!(allocate(f, &lin, &cfg), Err(PtxError::OutOfRegisters { .. })));
     }
 }

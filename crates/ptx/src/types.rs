@@ -1,9 +1,7 @@
 //! Scalar types of the virtual ISA.
 
-use serde::{Deserialize, Serialize};
-
 /// A PTX scalar type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PtxType {
     /// Unsigned 32-bit integer.
     U32,

@@ -1,14 +1,12 @@
 //! Target architecture families and their fixed properties.
 
-use serde::{Deserialize, Serialize};
-
 /// A GPU architecture family supported by the stack.
 ///
 /// Mirrors the four families the NVBit paper supports. The first three share
 /// the 64-bit encoding ([`EncodingFamily::Enc64`]); Volta uses the 128-bit
 /// encoding ([`EncodingFamily::Enc128`]) and a newer ABI that additionally
 /// carries convergence-barrier state across instrumentation calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Arch {
     /// Kepler-class device (`sm_35`-era analog).
     Kepler,
@@ -21,7 +19,7 @@ pub enum Arch {
 }
 
 /// The binary encoding family of an [`Arch`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EncodingFamily {
     /// 64-bit (8-byte) instruction words.
     Enc64,

@@ -37,7 +37,9 @@ pub fn assemble(text: &str) -> Result<Vec<Instruction>> {
     if let Some((name, line)) = labels.iter().map(|(n, l)| (n.clone(), l.line)).next() {
         return Err(SassError::Parse {
             line,
-            reason: format!("label `{name}` requires assemble_arch (byte offsets depend on the architecture)"),
+            reason: format!(
+                "label `{name}` requires assemble_arch (byte offsets depend on the architecture)"
+            ),
         });
     }
     if let Some(r) = refs.first() {
@@ -138,14 +140,8 @@ fn parse(text: &str) -> Result<Parsed> {
                     reason: format!("invalid label name `{name}`"),
                 });
             }
-            if labels
-                .insert(name.to_string(), LabelDef { index: instrs.len(), line })
-                .is_some()
-            {
-                return Err(SassError::Parse {
-                    line,
-                    reason: format!("duplicate label `{name}`"),
-                });
+            if labels.insert(name.to_string(), LabelDef { index: instrs.len(), line }).is_some() {
+                return Err(SassError::Parse { line, reason: format!("duplicate label `{name}`") });
             }
             src = src[colon + 1..].trim();
         }
@@ -187,16 +183,13 @@ fn parse_instruction(src: &str, line: usize) -> Result<(Instruction, Option<Stri
     let perr = |reason: String| SassError::Parse { line, reason };
 
     let src = src.trim();
-    let body = src
-        .strip_suffix(';')
-        .ok_or_else(|| perr("missing terminating `;`".into()))?
-        .trim();
+    let body = src.strip_suffix(';').ok_or_else(|| perr("missing terminating `;`".into()))?.trim();
 
     // Guard.
     let (guard, rest) = if let Some(stripped) = body.strip_prefix('@') {
-        let (g, r) = stripped.split_once(char::is_whitespace).ok_or_else(|| {
-            perr("guard must be followed by a mnemonic".into())
-        })?;
+        let (g, r) = stripped
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| perr("guard must be followed by a mnemonic".into()))?;
         let (negated, pname) =
             if let Some(p) = g.strip_prefix('!') { (true, p) } else { (false, g) };
         let pred = parse_pred_name(pname).ok_or_else(|| perr(format!("bad guard `{g}`")))?;

@@ -385,10 +385,10 @@ fn decode_with(p: &Params, word: u128) -> Result<Instruction> {
 
     let guard = Guard { pred: Pred(r.get(3) as u8), negated: r.get(1) != 0 };
 
-    let width = Width::from_index(r.get(2) as u8)
-        .ok_or_else(|| bad("invalid width modifier".into()))?;
-    let itype = IType::from_index(r.get(2) as u8)
-        .ok_or_else(|| bad("invalid type modifier".into()))?;
+    let width =
+        Width::from_index(r.get(2) as u8).ok_or_else(|| bad("invalid width modifier".into()))?;
+    let itype =
+        IType::from_index(r.get(2) as u8).ok_or_else(|| bad("invalid type modifier".into()))?;
     let cmp = CmpOp::from_index(r.get(3) as u8)
         .ok_or_else(|| bad("invalid comparison modifier".into()))?;
     let sub = SubOp::from_index(r.get(5) as u8)
@@ -497,7 +497,10 @@ mod tests {
             Instruction::new(Op::Bra, vec![Operand::Rel(-0x1000)])
                 .with_guard(Guard { pred: Pred(3), negated: true }),
             Instruction::new(Op::Jmp, vec![Operand::Abs(0xdead_beef)]),
-            Instruction::new(Op::S2r, vec![Operand::Reg(Reg(0)), Operand::SReg(SpecialReg::LaneId)]),
+            Instruction::new(
+                Op::S2r,
+                vec![Operand::Reg(Reg(0)), Operand::SReg(SpecialReg::LaneId)],
+            ),
             Instruction::new(
                 Op::Atom,
                 vec![
@@ -559,19 +562,13 @@ mod tests {
         // Opcode field value 200 is unassigned.
         let word = 200u64;
         let bytes = word.to_le_bytes();
-        assert!(matches!(
-            ENC64_CODEC.decode(&bytes),
-            Err(SassError::BadEncoding { .. })
-        ));
+        assert!(matches!(ENC64_CODEC.decode(&bytes), Err(SassError::BadEncoding { .. })));
     }
 
     #[test]
     fn decode_stream_checks_length() {
         let c: &dyn Codec = &ENC64_CODEC;
-        assert!(matches!(
-            c.decode_stream(&[0u8; 12]),
-            Err(SassError::TruncatedStream { .. })
-        ));
+        assert!(matches!(c.decode_stream(&[0u8; 12]), Err(SassError::TruncatedStream { .. })));
     }
 
     #[test]

@@ -2,10 +2,9 @@
 
 use crate::op::{CfClass, CmpOp, IType, OKind, Op, SubOp};
 use crate::reg::{Pred, Reg, SpecialReg};
-use serde::{Deserialize, Serialize};
 
 /// Access width of a memory operation (also selects register pairs/quads).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u8)]
 pub enum Width {
     /// 32 bits (one register).
@@ -51,7 +50,7 @@ impl Width {
 }
 
 /// Memory space targeted by a load/store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Device-wide global memory.
     Global,
@@ -76,7 +75,7 @@ impl std::fmt::Display for MemSpace {
 }
 
 /// The predicate guard of an instruction (`@P3`, `@!P0`, or always-on).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Guard {
     /// Guarding predicate register.
     pub pred: Pred,
@@ -120,7 +119,7 @@ impl std::fmt::Display for Guard {
 /// Only the fields meaningful for a given opcode are encoded with non-default
 /// values; the codec rejects out-of-range values and the simulator ignores
 /// fields irrelevant to the opcode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Mods {
     /// Access width (memory operations, shuffles of pairs).
     pub width: Width,
@@ -136,7 +135,7 @@ pub struct Mods {
 }
 
 /// An instruction operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// General-purpose register.
     Reg(Reg),
@@ -250,7 +249,7 @@ impl std::fmt::Display for Operand {
 /// Instructions are values: building one does not validate it against its
 /// opcode's format. Validation happens in [`Instruction::validate`], which
 /// codecs and the assembler invoke.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Instruction {
     /// Predicate guard.
     pub guard: Guard,
@@ -376,10 +375,9 @@ impl Instruction {
                     };
                     src_regs(*base, n, &mut out);
                 }
-                (OKind::CBankRef, Operand::CBank { base, .. })
-                    if !base.is_zero() => {
-                        out.push(*base);
-                    }
+                (OKind::CBankRef, Operand::CBank { base, .. }) if !base.is_zero() => {
+                    out.push(*base);
+                }
                 _ => {}
             }
         }
@@ -463,10 +461,7 @@ pub(crate) fn uses_cmp(op: Op) -> bool {
 
 /// True if the opcode consumes the `itype` modifier.
 pub(crate) fn uses_itype(op: Op) -> bool {
-    matches!(
-        op,
-        Op::Isetp | Op::Shr | Op::Imnmx | Op::I2f | Op::F2i | Op::Atom | Op::Red
-    )
+    matches!(op, Op::Isetp | Op::Shr | Op::Imnmx | Op::I2f | Op::F2i | Op::Atom | Op::Red)
 }
 
 /// True if the opcode consumes the `width` modifier.

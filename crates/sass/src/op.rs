@@ -1,11 +1,9 @@
 //! Opcode definitions: mnemonics, operand formats, categories and
 //! control-flow classes.
 
-use serde::{Deserialize, Serialize};
-
 /// Comparison operator carried in the modifier field of `ISETP`/`FSETP`/
 /// `DSETP` and min/max-style instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u8)]
 pub enum CmpOp {
     /// Equal.
@@ -52,7 +50,7 @@ impl CmpOp {
 
 /// Sub-operation selector shared by several opcodes (`LOP`, `SHFL`, `VOTE`,
 /// `MUFU`, `ATOM`, `RED`, `IMNMX`, `FMNMX`, `PSETP`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u8)]
 pub enum SubOp {
     /// No sub-operation (the opcode's default behaviour).
@@ -177,7 +175,7 @@ impl SubOp {
 }
 
 /// Scalar type selector carried in the modifier field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u8)]
 pub enum IType {
     /// Signed 32-bit integer.
@@ -218,7 +216,7 @@ impl IType {
 
 /// Coarse instruction category, used for statistics and instruction
 /// histograms (paper Figure 7) and by the timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpCategory {
     /// Integer arithmetic and logic.
     Integer,
@@ -295,7 +293,7 @@ impl std::fmt::Display for OpCategory {
 /// Control-flow class of an opcode, as seen by basic-block construction and
 /// by NVBit's code generator (which must relocate control-flow instructions
 /// into trampolines with offset fix-ups).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CfClass {
     /// Not a control-flow instruction.
     None,
@@ -373,7 +371,7 @@ macro_rules! define_ops {
         ///
         /// The discriminant is the value stored in the encoded opcode field
         /// and is stable across encoding families.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         #[repr(u16)]
         #[allow(missing_docs)] // variants are documented by their mnemonic table below
         pub enum Op {

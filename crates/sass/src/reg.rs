@@ -1,13 +1,11 @@
 //! Register, predicate and special-register names.
 
-use serde::{Deserialize, Serialize};
-
 /// A general-purpose 32-bit register `R0`..`R254`, or the hardwired zero
 /// register [`Reg::RZ`] (encoded as index 255).
 ///
 /// Reads of `RZ` produce zero; writes to it are discarded — exactly the
 /// behaviour real SASS relies on to express "no destination".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -43,7 +41,7 @@ impl std::fmt::Display for Reg {
 
 /// A predicate register `P0`..`P6`, or the hardwired true predicate
 /// [`Pred::PT`] (encoded as index 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pred(pub u8);
 
 impl Pred {
@@ -75,7 +73,7 @@ impl std::fmt::Display for Pred {
 }
 
 /// Special (read-only) registers accessed via the `S2R` instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum SpecialReg {
     /// Thread index within the block, x component.

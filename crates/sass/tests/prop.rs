@@ -1,164 +1,174 @@
 //! Property-based tests for the ISA layer: codec and assembler round-trips
 //! over randomly generated, family-legal instructions.
 
-use proptest::prelude::*;
+use common::prop::{run_cases, vec_of};
+use common::Rng;
 use sass::codec::{codec_for, Codec, Enc128, Enc64};
 use sass::op::{IType, OKind, SubOp};
 use sass::{asm, Arch, CmpOp, Guard, Instruction, Mods, Op, Operand, Pred, Reg, SpecialReg, Width};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    prop_oneof![9 => (0u8..255).prop_map(Reg), 1 => Just(Reg::RZ)]
+const CASES: u32 = 256;
+
+fn arb_reg(rng: &mut Rng) -> Reg {
+    if rng.gen_range(0u32..10) == 0 {
+        Reg::RZ
+    } else {
+        Reg(rng.gen_range(0u8..255))
+    }
 }
 
-fn arb_pred_operand() -> impl Strategy<Value = Operand> {
-    ((0u8..=7), any::<bool>()).prop_map(|(p, negated)| Operand::Pred {
-        pred: Pred(p.min(7)),
-        negated,
-    })
+fn arb_pred_operand(rng: &mut Rng) -> Operand {
+    Operand::Pred { pred: Pred(rng.gen_range(0u8..8)), negated: rng.gen_bool() }
 }
 
-fn arb_guard() -> impl Strategy<Value = Guard> {
-    ((0u8..=7), any::<bool>()).prop_map(|(p, negated)| Guard { pred: Pred(p), negated })
+fn arb_guard(rng: &mut Rng) -> Guard {
+    Guard { pred: Pred(rng.gen_range(0u8..8)), negated: rng.gen_bool() }
 }
 
 /// Modifiers constrained to fields every opcode tolerates; the barrier slot
 /// stays zero so the instruction encodes on both families.
-fn arb_mods() -> impl Strategy<Value = Mods> {
-    (
-        prop_oneof![Just(Width::B32), Just(Width::B64), Just(Width::B128)],
-        0u8..4,
-        0u8..6,
-        prop_oneof![
-            Just(SubOp::None),
-            Just(SubOp::Min),
-            Just(SubOp::Max),
-            Just(SubOp::Add),
-            Just(SubOp::Ballot),
-            Just(SubOp::Rcp),
-        ],
-    )
-        .prop_map(|(width, it, cmp, sub)| Mods {
-            width,
-            itype: IType::from_index(it).unwrap(),
-            cmp: CmpOp::from_index(cmp).unwrap(),
-            sub,
-            barrier: 0,
-        })
+fn arb_mods(rng: &mut Rng) -> Mods {
+    let width = *rng.choose(&[Width::B32, Width::B64, Width::B128]);
+    let itype = IType::from_index(rng.gen_range(0u8..4)).unwrap();
+    let cmp = CmpOp::from_index(rng.gen_range(0u8..6)).unwrap();
+    let sub =
+        *rng.choose(&[SubOp::None, SubOp::Min, SubOp::Max, SubOp::Add, SubOp::Ballot, SubOp::Rcp]);
+    Mods { width, itype, cmp, sub, barrier: 0 }
 }
 
 /// Generates an operand legal for `kind` on **both** encoding families
 /// (immediates and offsets stay within the narrower Enc64 fields).
-fn arb_operand(kind: OKind) -> BoxedStrategy<Operand> {
+fn arb_operand(rng: &mut Rng, kind: OKind) -> Operand {
     match kind {
-        OKind::RegW | OKind::RegR => arb_reg().prop_map(Operand::Reg).boxed(),
-        OKind::RegRI => prop_oneof![
-            arb_reg().prop_map(Operand::Reg),
-            // SEL's immediate slot is the narrowest at 19 bits on Enc64.
-            (-(1i64 << 17)..(1i64 << 17)).prop_map(Operand::Imm),
-        ]
-        .boxed(),
-        OKind::PredW | OKind::PredR => arb_pred_operand().boxed(),
-        OKind::MRef => (arb_reg(), -(1i32 << 18)..(1i32 << 18))
-            .prop_map(|(base, offset)| Operand::MRef { base, offset })
-            .boxed(),
-        OKind::MRefAtom => (arb_reg(), -128i32..128)
-            .prop_map(|(base, offset)| Operand::MRef { base, offset })
-            .boxed(),
-        OKind::CBankRef => (0u8..4, arb_reg(), any::<u16>())
-            .prop_map(|(bank, base, offset)| Operand::CBank { bank, base, offset })
-            .boxed(),
-        OKind::SReg => (0u8..SpecialReg::ALL.len() as u8)
-            .prop_map(|i| Operand::SReg(SpecialReg::from_index(i).unwrap()))
-            .boxed(),
-        OKind::Rel => (-(1i64 << 30)..(1i64 << 30)).prop_map(Operand::Rel).boxed(),
-        OKind::Abs => (0u64..(1 << 39)).prop_map(Operand::Abs).boxed(),
+        OKind::RegW | OKind::RegR => Operand::Reg(arb_reg(rng)),
+        OKind::RegRI => {
+            if rng.gen_bool() {
+                Operand::Reg(arb_reg(rng))
+            } else {
+                // SEL's immediate slot is the narrowest at 19 bits on Enc64.
+                Operand::Imm(rng.gen_range(-(1i64 << 17)..(1i64 << 17)))
+            }
+        }
+        OKind::PredW | OKind::PredR => arb_pred_operand(rng),
+        OKind::MRef => {
+            Operand::MRef { base: arb_reg(rng), offset: rng.gen_range(-(1i32 << 18)..(1i32 << 18)) }
+        }
+        OKind::MRefAtom => {
+            Operand::MRef { base: arb_reg(rng), offset: rng.gen_range(-128i32..128) }
+        }
+        OKind::CBankRef => Operand::CBank {
+            bank: rng.gen_range(0u8..4),
+            base: arb_reg(rng),
+            offset: rng.gen_range(0u32..u16::MAX as u32 + 1) as u16,
+        },
+        OKind::SReg => Operand::SReg(
+            SpecialReg::from_index(rng.gen_range(0u8..SpecialReg::ALL.len() as u8)).unwrap(),
+        ),
+        OKind::Rel => Operand::Rel(rng.gen_range(-(1i64 << 30)..(1i64 << 30))),
+        OKind::Abs => Operand::Abs(rng.gen_range(0u64..(1 << 39))),
         // PROXY's id field is the narrowest Imm32 slot at 24 bits on Enc64.
-        OKind::Imm32 => (-(1i64 << 22)..(1i64 << 22)).prop_map(Operand::Imm).boxed(),
+        OKind::Imm32 => Operand::Imm(rng.gen_range(-(1i64 << 22)..(1i64 << 22))),
     }
 }
 
-fn arb_instruction() -> impl Strategy<Value = Instruction> {
-    (0..Op::ALL.len()).prop_flat_map(|op_idx| {
-        let op = Op::ALL[op_idx];
-        let operand_strats: Vec<BoxedStrategy<Operand>> =
-            op.format().iter().map(|k| arb_operand(*k)).collect();
-        (arb_guard(), arb_mods(), operand_strats).prop_map(move |(guard, mods, operands)| {
-            Instruction { guard, op, mods, operands }
-        })
-    })
+fn arb_instruction(rng: &mut Rng) -> Instruction {
+    let op = *rng.choose(Op::ALL);
+    let guard = arb_guard(rng);
+    let mods = arb_mods(rng);
+    let operands = op.format().iter().map(|k| arb_operand(rng, *k)).collect();
+    Instruction { guard, op, mods, operands }
 }
 
-proptest! {
-    #[test]
-    fn codec_roundtrip_enc64(instr in arb_instruction()) {
+#[test]
+fn codec_roundtrip_enc64() {
+    run_cases("codec_roundtrip_enc64", CASES, |rng| {
+        let instr = arb_instruction(rng);
         let c = Enc64;
         let bytes = c.encode(&instr).unwrap();
-        prop_assert_eq!(bytes.len(), 8);
-        prop_assert_eq!(c.decode(&bytes).unwrap(), instr);
-    }
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(c.decode(&bytes).unwrap(), instr);
+    });
+}
 
-    #[test]
-    fn codec_roundtrip_enc128(instr in arb_instruction()) {
+#[test]
+fn codec_roundtrip_enc128() {
+    run_cases("codec_roundtrip_enc128", CASES, |rng| {
+        let instr = arb_instruction(rng);
         let c = Enc128;
         let bytes = c.encode(&instr).unwrap();
-        prop_assert_eq!(bytes.len(), 16);
-        prop_assert_eq!(c.decode(&bytes).unwrap(), instr);
-    }
+        assert_eq!(bytes.len(), 16);
+        assert_eq!(c.decode(&bytes).unwrap(), instr);
+    });
+}
 
-    #[test]
-    fn assembler_roundtrip(instr in arb_instruction()) {
+#[test]
+fn assembler_roundtrip() {
+    run_cases("assembler_roundtrip", CASES, |rng| {
+        let instr = arb_instruction(rng);
         let text = instr.to_string();
-        let parsed = asm::assemble(&text)
-            .unwrap_or_else(|e| panic!("could not re-assemble `{text}`: {e}"));
-        prop_assert_eq!(parsed.len(), 1);
+        let parsed =
+            asm::assemble(&text).unwrap_or_else(|e| panic!("could not re-assemble `{text}`: {e}"));
+        assert_eq!(parsed.len(), 1);
         // The assembler cannot know mods that print nothing (e.g. a B64 width
         // on a non-memory op); compare via the canonical printed form.
-        prop_assert_eq!(parsed[0].to_string(), text);
-    }
+        assert_eq!(parsed[0].to_string(), text);
+    });
+}
 
-    #[test]
-    fn streams_roundtrip_on_every_arch(prog in proptest::collection::vec(arb_instruction(), 1..40)) {
+#[test]
+fn streams_roundtrip_on_every_arch() {
+    run_cases("streams_roundtrip_on_every_arch", CASES, |rng| {
+        let prog = vec_of(rng, 1..40, arb_instruction);
         for arch in Arch::ALL {
             let c = codec_for(arch);
             let bytes = c.encode_stream(&prog).unwrap();
-            prop_assert_eq!(bytes.len(), prog.len() * c.instruction_size());
-            prop_assert_eq!(c.decode_stream(&bytes).unwrap(), prog.clone());
+            assert_eq!(bytes.len(), prog.len() * c.instruction_size());
+            assert_eq!(c.decode_stream(&bytes).unwrap(), prog);
         }
-    }
+    });
+}
 
-    #[test]
-    fn max_reg_is_consistent_with_use_def_sets(instr in arb_instruction()) {
+#[test]
+fn max_reg_is_consistent_with_use_def_sets() {
+    run_cases("max_reg_is_consistent_with_use_def_sets", CASES, |rng| {
+        let instr = arb_instruction(rng);
         let m = instr.max_reg();
         let all: Vec<_> = instr.reg_reads().into_iter().chain(instr.reg_writes()).collect();
         match m {
-            None => prop_assert!(all.is_empty()),
+            None => assert!(all.is_empty()),
             Some(hi) => {
-                prop_assert!(all.iter().all(|r| r.0 <= hi));
-                prop_assert!(all.iter().any(|r| r.0 == hi));
+                assert!(all.iter().all(|r| r.0 <= hi));
+                assert!(all.iter().any(|r| r.0 == hi));
             }
         }
-    }
+    });
 }
 
-proptest! {
-    /// Decoding arbitrary bytes never panics — it either produces a valid
-    /// instruction or a structured error (important: the executor fetches
-    /// from memory an instrumentation tool may have mispatched).
-    #[test]
-    fn decoding_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 16)) {
+/// Decoding arbitrary bytes never panics — it either produces a valid
+/// instruction or a structured error (important: the executor fetches
+/// from memory an instrumentation tool may have mispatched).
+#[test]
+fn decoding_garbage_never_panics() {
+    run_cases("decoding_garbage_never_panics", CASES, |rng| {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
         let _ = Enc64.decode(&bytes[..8]);
         let _ = Enc128.decode(&bytes[..16]);
-    }
+    });
+}
 
-    /// If garbage decodes, re-encoding the decoded instruction succeeds or
-    /// fails cleanly (no panics on out-of-range reconstructed fields).
-    #[test]
-    fn decode_then_encode_is_total(bytes in proptest::collection::vec(any::<u8>(), 16)) {
+/// If garbage decodes, re-encoding the decoded instruction succeeds or
+/// fails cleanly (no panics on out-of-range reconstructed fields).
+#[test]
+fn decode_then_encode_is_total() {
+    run_cases("decode_then_encode_is_total", CASES, |rng| {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
         if let Ok(i) = Enc64.decode(&bytes[..8]) {
             let _ = Enc64.encode(&i);
         }
         if let Ok(i) = Enc128.decode(&bytes[..16]) {
             let _ = Enc128.encode(&i);
         }
-    }
+    });
 }

@@ -65,7 +65,11 @@ pub struct CacheSim {
 impl CacheSim {
     /// Creates a cache.
     pub fn new(config: CacheConfig) -> CacheSim {
-        CacheSim { config, sets: vec![Vec::new(); config.sets() as usize], results: CacheSimResults::default() }
+        CacheSim {
+            config,
+            sets: vec![Vec::new(); config.sets() as usize],
+            results: CacheSimResults::default(),
+        }
     }
 
     /// Replays one access; returns `true` on hit.
@@ -167,8 +171,7 @@ mod tests {
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
         let f = drv.module_get_function(&m, "k").unwrap();
         let buf = drv.mem_alloc(1024).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         drv.shutdown();
 
         let mut cache = CacheSim::new(CacheConfig::l1());

@@ -110,8 +110,7 @@ mod tests {
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
         let f = drv.module_get_function(&m, "k").unwrap();
         let buf = drv.mem_alloc(128).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         let mut out = vec![0u8; 128];
         drv.memcpy_dtoh(&mut out, buf).unwrap();
         drv.shutdown();
@@ -135,11 +134,8 @@ mod tests {
         // Locate the S2R instruction and its destination register.
         let code = drv.read_code(f).unwrap();
         let instrs = sass::codec::codec_for(drv.arch()).decode_stream(&code).unwrap();
-        let (s2r_idx, s2r) = instrs
-            .iter()
-            .enumerate()
-            .find(|(_, i)| i.op == sass::Op::S2r)
-            .expect("app reads tid");
+        let (s2r_idx, s2r) =
+            instrs.iter().enumerate().find(|(_, i)| i.op == sass::Op::S2r).expect("app reads tid");
         let dst = match s2r.operands[0] {
             sass::Operand::Reg(r) => r.0,
             _ => unreachable!(),

@@ -59,7 +59,11 @@ impl InstrCount {
     pub fn new() -> (InstrCount, Rc<InstrCountResults>) {
         let results = Rc::new(InstrCountResults::default());
         (
-            InstrCount { results: results.clone(), counters: BTreeMap::new(), seen: HashSet::new() },
+            InstrCount {
+                results: results.clone(),
+                counters: BTreeMap::new(),
+                seen: HashSet::new(),
+            },
             results,
         )
     }

@@ -173,9 +173,7 @@ impl NvbitTool for MemDivergence {
         }
         // Reproduce a compiler-based tool by refusing to look inside
         // pre-compiled libraries.
-        if !self.include_libraries
-            && api.is_library_function(*func).unwrap_or(false)
-        {
+        if !self.include_libraries && api.is_library_function(*func).unwrap_or(false) {
             return;
         }
         let mut targets = vec![*func];
@@ -246,8 +244,7 @@ mod tests {
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", src)).unwrap();
         let f = drv.module_get_function(&m, kernel).unwrap();
         let buf = drv.mem_alloc(bufsize).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         drv.shutdown();
         results.average()
     }

@@ -72,10 +72,7 @@ impl MemTrace {
     /// Creates the tool with a record capacity.
     pub fn new(capacity: u32) -> (MemTrace, Rc<MemTraceResults>) {
         let results = Rc::new(MemTraceResults::default());
-        (
-            MemTrace { capacity, buf: 0, results: results.clone(), seen: HashSet::new() },
-            results,
-        )
+        (MemTrace { capacity, buf: 0, results: results.clone(), seen: HashSet::new() }, results)
     }
 
     fn publish(&self, drv: &Driver) {
@@ -172,8 +169,7 @@ mod tests {
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
         let f = drv.module_get_function(&m, "k").unwrap();
         let buf = drv.mem_alloc(1024).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         drv.shutdown();
 
         let addrs = results.addresses();
@@ -195,8 +191,7 @@ mod tests {
         let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
         let f = drv.module_get_function(&m, "k").unwrap();
         let buf = drv.mem_alloc(1024).unwrap();
-        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)])
-            .unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
         drv.shutdown();
         assert!(results.truncated());
         assert_eq!(results.addresses().len(), 16);

@@ -154,10 +154,8 @@ impl OpcodeHistogram {
                 api.enable_instrumented(*t, true).unwrap();
             }
         }
-        self.kernels.insert(
-            func.raw(),
-            KernelState { counters, slot_ops, snapshot: vec![0; SLOTS] },
-        );
+        self.kernels
+            .insert(func.raw(), KernelState { counters, slot_ops, snapshot: vec![0; SLOTS] });
     }
 
     fn publish(&self, drv: &Driver) {
@@ -247,14 +245,10 @@ impl NvbitTool for OpcodeHistogram {
         let state = self.kernels.get(&func.raw()).expect("instrumented at entry");
         if self.current_instrumented {
             let now = self.read_counters(api.driver(), state.counters);
-            let delta: Vec<u64> =
-                now.iter().zip(&state.snapshot).map(|(a, b)| a - b).collect();
+            let delta: Vec<u64> = now.iter().zip(&state.snapshot).map(|(a, b)| a - b).collect();
             self.estimates.insert(key, delta);
         } else if let Some(delta) = self.estimates.get(&key) {
-            let extra = self
-                .extrapolated
-                .entry(func.raw())
-                .or_insert_with(|| vec![0; SLOTS]);
+            let extra = self.extrapolated.entry(func.raw()).or_insert_with(|| vec![0; SLOTS]);
             for (e, d) in extra.iter_mut().zip(delta) {
                 *e += *d;
             }

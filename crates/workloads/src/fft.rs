@@ -46,7 +46,7 @@ pub fn fft_stages_body() -> String {
         s.push_str("    sub.f32 %fj, %fj, %fk;\n"); // re' = hr*wr - hi*wi
         s.push_str("    mul.f32 %fk, %fh, %fe;\n");
         s.push_str("    fma.rn.f32 %fk, %fi, %fd, %fk;\n"); // im' = hr*wi + hi*wr
-        // Select by butterfly half.
+                                                            // Select by butterfly half.
         let _ = writeln!(s, "    and.b32 %rc, %ra, {m};");
         s.push_str("    setp.eq.u32 %pp, %rc, 0;\n");
         s.push_str("    selp.b32 %fre, %ff, %fj, %pp;\n");

@@ -9,10 +9,9 @@
 
 use crate::kernels as k;
 use accel::{Cublas, Cudnn};
+use common::Rng;
 use cuda::{CuFunction, CuModule, Driver, FatBinary, KernelArg};
 use gpu::Dim3;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
 
 /// One layer of a model.
 #[derive(Debug, Clone, Copy)]
@@ -178,17 +177,18 @@ impl MlModel {
         let a = drv.mem_alloc(cap)?;
         let b = drv.mem_alloc(cap)?;
         let weights = drv.mem_alloc(cap)?;
-        let wdata: Vec<u8> =
-            (0..cap / 4).flat_map(|i| (((i % 13) as f32 - 6.0) * 0.05).to_bits().to_le_bytes()).collect();
+        let wdata: Vec<u8> = (0..cap / 4)
+            .flat_map(|i| (((i % 13) as f32 - 6.0) * 0.05).to_bits().to_le_bytes())
+            .collect();
         drv.memcpy_htod(weights, &wdata)?;
         let adata: Vec<u8> =
             (0..cap / 4).flat_map(|i| (((i % 29) as f32) * 0.03).to_bits().to_le_bytes()).collect();
         drv.memcpy_htod(a, &adata)?;
 
         // A shuffled index buffer for the gather layers.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut idx: Vec<u32> = (0..16384).collect();
-        idx.shuffle(&mut rng);
+        rng.shuffle(&mut idx);
         let idx_bytes: Vec<u8> = idx.iter().flat_map(|v| v.to_le_bytes()).collect();
         let indices = drv.mem_alloc(16384 * 4)?;
         drv.memcpy_htod(indices, &idx_bytes)?;

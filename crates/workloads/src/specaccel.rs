@@ -14,10 +14,9 @@
 //!   stencil/sweep mixes.
 
 use crate::kernels as k;
+use common::Rng;
 use cuda::{CuContext, CuFunction, CuModule, Driver, FatBinary, KernelArg};
 use gpu::Dim3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Problem-size classes (the paper uses medium for Figure 5 and large for
 /// Figures 7–9; tests use small).
@@ -151,10 +150,7 @@ fn ostencil(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
 
 fn olbm(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
-    let m = c.module(
-        "olbm",
-        &[k::lbm_stream("lbm_stream", 8), k::axpby("lbm_collide")],
-    )?;
+    let m = c.module("olbm", &[k::lbm_stream("lbm_stream", 8), k::axpby("lbm_collide")])?;
     let stream = c.func(&m, "lbm_stream")?;
     let collide = c.func(&m, "lbm_collide")?;
     let grid = c.alloc_f32(n + 16, |i| (i % 9) as f32 * 0.1)?;
@@ -179,10 +175,7 @@ fn olbm(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
 
 fn omriq(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
-    let m = c.module(
-        "omriq",
-        &[k::trig_map("mriq_phi", 6), k::trig_map("mriq_q", 10)],
-    )?;
+    let m = c.module("omriq", &[k::trig_map("mriq_phi", 6), k::trig_map("mriq_q", 10)])?;
     let phi = c.func(&m, "mriq_phi")?;
     let q = c.func(&m, "mriq_q")?;
     let x = c.alloc_f32(n, |i| i as f32 * 0.001)?;
@@ -316,25 +309,25 @@ fn ep(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
 
 fn clvrleaf(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
-    let srcs: Vec<String> = ["ideal_gas", "viscosity", "flux_calc", "advec_cell", "advec_mom", "reset"]
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            if i % 2 == 0 {
-                k::axpby(&format!("clvr_{name}"))
-            } else {
-                k::lbm_stream(&format!("clvr_{name}"), 4)
-            }
-        })
-        .collect();
+    let srcs: Vec<String> =
+        ["ideal_gas", "viscosity", "flux_calc", "advec_cell", "advec_mom", "reset"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                if i % 2 == 0 {
+                    k::axpby(&format!("clvr_{name}"))
+                } else {
+                    k::lbm_stream(&format!("clvr_{name}"), 4)
+                }
+            })
+            .collect();
     let m = c.module("clvrleaf", &srcs)?;
     let x = c.alloc_f32(n + 8, |i| (i % 23) as f32 * 0.02)?;
     let y = c.alloc_f32(n + 8, |_| 1.0)?;
     for _ in 0..iters.div_ceil(2) {
-        for (i, name) in
-            ["ideal_gas", "viscosity", "flux_calc", "advec_cell", "advec_mom", "reset"]
-                .iter()
-                .enumerate()
+        for (i, name) in ["ideal_gas", "viscosity", "flux_calc", "advec_cell", "advec_mom", "reset"]
+            .iter()
+            .enumerate()
         {
             let f = c.func(&m, &format!("clvr_{name}"))?;
             if i % 2 == 0 {
@@ -361,13 +354,14 @@ fn clvrleaf(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
 fn cg(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
     let rows = n / 8;
-    let m = c.module("cg", &[k::spmv_csr("cg_spmv"), k::axpby("cg_axpy"), k::reduce_sum("cg_dot")])?;
+    let m =
+        c.module("cg", &[k::spmv_csr("cg_spmv"), k::axpby("cg_axpy"), k::reduce_sum("cg_dot")])?;
     let spmv = c.func(&m, "cg_spmv")?;
     let axpy = c.func(&m, "cg_axpy")?;
     let dot = c.func(&m, "cg_dot")?;
 
     // Random CSR structure: row lengths 1..16 (divergent loops).
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Rng::seed_from_u64(42);
     let mut rowptr = vec![0u32];
     let mut cols = Vec::new();
     for _ in 0..rows {
@@ -419,10 +413,8 @@ fn seismic(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
     let w = 128u32;
     let h = (n / w).max(4);
-    let m = c.module(
-        "seismic",
-        &[k::stencil5("seismic_pressure"), k::stencil5("seismic_velocity")],
-    )?;
+    let m =
+        c.module("seismic", &[k::stencil5("seismic_pressure"), k::stencil5("seismic_velocity")])?;
     let p = c.func(&m, "seismic_pressure")?;
     let v = c.func(&m, "seismic_velocity")?;
     let a = c.alloc_f32(h * w, |i| if i == h * w / 2 { 100.0 } else { 0.0 })?;
@@ -469,10 +461,7 @@ fn mini_ghost(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     let (n, iters) = size.scale();
     let w = 128u32;
     let h = (n / w).max(4);
-    let m = c.module(
-        "miniGhost",
-        &[k::stencil5("mg_stencil"), k::reduce_sum("mg_checksum")],
-    )?;
+    let m = c.module("miniGhost", &[k::stencil5("mg_stencil"), k::reduce_sum("mg_checksum")])?;
     let st = c.func(&m, "mg_stencil")?;
     let ck = c.func(&m, "mg_checksum")?;
     let a = c.alloc_f32(h * w, |i| (i % 7) as f32)?;
@@ -576,7 +565,11 @@ fn bt(c: &Ctx<'_>, size: Size) -> cuda::Result<()> {
     for _ in 0..iters.div_ceil(2) {
         for nm in ["bt_xsolve", "bt_ysolve", "bt_zsolve"] {
             let f = c.func(&m, nm)?;
-            c.launch1d(&f, rows, &[KernelArg::Ptr(data), KernelArg::U32(rows), KernelArg::U32(64)])?;
+            c.launch1d(
+                &f,
+                rows,
+                &[KernelArg::Ptr(data), KernelArg::U32(rows), KernelArg::U32(64)],
+            )?;
         }
         let add = c.func(&m, "bt_add")?;
         c.launch1d(
@@ -605,8 +598,7 @@ mod tests {
     fn every_benchmark_runs_small() {
         for b in suite() {
             let drv = Driver::new(DeviceSpec::test(Arch::Volta));
-            b.run(&drv, Size::Small)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            b.run(&drv, Size::Small).unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
             assert!(drv.launch_count() > 0, "{} launched nothing", b.name);
         }
     }
@@ -636,10 +628,7 @@ mod tests {
             .map(|l| l.stats.thread_instructions)
             .collect();
         assert!(counts.len() >= 2);
-        assert!(
-            counts.windows(2).any(|w| w[0] != w[1]),
-            "md_force counts should vary: {counts:?}"
-        );
+        assert!(counts.windows(2).any(|w| w[0] != w[1]), "md_force counts should vary: {counts:?}");
     }
 
     #[test]
@@ -648,11 +637,7 @@ mod tests {
         // warp-level instruction count (zero sampling error).
         let drv = Driver::new(DeviceSpec::test(Arch::Volta));
         benchmark("ostencil").unwrap().run(&drv, Size::Small).unwrap();
-        let counts: Vec<u64> = drv
-            .launches()
-            .iter()
-            .map(|l| l.stats.warp_instructions)
-            .collect();
+        let counts: Vec<u64> = drv.launches().iter().map(|l| l.stats.warp_instructions).collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     }
 

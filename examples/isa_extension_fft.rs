@@ -16,9 +16,8 @@ use workloads::fft;
 
 fn main() {
     // A pure sine at bin 4: the FFT should put all energy at bins 4 and 28.
-    let input: [(f32, f32); 32] = std::array::from_fn(|i| {
-        ((2.0 * std::f32::consts::PI * 4.0 * i as f32 / 32.0).sin(), 0.0)
-    });
+    let input: [(f32, f32); 32] =
+        std::array::from_fn(|i| ((2.0 * std::f32::consts::PI * 4.0 * i as f32 / 32.0).sin(), 0.0));
     let bytes: Vec<u8> = input
         .iter()
         .flat_map(|(r, i)| {

@@ -1,0 +1,137 @@
+//! Parallel-vs-serial determinism: a launch under the CTA-parallel
+//! scheduler must be **bit-identical** to the serial path — same final
+//! device memory, same `ExecStats` — on real workloads, including under
+//! instrumentation (where trampolines, save areas and tool counters all
+//! live in the same device memory the CTAs share).
+
+use common::Rng;
+use cuda::{Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3, ExecStats, Scheduler};
+use nvbit::attach_tool;
+use nvbit_tools::InstrCount;
+use sass::Arch;
+use workloads::fft::soft_fft_kernel_ptx;
+
+const SCHEDULERS: [Scheduler; 3] =
+    [Scheduler::Serial, Scheduler::Parallel { threads: 0 }, Scheduler::Parallel { threads: 3 }];
+
+/// Runs the software warp-FFT over several CTAs and returns the output
+/// buffer plus the per-launch statistics.
+fn run_fft(sched: Scheduler) -> (Vec<u8>, Vec<ExecStats>) {
+    const BLOCKS: u32 = 8;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    drv.with_device(|d| d.scheduler = sched);
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", soft_fft_kernel_ptx())).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let mut rng = Rng::seed_from_u64(0x0df7);
+    let mut input = vec![0u8; bytes as usize];
+    rng.fill_bytes(&mut input);
+    // Complex points must be finite floats: clear the exponent's top bit.
+    for k in (0..input.len()).step_by(4) {
+        input[k + 3] &= 0x3f;
+    }
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    drv.memcpy_htod(din, &input).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; bytes as usize];
+    drv.memcpy_dtoh(&mut out, dout).unwrap();
+    let stats = drv.launches().into_iter().map(|l| l.stats).collect();
+    drv.shutdown();
+    (out, stats)
+}
+
+#[test]
+fn fft_is_bit_identical_across_schedulers() {
+    let (serial_mem, serial_stats) = run_fft(Scheduler::Serial);
+    assert!(serial_stats.iter().any(|s| s.warp_instructions > 0));
+    for sched in SCHEDULERS {
+        let (mem, stats) = run_fft(sched);
+        assert_eq!(mem, serial_mem, "device memory diverged under {sched:?}");
+        assert_eq!(stats, serial_stats, "ExecStats diverged under {sched:?}");
+    }
+}
+
+/// A multi-CTA kernel with divergence, a loop and a global atomic — the
+/// shapes whose ordering a parallel scheduler could plausibly disturb.
+const COUNT_APP: &str = r#"
+.entry work(.param .u64 buf, .param .u64 total)
+{
+    .reg .u32 %r<6>;
+    .reg .u64 %rd<6>;
+    .reg .pred %p<2>;
+    ld.param.u64 %rd1, [buf];
+    ld.param.u64 %rd2, [total];
+    mov.u32 %r1, %ctaid.x;
+    mov.u32 %r2, %ntid.x;
+    mov.u32 %r3, %tid.x;
+    mad.lo.u32 %r1, %r1, %r2, %r3;
+    and.b32 %r4, %r1, 7;
+    mov.u32 %r5, 0;
+L:
+    setp.ge.u32 %p1, %r5, %r4;
+    @%p1 bra D;
+    add.u32 %r5, %r5, 1;
+    bra L;
+D:
+    mul.wide.u32 %rd3, %r1, 4;
+    add.u64 %rd4, %rd1, %rd3;
+    st.global.u32 [%rd4], %r5;
+    cvt.u64.u32 %rd5, %r5;
+    atom.global.add.u64 %rd3, [%rd2], %rd5;
+    exit;
+}
+"#;
+
+/// Runs `COUNT_APP` under the instruction-count tool; returns the output
+/// buffer, the atomic total, the per-launch statistics and the tool's
+/// dynamic instruction count.
+fn run_instr_count(sched: Scheduler) -> (Vec<u8>, u64, Vec<ExecStats>, u64) {
+    const BLOCKS: u32 = 16;
+    const THREADS: u32 = 64;
+    let bytes = (BLOCKS * THREADS) as u64 * 4;
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    drv.with_device(|d| d.scheduler = sched);
+    let (tool, results) = InstrCount::new();
+    attach_tool(&drv, tool);
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("count_app", COUNT_APP)).unwrap();
+    let f = drv.module_get_function(&m, "work").unwrap();
+    let buf = drv.mem_alloc(bytes).unwrap();
+    let total = drv.mem_alloc(8).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(THREADS),
+        &[KernelArg::Ptr(buf), KernelArg::Ptr(total)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; bytes as usize];
+    drv.memcpy_dtoh(&mut out, buf).unwrap();
+    let mut t = [0u8; 8];
+    drv.memcpy_dtoh(&mut t, total).unwrap();
+    let stats = drv.launches().into_iter().map(|l| l.stats).collect();
+    drv.shutdown();
+    (out, u64::from_le_bytes(t), stats, results.total())
+}
+
+#[test]
+fn instr_count_is_bit_identical_across_schedulers() {
+    let (serial_mem, serial_total, serial_stats, serial_count) = run_instr_count(Scheduler::Serial);
+    assert!(serial_count > 0, "tool must observe instructions");
+    for sched in SCHEDULERS {
+        let (mem, total, stats, count) = run_instr_count(sched);
+        assert_eq!(mem, serial_mem, "device memory diverged under {sched:?}");
+        assert_eq!(total, serial_total, "atomic total diverged under {sched:?}");
+        assert_eq!(stats, serial_stats, "ExecStats diverged under {sched:?}");
+        assert_eq!(count, serial_count, "tool count diverged under {sched:?}");
+    }
+}

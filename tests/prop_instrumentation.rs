@@ -2,10 +2,10 @@
 //! instrumenting *any* subset of a kernel's instructions — at any mix of
 //! injection points — must preserve the application's semantics exactly.
 
+use common::prop::{run_cases, vec_of};
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
 use nvbit::{attach_tool, IPoint, NvbitApi, NvbitTool};
-use proptest::prelude::*;
 use sass::Arch;
 
 const COUNT_FN: &str = r#"
@@ -129,18 +129,15 @@ fn run_gauntlet(sites: Option<Vec<(usize, bool)>>) -> Vec<u8> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any subset of instrumentation sites (before or after, possibly
-    /// stacked on the same instruction) leaves the application output
-    /// byte-identical.
-    #[test]
-    fn any_instrumentation_subset_preserves_semantics(
-        sites in proptest::collection::vec((0usize..64, any::<bool>()), 0..12),
-    ) {
+/// Any subset of instrumentation sites (before or after, possibly
+/// stacked on the same instruction) leaves the application output
+/// byte-identical.
+#[test]
+fn any_instrumentation_subset_preserves_semantics() {
+    run_cases("any_instrumentation_subset_preserves_semantics", 12, |rng| {
+        let sites = vec_of(rng, 0..12, |r| (r.gen_range(0usize..64), r.gen_bool()));
         let native = run_gauntlet(None);
         let instrumented = run_gauntlet(Some(sites.clone()));
-        prop_assert_eq!(native, instrumented, "sites {:?} corrupted the app", sites);
-    }
+        assert_eq!(native, instrumented, "sites {sites:?} corrupted the app");
+    });
 }
