@@ -151,7 +151,11 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity literal; null is the
+                    // conventional lossy rendering.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -295,14 +299,28 @@ impl Parser<'_> {
                         b'b' => s.push('\u{8}'),
                         b'f' => s.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.src.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.src[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
+                            let hi = self.hex4()?;
+                            let cp = if (0xd800..=0xdbff).contains(&hi) {
+                                // A high surrogate combines with a
+                                // following `\uDC00`-`\uDFFF` escape into
+                                // one supplementary code point; a lone
+                                // surrogate becomes U+FFFD.
+                                if self.src[self.pos..].starts_with(b"\\u") {
+                                    let save = self.pos;
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xdc00..=0xdfff).contains(&lo) {
+                                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                    } else {
+                                        self.pos = save;
+                                        0xfffd
+                                    }
+                                } else {
+                                    0xfffd
+                                }
+                            } else {
+                                hi
+                            };
                             s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(self.err("unknown escape")),
@@ -321,6 +339,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads four hex digits (the payload of a `\u` escape).
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.src.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.src[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -425,6 +455,24 @@ mod tests {
     fn integers_print_without_a_fraction() {
         assert_eq!(Json::Num(42.0).to_compact(), "42");
         assert_eq!(Json::Num(0.5).to_compact(), "0.5");
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Lone surrogates (high-only, or high followed by a non-surrogate
+        // escape) decode as U+FFFD without consuming the next escape.
+        assert_eq!(Json::parse("\"\\ud83d\"").unwrap().as_str(), Some("\u{fffd}"));
+        assert_eq!(Json::parse("\"\\ud83dx\"").unwrap().as_str(), Some("\u{fffd}x"));
+        assert_eq!(Json::parse("\"\\ud83d\\u0041\"").unwrap().as_str(), Some("\u{fffd}A"));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).to_compact(), "null");
     }
 
     #[test]

@@ -95,13 +95,24 @@ impl LaunchConfig {
 
 /// How CTAs of a launch are mapped onto host threads.
 ///
-/// Every scheduler produces **bit-identical** results — device memory,
-/// statistics and decode-cache state after the launch do not depend on the
-/// choice. Parallel execution is safe because CTAs of a (race-free) kernel
-/// are independent by construction: per-CTA state (registers, shared and
-/// local memory, statistics, the decode-cache overlay) is owned by the
-/// worker, global-memory atomics serialize, and all per-CTA results merge
-/// in CTA-linear order afterwards.
+/// For a launch that completes without faulting, every scheduler produces
+/// **bit-identical** statistics and decode-cache state: per-CTA state
+/// (registers, shared and local memory, statistics, the decode-cache
+/// overlay) is owned by the worker, and all per-CTA results merge in
+/// CTA-linear order afterwards. Final device memory is also bit-identical
+/// whenever the kernel is race-free across CTAs and its cross-CTA atomics
+/// are commutative with unobserved results — true of every shipped
+/// workload. The CTA schedule *is* observable through atomics, though:
+/// `ATOM` returns the location's old value into a destination register,
+/// and `EXCH`/`CAS` are non-commutative, so a kernel that stores an
+/// atomic's return value (the atomicAdd unique-index idiom) or exchanges
+/// through memory sees CTA completion order — run-to-run nondeterministic
+/// under [`Scheduler::Parallel`], CTA-linear under [`Scheduler::Serial`].
+/// Use `Serial` when reproducibility of such kernels matters more than
+/// speed. After a *faulting* launch, device memory is unspecified under
+/// `Parallel`: CTAs above the first faulting index may already have run,
+/// and while their statistics and cache overlays are discarded by the
+/// merge, their global-memory writes are not rolled back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduler {
     /// One CTA at a time, in CTA-linear order, on the calling thread.
@@ -138,7 +149,8 @@ pub struct Device {
     decode_cache: DecodeCache,
     /// Decode-cache switch (ablation benchmarks turn it off).
     pub decode_cache_enabled: bool,
-    /// CTA-to-host-thread mapping; results are identical for every setting.
+    /// CTA-to-host-thread mapping; see [`Scheduler`] for the exact
+    /// determinism contract.
     pub scheduler: Scheduler,
     launches: u64,
 }
@@ -217,17 +229,20 @@ impl Device {
     /// Launches a kernel and runs it to completion.
     ///
     /// Warps round-robin inside each CTA; CTAs run serially or on a worker
-    /// pool per [`Device::scheduler`]. Results are bit-identical either
-    /// way: every CTA owns its statistics, decode-cache overlay and
-    /// shared/local memories, and the per-CTA results merge in CTA-linear
-    /// order once all CTAs retire.
+    /// pool per [`Device::scheduler`]. Every CTA owns its statistics,
+    /// decode-cache overlay and shared/local memories, and the per-CTA
+    /// results merge in CTA-linear order once all CTAs retire, so a
+    /// non-faulting launch reports the same statistics and cache state
+    /// under every scheduler; see [`Scheduler`] for what that guarantee
+    /// does and does not cover (observable atomics, post-fault memory).
     ///
     /// # Errors
     ///
     /// [`GpuError::BadLaunch`] for invalid configurations and
     /// [`GpuError::Fault`] for execution faults. When several CTAs fault,
     /// the fault of the lowest CTA-linear index is reported, matching
-    /// serial execution.
+    /// serial execution; device memory after a fault is unspecified under
+    /// [`Scheduler::Parallel`].
     pub fn launch(&mut self, cfg: &LaunchConfig) -> Result<ExecStats> {
         let block_threads = cfg.block.count();
         if block_threads == 0 || block_threads > 1024 {

@@ -17,7 +17,9 @@
 //! * global/shared/local/constant memories, warp-serialized atomics;
 //! * CTA barriers with round-robin warp scheduling (deterministic);
 //! * CTAs execute serially or across a scoped thread pool
-//!   ([`device::Scheduler`]) with bit-identical results either way;
+//!   ([`device::Scheduler`]); statistics and decode-cache state are
+//!   bit-identical either way, and device memory too for kernels that
+//!   don't observe atomic return values (see `Scheduler`);
 //! * an instruction-cost timing model in which global-memory cost grows
 //!   with the number of unique cache lines touched per warp access.
 //!

@@ -2,6 +2,7 @@
 
 use crate::{GpuError, Result};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Allocation alignment (also the cache-line size, so allocations never
 /// share a line).
@@ -16,8 +17,9 @@ pub struct Memory {
     data: Vec<u8>,
     /// Start address → length of live allocations.
     allocs: BTreeMap<u64, u64>,
-    /// Bump pointer; freed blocks are coalesced into `free` and reused
-    /// first-fit.
+    /// Bump pointer; freed blocks are merged with adjacent free blocks
+    /// (and released back into the bump region when they touch it), then
+    /// reused first-fit.
     bump: u64,
     free: Vec<(u64, u64)>,
 }
@@ -82,7 +84,20 @@ impl Memory {
     /// [`GpuError::BadAddress`] if `addr` is not a live allocation base.
     pub fn free(&mut self, addr: u64) -> Result<()> {
         let len = self.allocs.remove(&addr).ok_or(GpuError::BadAddress { addr, len: 0 })?;
-        self.free.push((addr, len));
+        let (mut addr, mut len) = (addr, len);
+        // Coalesce with free blocks adjacent on either side.
+        while let Some(pos) = self.free.iter().position(|&(a, l)| a + l == addr || addr + len == a)
+        {
+            let (a, l) = self.free.swap_remove(pos);
+            addr = addr.min(a);
+            len += l;
+        }
+        if addr + len == self.bump {
+            // The block reaches the frontier: return it to the bump region.
+            self.bump = addr;
+        } else {
+            self.free.push((addr, len));
+        }
         Ok(())
     }
 
@@ -149,12 +164,12 @@ impl Memory {
 
 /// A launch-scoped view of device memory that CTA worker threads share.
 ///
-/// Raw-pointer based because CTAs running on different host threads all
-/// read and write the same flat array. Atomic read-modify-writes serialize
-/// under `atomic_lock`; plain loads and stores do not. A kernel in which
-/// two CTAs race non-atomically on the same location is undefined behaviour
-/// on real hardware, and it is simulator-UB here for the same reason — the
-/// workloads this stack ships are race-free or use atomics.
+/// Every byte access goes through per-byte `AtomicU8` relaxed loads and
+/// stores (which compile to plain moves on x86 and ARM), so a guest kernel
+/// with a cross-CTA data race produces unspecified *values* — as it would
+/// on real hardware — but never undefined behaviour in the host process.
+/// Atomic read-modify-writes additionally serialize under `atomic_lock`,
+/// making them linearizable across all CTA workers.
 pub(crate) struct SharedMem {
     data: *mut u8,
     len: u64,
@@ -163,8 +178,9 @@ pub(crate) struct SharedMem {
 
 // SAFETY: the view only exists inside `Device::launch`, which holds
 // `&mut Memory` for its whole lifetime, so no host-side access can alias
-// it. Cross-thread access from CTA workers is the intended use; see the
-// struct docs for the race discipline.
+// it. Cross-thread access from CTA workers is the intended use; all of it
+// goes through the `AtomicU8` accessor below, so concurrent guest accesses
+// are data-race-free at the host level.
 unsafe impl Send for SharedMem {}
 unsafe impl Sync for SharedMem {}
 
@@ -177,16 +193,19 @@ impl SharedMem {
         Ok(())
     }
 
+    /// The byte at offset `i`, viewed as an atomic.
+    fn byte(&self, i: usize) -> &AtomicU8 {
+        // SAFETY: callers bounds-check `i`; `AtomicU8` has the same size
+        // and alignment as `u8`, and every cross-thread access to the
+        // backing store goes through this accessor.
+        unsafe { &*self.data.add(i).cast::<AtomicU8>() }
+    }
+
     /// Copies bytes at a device address into `out`.
     pub fn read_into(&self, addr: u64, out: &mut [u8]) -> Result<()> {
         self.check(addr, out.len() as u64)?;
-        // SAFETY: bounds checked above; see the struct docs for aliasing.
-        unsafe {
-            std::ptr::copy_nonoverlapping(
-                self.data.add(addr as usize),
-                out.as_mut_ptr(),
-                out.len(),
-            );
+        for (k, b) in out.iter_mut().enumerate() {
+            *b = self.byte(addr as usize + k).load(Ordering::Relaxed);
         }
         Ok(())
     }
@@ -196,8 +215,7 @@ impl SharedMem {
         self.check(addr, len as u64)?;
         let mut v = 0u64;
         for k in 0..len {
-            // SAFETY: bounds checked above.
-            v |= (unsafe { *self.data.add(addr as usize + k) } as u64) << (8 * k);
+            v |= (self.byte(addr as usize + k).load(Ordering::Relaxed) as u64) << (8 * k);
         }
         Ok(v)
     }
@@ -206,16 +224,18 @@ impl SharedMem {
     pub fn write_scalar(&self, addr: u64, len: usize, v: u64) -> Result<()> {
         self.check(addr, len as u64)?;
         for k in 0..len {
-            // SAFETY: bounds checked above.
-            unsafe { *self.data.add(addr as usize + k) = (v >> (8 * k)) as u8 };
+            self.byte(addr as usize + k).store((v >> (8 * k)) as u8, Ordering::Relaxed);
         }
         Ok(())
     }
 
     /// Atomically applies `f` to the scalar at `addr`, returning the old
     /// value. All atomics across all CTA workers serialize on one lock,
-    /// which keeps integer atomics linearizable (and their results
-    /// order-independent, since every shipped atomic is commutative).
+    /// which keeps them linearizable. Their *order* is still the CTA
+    /// schedule's, though: only commutative operations whose old value is
+    /// discarded yield schedule-independent memory (EXCH/CAS, and any
+    /// atomic whose returned old value the kernel stores, observe CTA
+    /// completion order — see [`crate::Scheduler`]).
     pub fn atomic_rmw(&self, addr: u64, len: usize, f: impl FnOnce(u64) -> u64) -> Result<u64> {
         let _guard = self.atomic_lock.lock().unwrap();
         let old = self.read_scalar(addr, len)?;
@@ -246,6 +266,23 @@ mod tests {
         m.free(a).unwrap();
         let b = m.alloc(512).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adjacent_free_blocks_coalesce() {
+        let mut m = Memory::new(4 * ALLOC_ALIGN);
+        // Fill the heap with three adjacent blocks (plus the null page).
+        let a = m.alloc(ALLOC_ALIGN).unwrap();
+        let b = m.alloc(ALLOC_ALIGN).unwrap();
+        let c = m.alloc(ALLOC_ALIGN).unwrap();
+        assert!(m.alloc(1).is_err(), "heap should be full");
+        // Free out of order; the blocks must merge (and rejoin the bump
+        // region) so one allocation spanning all three succeeds.
+        m.free(a).unwrap();
+        m.free(c).unwrap();
+        m.free(b).unwrap();
+        let big = m.alloc(3 * ALLOC_ALIGN).unwrap();
+        assert_eq!(big, a);
     }
 
     #[test]
