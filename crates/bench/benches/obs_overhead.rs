@@ -1,0 +1,113 @@
+//! Micro-bench: the observability layer's cost contract (DESIGN.md,
+//! "Observability").
+//!
+//! Two measurements back the contract:
+//!
+//! 1. **Raw hook cost** — a tight loop over `obs::span` + `obs::counter`
+//!    with the layer disabled vs enabled, reported in ns/hook. Disabled
+//!    hooks must be a single relaxed load and branch.
+//! 2. **Pipeline overhead** — an instrumented FFT launch end to end with
+//!    the layer off vs on. The acceptance bar is < 1% overhead for the
+//!    disabled mode; the bench prints the estimated disabled overhead as
+//!    (hooks per run × disabled ns/hook) / run time, which bounds what a
+//!    run with hooks compiled in but off can lose.
+
+use common::bench::{black_box, fmt_duration, Group};
+use common::obs;
+use cuda::{Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::attach_tool;
+use nvbit_tools::InstrCount;
+use sass::Arch;
+use std::time::Instant;
+use workloads::fft::soft_fft_kernel_ptx;
+
+const HOOK_ITERS: u64 = 1_000_000;
+
+/// Times `HOOK_ITERS` span+counter pairs and returns ns per hook call
+/// (two hooks per iteration).
+fn hook_ns() -> f64 {
+    let start = Instant::now();
+    for i in 0..HOOK_ITERS {
+        let _span = obs::span("bench_hook");
+        obs::counter("bench_hook.iter", black_box(i));
+    }
+    start.elapsed().as_nanos() as f64 / (HOOK_ITERS * 2) as f64
+}
+
+/// One full instrumented-FFT pipeline run: interpose, lift, instrument,
+/// codegen, execute — the same shape as `examples/profile_pipeline.rs`.
+fn run_pipeline() {
+    const BLOCKS: u32 = 8;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let (tool, _results) = InstrCount::new();
+    attach_tool(&drv, tool);
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", soft_fft_kernel_ptx())).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    drv.memcpy_htod(din, &vec![0u8; bytes as usize]).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+    drv.shutdown();
+}
+
+fn main() {
+    // Pin the mode explicitly so NVBIT_OBS in the environment cannot
+    // skew the disabled measurements.
+    obs::set_enabled(false);
+    let disabled_ns = hook_ns();
+    obs::set_enabled(true);
+    let enabled_ns = hook_ns();
+    obs::set_enabled(false);
+    obs::reset();
+
+    let mut g = Group::new("obs_overhead");
+    g.sample_size(10);
+    g.bench("pipeline/obs_off", run_pipeline);
+    obs::set_enabled(true);
+    g.bench("pipeline/obs_on", || {
+        run_pipeline();
+        obs::reset(); // don't let rings fill across samples
+    });
+    obs::set_enabled(false);
+    let records = g.finish();
+
+    let off = records.iter().find(|r| r.name == "pipeline/obs_off").unwrap().median;
+    let on = records.iter().find(|r| r.name == "pipeline/obs_on").unwrap().median;
+
+    // Count how many hooks one pipeline run actually fires, then bound
+    // the disabled-mode overhead: hooks × disabled ns/hook over run time.
+    obs::set_enabled(true);
+    obs::reset();
+    run_pipeline();
+    let report = obs::Report::capture();
+    let hooks: u64 = report.phases.values().map(|p| 2 * p.count).sum::<u64>()
+        + report.counters.values().map(|c| c.count).sum::<u64>();
+    obs::set_enabled(false);
+    obs::reset();
+
+    let disabled_total_ns = hooks as f64 * disabled_ns;
+    let disabled_pct = 100.0 * disabled_total_ns / off.as_nanos() as f64;
+    let enabled_pct = 100.0 * (on.as_nanos() as f64 / off.as_nanos() as f64 - 1.0);
+
+    println!("\nhook cost: disabled {disabled_ns:.2} ns/call, enabled {enabled_ns:.2} ns/call");
+    println!(
+        "pipeline: off {} / on {} ({enabled_pct:+.2}% enabled overhead)",
+        fmt_duration(off),
+        fmt_duration(on)
+    );
+    println!(
+        "disabled mode: {hooks} hooks/run x {disabled_ns:.2} ns = {} \
+         ({disabled_pct:.3}% of the obs-off run)",
+        fmt_duration(std::time::Duration::from_nanos(disabled_total_ns as u64))
+    );
+    assert!(disabled_pct < 1.0, "disabled-mode overhead bound {disabled_pct:.3}% breaches 1%");
+}

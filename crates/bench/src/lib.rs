@@ -1,7 +1,9 @@
-//! Shared harness for the figure-regeneration binaries and Criterion
-//! benches. Each `fig*` binary regenerates one table/figure of the paper;
-//! see `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
-//! recorded paper-vs-measured results.
+//! Shared harness for the figure-regeneration binaries and the
+//! `harness = false` micro-benches (timed by [`common::bench`]).
+//!
+//! **Paper mapping:** §5 — each `fig*` binary regenerates one table or
+//! figure of the evaluation; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
 
 use cuda::Driver;
 use gpu::DeviceSpec;

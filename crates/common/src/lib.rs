@@ -12,14 +12,20 @@
 //!   `NVBIT_PROP_SEED`);
 //! * [`json`] — a minimal JSON value type with parser and printer, replacing
 //!   the `serde` derives (device specs round-trip through it);
-//! * [`bench`] — a wall-clock micro-bench harness replacing `criterion` for
+//! * [`mod@bench`] — a wall-clock micro-bench harness replacing `criterion` for
 //!   the `harness = false` bench binaries;
+//! * [`obs`] — the pipeline observability layer: lock-free per-thread event
+//!   rings, span guards and named counters with JSON and Chrome-trace
+//!   export (off by default; one branch per hook when disabled);
 //! * [`Dim3`] — the single definition of a 3-component launch dimension,
 //!   re-exported by the `gpu` and `driver` crates.
+
+#![warn(missing_docs)]
 
 pub mod bench;
 pub mod dim3;
 pub mod json;
+pub mod obs;
 pub mod prop;
 pub mod rng;
 

@@ -135,8 +135,11 @@ impl CoreState {
     /// convert components.
     fn lifted(&mut self, drv: &Driver, func: CuFunction) -> Result<Rc<Lifted>> {
         if let Some(l) = self.lifted.get(&func.raw()) {
+            common::obs::counter("lift_cache.hit", 1);
             return Ok(l.clone());
         }
+        common::obs::counter("lift_cache.miss", 1);
+        let _span = common::obs::span("lift");
         let hal = self.hal(drv);
         let info = drv.function_info(func)?;
 
@@ -165,7 +168,17 @@ impl CoreState {
             .map(|f| f.spec.dirty && !f.spec.is_empty())
             .unwrap_or(false);
 
+        if !needs_codegen
+            && self.funcs.get(&func.raw()).is_some_and(|f| f.image.is_some() && !f.spec.dirty)
+        {
+            // An up-to-date instrumented image exists — the code-cache
+            // reuse the paper's Figure 5 amortization depends on.
+            common::obs::counter("instr_image.reuse", 1);
+        }
+
         if needs_codegen {
+            let _span = common::obs::span("instrument");
+            common::obs::counter("instr_image.build", 1);
             self.ensure_routines(drv)?;
             let hal = self.hal(drv);
             let info = drv.function_info(func)?;
@@ -183,6 +196,7 @@ impl CoreState {
                 }
                 drv.with_device(|d| d.free(old.tramp_addr)).ok();
             }
+            let _codegen_span = common::obs::span("codegen");
             let t0 = Instant::now();
             let image = generate(
                 &hal,
@@ -208,6 +222,7 @@ impl CoreState {
             return Ok(());
         }
         let info = drv.function_info(func)?;
+        let _swap_span = common::obs::span("swap");
         let t0 = Instant::now();
         match state.desired {
             Version::Instrumented => {
@@ -273,7 +288,10 @@ impl Interposer for NvbitCore {
         let is_launch_entry = !is_exit && cbid == CbId::LaunchKernel;
 
         let t0 = Instant::now();
-        self.tool.at_cuda_event(&api, is_exit, cbid, params);
+        {
+            let _span = common::obs::span("user_code");
+            self.tool.at_cuda_event(&api, is_exit, cbid, params);
+        }
         let user = t0.elapsed();
 
         if is_launch_entry {

@@ -10,6 +10,10 @@
 //! (enabling O(memcpy) switching between the two — the basis of the paper's
 //! sampling methodology, §6.2).
 //!
+//! **Paper mapping:** §4 — SASS lifting (§4.1), instrumentation-function
+//! compilation (§4.2), trampoline code generation and register save/restore
+//! (§4.3–4.4), and the original/instrumented code-swap machinery.
+//!
 //! # Writing a tool
 //!
 //! A tool implements [`NvbitTool`] (the analog of an NVBit `.so`):
@@ -113,6 +117,8 @@
 //! drv.memcpy_dtoh(&mut out, counter.get()).unwrap();
 //! assert_eq!(u64::from_le_bytes(out), 96);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod codegen;
 pub mod core;

@@ -219,6 +219,10 @@ impl Driver {
     }
 
     fn event(&self, is_exit: bool, cbid: CbId, params: &CbParams<'_>) {
+        // Times the whole interposition callback, tool host code and any
+        // instrumentation work the core performs inside it included
+        // (`obs` spans are inclusive; see DESIGN.md "Observability").
+        let _span = common::obs::span("interpose");
         self.with_interposer(|ip, drv| ip.at_cuda_event(drv, is_exit, cbid, params));
     }
 
@@ -273,6 +277,8 @@ impl Driver {
     /// device, loads every function into device memory and resolves call
     /// relocations.
     pub fn module_load(&self, ctx: &CuContext, fatbin: FatBinary) -> Result<CuModule> {
+        let _span = common::obs::span("module_load");
+        common::obs::counter("module.loads", 1);
         let arch = self.arch();
         let image: ptx::CompiledModule = match fatbin.image_for(arch) {
             Some(img) => img.clone(),
@@ -528,6 +534,8 @@ impl Driver {
         block: Dim3,
         args: &[KernelArg],
     ) -> Result<ExecStats> {
+        let _span = common::obs::span("launch");
+        common::obs::counter("kernel.launches", 1);
         {
             // Validate the handle before telling anyone about the launch.
             self.function_info(*func)?;

@@ -1,6 +1,9 @@
 //! A simulated CUDA driver: contexts, modules, functions, memory, kernel
 //! launches — and the **interposition layer** NVBit hooks into.
 //!
+//! **Paper mapping:** §3 — how NVBit is launched with an application and
+//! interposes on every driver API call without recompiling anything.
+//!
 //! The crate mirrors the structure of the real CUDA driver API that the
 //! paper's Figure 1 shows: language runtimes and applications call the
 //! driver; NVBit interposes *underneath* them by claiming the driver's

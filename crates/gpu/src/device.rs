@@ -279,7 +279,22 @@ impl Device {
         let snapshot = std::mem::take(&mut self.decode_cache);
         let shared = self.mem.shared_view();
 
+        // Scheduler observability: `cta` spans land in each worker
+        // thread's ring (so Parallel shows one trace lane per worker)
+        // and the queue-wait counter records how long each CTA sat
+        // between launch start and being claimed.
+        let obs_on = common::obs::enabled();
+        let exec_span = common::obs::span("execute");
+        let exec_t0 = if obs_on { common::obs::now_ns() } else { 0 };
+
         let run_one = |cta_linear: u64| -> CtaResult {
+            if obs_on {
+                common::obs::counter(
+                    "cta.queue_wait_ns",
+                    common::obs::now_ns().saturating_sub(exec_t0),
+                );
+            }
+            let _cta_span = common::obs::span("cta");
             run_cta(
                 &self.spec,
                 &shared,
@@ -335,11 +350,14 @@ impl Device {
             }
         }
 
+        drop(exec_span);
+
         // Deterministic reduction: walk CTAs in linear order up to (and
         // including) the first fault, merging statistics and decode-cache
         // overlays. CTAs past a fault are discarded even if a parallel
         // worker already ran them, so the post-launch cache state matches
         // serial execution exactly.
+        let merge_span = common::obs::span("merge");
         let first_err = results.iter().position(|r| matches!(r, Some((Err(_), _))));
         let upto = first_err.map_or(cta_count as usize, |k| k + 1);
         let mut cache = snapshot;
@@ -354,6 +372,9 @@ impl Device {
             }
         }
         self.decode_cache = cache;
+        drop(merge_span);
+        common::obs::counter("decode.hit", stats.decode_hits);
+        common::obs::counter("decode.miss", stats.decode_misses);
         match error {
             Some(e) => Err(e),
             None => Ok(stats),

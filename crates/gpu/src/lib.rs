@@ -1,5 +1,8 @@
 //! A functional SIMT GPU simulator that executes encoded SASS.
 //!
+//! **Paper mapping:** §2 (GPU background) and §5 — the execution substrate
+//! on which every instrumented kernel and every overhead measurement runs.
+//!
 //! This crate stands in for the GPU hardware in the NVBit reproduction
 //! stack. Its defining property is that it executes **encoded instruction
 //! bytes fetched from simulated device memory** — the same memory the driver

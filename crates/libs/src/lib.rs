@@ -1,5 +1,8 @@
 //! Pre-compiled accelerated libraries: **mini-cuBLAS** and **mini-cuDNN**.
 //!
+//! **Paper mapping:** §6.1 — the SASS-only library binaries that only a
+//! binary-level instrumenter can see inside.
+//!
 //! These stand in for NVIDIA's proprietary cuBLAS/cuDNN (paper §6.1): the
 //! fat binaries produced here are **SASS-only** — compiled for every
 //! architecture ahead of time, with no embedded PTX and no source shipped —

@@ -1,5 +1,9 @@
 //! A PTX-like virtual ISA and backend compiler for the simulated GPU stack.
 //!
+//! **Paper mapping:** §4.2 — the JIT path that compiles PTX instrumentation
+//! functions to SASS at run time, and the driver's module-load JIT for
+//! applications shipping embedded PTX.
+//!
 //! This crate stands in for NVIDIA's PTX + `ptxas`/driver-JIT pipeline. It
 //! provides:
 //!

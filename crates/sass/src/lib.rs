@@ -1,5 +1,9 @@
 //! A SASS-like machine ISA for a simulated NVIDIA-style GPU.
 //!
+//! **Paper mapping:** §2 (background) — the SASS assembly level that NVBit
+//! operates on, below PTX, where pre-compiled libraries and JIT-generated
+//! code are indistinguishable.
+//!
 //! This crate is the bottom layer of the NVBit reproduction stack. It defines
 //! a fixed-width, binary-encoded machine instruction set with the structural
 //! properties that NVBit's mechanisms depend on:
@@ -18,7 +22,7 @@
 //! The crate provides the ISA definition ([`Instruction`], [`Op`],
 //! [`Operand`]), binary encoders/decoders per family ([`codec`]), a textual
 //! assembler and disassembler ([`asm`]), and basic-block partitioning
-//! ([`cfg`](crate::cfg)).
+//! ([`mod@cfg`]).
 //!
 //! # Example
 //!

@@ -76,6 +76,7 @@ impl NvbitTool for FaultInjector {
         api.add_call_arg_imm32(*func, self.spec.instr_idx, self.spec.reg as i32).unwrap();
         api.add_call_arg_imm32(*func, self.spec.instr_idx, 1i32 << self.spec.bit).unwrap();
         api.add_call_arg_imm32(*func, self.spec.instr_idx, self.spec.lane as i32).unwrap();
+        common::obs::counter("tool.fault.sites", 1);
     }
 }
 

@@ -120,17 +120,20 @@ impl NvbitTool for InstrCount {
         // Instrument the kernel and every function it can call.
         let mut targets = vec![*func];
         targets.extend(api.get_related_funcs(*func).unwrap_or_default());
+        let mut sites = 0u64;
         for t in targets {
             let n = api.get_instrs(t).map(|v| v.len()).unwrap_or(0);
             for idx in 0..n {
                 api.insert_call(t, idx, "nvbit_count_one", IPoint::Before).unwrap();
                 api.add_call_arg_guard_pred(t, idx).unwrap();
                 api.add_call_arg_imm64(t, idx, ctr).unwrap();
+                sites += 1;
             }
             if t != *func {
                 api.enable_instrumented(t, true).unwrap();
             }
         }
+        common::obs::counter("tool.instr_count.sites", sites);
     }
 }
 
@@ -201,6 +204,7 @@ impl NvbitTool for BbInstrCount {
         let ctr = api.driver().with_device(|d| d.alloc(8)).expect("counter alloc");
         self.counters.insert(func.raw(), (ctr, info.library, info.name.clone()));
 
+        let mut sites = 0u64;
         match api.get_basic_blocks(*func).expect("inspection") {
             Some(blocks) => {
                 // NOTE: counting at block heads counts every block entry.
@@ -214,6 +218,7 @@ impl NvbitTool for BbInstrCount {
                     api.add_call_arg_guard_pred(*func, head).unwrap();
                     api.add_call_arg_imm32(*func, head, b.len() as i32).unwrap();
                     api.add_call_arg_imm64(*func, head, ctr).unwrap();
+                    sites += 1;
                 }
             }
             None => {
@@ -221,9 +226,11 @@ impl NvbitTool for BbInstrCount {
                     api.insert_call(*func, idx, "nvbit_count_one", IPoint::Before).unwrap();
                     api.add_call_arg_guard_pred(*func, idx).unwrap();
                     api.add_call_arg_imm64(*func, idx, ctr).unwrap();
+                    sites += 1;
                 }
             }
         }
+        common::obs::counter("tool.bb_instr_count.sites", sites);
     }
 }
 

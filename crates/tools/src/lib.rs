@@ -1,5 +1,8 @@
 //! NVBit instrumentation tools reproducing the paper's use cases.
 //!
+//! **Paper mapping:** §6 — the tools the paper builds on the framework,
+//! each a thin client of the [`nvbit::NvbitApi`] inspection/injection API.
+//!
 //! * [`InstrCount`] — the thread-level instruction counter of Listing 1,
 //!   plus its basic-block-optimized variant ([`BbInstrCount`]).
 //! * [`OpcodeHistogram`] — the per-opcode execution histogram of §6.2, with
@@ -34,6 +37,8 @@
 //! drv.shutdown();
 //! assert!(results.total() > 0);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cache_sim;
 pub mod fault;

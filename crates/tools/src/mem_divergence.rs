@@ -178,6 +178,7 @@ impl NvbitTool for MemDivergence {
         }
         let mut targets = vec![*func];
         targets.extend(api.get_related_funcs(*func).unwrap_or_default());
+        let mut sites = 0u64;
         for t in targets {
             for instr in api.get_instrs(t).expect("inspection") {
                 if instr.mem_space() != Some(sass::MemSpace::Global) {
@@ -189,11 +190,13 @@ impl NvbitTool for MemDivergence {
                 api.add_call_arg_reg_val64(t, instr.idx, base.0).unwrap();
                 api.add_call_arg_imm32(t, instr.idx, offset).unwrap();
                 api.add_call_arg_imm64(t, instr.idx, self.counters).unwrap();
+                sites += 1;
             }
             if t != *func {
                 api.enable_instrumented(t, true).unwrap();
             }
         }
+        common::obs::counter("tool.mem_divergence.sites", sites);
     }
 }
 

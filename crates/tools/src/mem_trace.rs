@@ -48,13 +48,24 @@ impl MemTraceResults {
         self.addresses.borrow().clone()
     }
 
-    /// Total records demanded (may exceed the captured count when the
-    /// buffer filled up).
+    /// Total records the kernel tried to append, whether or not they fit.
+    ///
+    /// `demanded() >= addresses().len()` always holds; the excess (if any)
+    /// is the number of records dropped by the bounded device buffer.
     pub fn demanded(&self) -> u64 {
         *self.demanded.borrow()
     }
 
-    /// True when the buffer overflowed and the trace is truncated.
+    /// True when at least one record was dropped because the buffer was
+    /// full, i.e. `demanded() > addresses().len()`.
+    ///
+    /// Boundary contract: a trace that fills the buffer *exactly*
+    /// (`demanded() == capacity`) is complete, not truncated — every
+    /// demanded record was captured. Truncation begins at the first
+    /// record past capacity. (The device function compares the 64-bit
+    /// slot index against the capacity after narrowing it to `u32`, so
+    /// demand counts stay exact up to `u32::MAX` records — far beyond
+    /// any buffer this tool can allocate.)
     pub fn truncated(&self) -> bool {
         self.demanded() > self.addresses.borrow().len() as u64
     }
@@ -122,6 +133,7 @@ impl NvbitTool for MemTrace {
         if !self.seen.insert(func.raw()) {
             return;
         }
+        let mut sites = 0u64;
         for instr in api.get_instrs(*func).expect("inspection") {
             if instr.mem_space() != Some(sass::MemSpace::Global) {
                 continue;
@@ -133,7 +145,9 @@ impl NvbitTool for MemTrace {
             api.add_call_arg_imm32(*func, instr.idx, offset).unwrap();
             api.add_call_arg_imm64(*func, instr.idx, self.buf).unwrap();
             api.add_call_arg_imm32(*func, instr.idx, self.capacity as i32).unwrap();
+            sites += 1;
         }
+        common::obs::counter("tool.mem_trace.sites", sites);
     }
 }
 
@@ -196,5 +210,24 @@ mod tests {
         assert!(results.truncated());
         assert_eq!(results.addresses().len(), 16);
         assert_eq!(results.demanded(), 64);
+    }
+
+    /// Boundary contract: a trace that fills the buffer *exactly* is
+    /// complete, not truncated. The app demands exactly 64 records
+    /// (32 loads + 32 stores) into a capacity-64 buffer.
+    #[test]
+    fn exactly_full_buffer_is_complete_not_truncated() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let (tool, results) = MemTrace::new(64);
+        attach_tool(&drv, tool);
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "k").unwrap();
+        let buf = drv.mem_alloc(1024).unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
+        drv.shutdown();
+        assert_eq!(results.demanded(), 64, "demand equals capacity exactly");
+        assert_eq!(results.addresses().len(), 64, "every record captured");
+        assert!(!results.truncated(), "an exactly-full buffer is not truncated");
     }
 }

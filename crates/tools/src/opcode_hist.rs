@@ -138,6 +138,7 @@ impl OpcodeHistogram {
         let mut used = HashSet::new();
         let mut targets = vec![func];
         targets.extend(api.get_related_funcs(func).unwrap_or_default());
+        let mut sites = 0u64;
         for t in &targets {
             for instr in api.get_instrs(*t).expect("inspection") {
                 let slot = instr.op().index() as usize % SLOTS;
@@ -147,8 +148,10 @@ impl OpcodeHistogram {
                 api.insert_call(*t, instr.idx, "nvbit_count_one", IPoint::Before).unwrap();
                 api.add_call_arg_guard_pred(*t, instr.idx).unwrap();
                 api.add_call_arg_imm64(*t, instr.idx, counters + slot as u64 * 8).unwrap();
+                sites += 1;
             }
         }
+        common::obs::counter("tool.opcode_hist.sites", sites);
         for t in &targets {
             if *t != func {
                 api.enable_instrumented(*t, true).unwrap();

@@ -42,6 +42,7 @@ impl NvbitTool for WfftEmu {
             return;
         }
         let id = ptx::lower::proxy_id(workloads::fft::WFFT32);
+        let mut sites = 0u64;
         for instr in api.get_instrs(*func).expect("inspection") {
             if instr.proxy_id() != Some(id) {
                 continue;
@@ -52,7 +53,9 @@ impl NvbitTool for WfftEmu {
             api.add_call_arg_imm32(*func, instr.idx, dst.0 as i32).unwrap();
             api.remove_orig(*func, instr.idx).unwrap();
             self.replaced += 1;
+            sites += 1;
         }
+        common::obs::counter("tool.wfft_emu.sites", sites);
     }
 }
 

@@ -2,8 +2,8 @@
 //! Torch7-style ML inference models over the pre-compiled mini-cuBLAS /
 //! mini-cuDNN libraries, and the warp-FFT ISA-extension study.
 //!
-//! These are the *applications under instrumentation* for every figure of
-//! the paper's evaluation:
+//! **Paper mapping:** §5–6 — these are the *applications under
+//! instrumentation* for every figure of the evaluation:
 //!
 //! * [`specaccel`] — Figures 5, 7, 8, 9 (JIT overhead, instruction
 //!   histograms, sampling slowdown and error);

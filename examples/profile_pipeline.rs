@@ -1,0 +1,103 @@
+//! Profile the whole instrumentation pipeline with the observability
+//! layer: run the software warp-FFT under the instruction-counting tool,
+//! then print where the time went — interposition, SASS lifting,
+//! injection, trampoline codegen, execution — and export the raw events
+//! as a Chrome trace loadable in Perfetto or `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --release --example profile_pipeline
+//! ```
+//!
+//! Writes `results/profile_pipeline.trace.json` (Chrome `trace_event`
+//! format) and `results/BENCH_profile_pipeline.json` (the aggregated
+//! summary).
+
+use common::bench::fmt_duration;
+use common::obs;
+use cuda::{Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::attach_tool;
+use nvbit_tools::InstrCount;
+use sass::Arch;
+use std::time::Duration;
+use workloads::fft::soft_fft_kernel_ptx;
+
+fn main() {
+    // Observability is off by default; a tool/app opts in per process
+    // (or via NVBIT_OBS=1 without touching the code).
+    obs::set_enabled(true);
+
+    const BLOCKS: u32 = 8;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let (tool, results) = InstrCount::new();
+    attach_tool(&drv, tool);
+
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", soft_fft_kernel_ptx())).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    // Unit-magnitude input: lane k holds the complex point (1, 0).
+    let input: Vec<u8> = (0..BLOCKS * 32)
+        .flat_map(|_| {
+            let mut rec = [0u8; 8];
+            rec[..4].copy_from_slice(&1.0f32.to_le_bytes());
+            rec
+        })
+        .collect();
+    drv.memcpy_htod(din, &input).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+    drv.shutdown();
+
+    let report = obs::Report::capture();
+
+    // Per-phase breakdown. Exclusive (self) time gives an honest flat
+    // profile: `interpose` contains `lift`/`instrument`/`user_code`, and
+    // `instrument` contains `codegen`, so inclusive times double-count.
+    println!("== profile_pipeline: instrumented fft32_soft ({BLOCKS} CTAs x 32 threads) ==\n");
+    println!("{:12}  {:>6}  {:>12}  {:>12}", "phase", "count", "self", "inclusive");
+    for name in [
+        "interpose",
+        "module_load",
+        "launch",
+        "lift",
+        "instrument",
+        "codegen",
+        "swap",
+        "user_code",
+        "execute",
+        "cta",
+        "merge",
+    ] {
+        let Some(p) = report.phases.get(name) else { continue };
+        println!(
+            "{name:12}  {:>6}  {:>12}  {:>12}",
+            p.count,
+            fmt_duration(Duration::from_nanos(p.self_ns)),
+            fmt_duration(Duration::from_nanos(p.total_ns)),
+        );
+    }
+    println!("\ncounters:");
+    for (name, c) in &report.counters {
+        println!("  {name} = {} ({} events)", c.sum, c.count);
+    }
+    println!("\ntool result: {} dynamic instructions counted", results.total());
+    if report.dropped > 0 {
+        println!("warning: {} events dropped to ring wraparound", report.dropped);
+    }
+
+    std::fs::create_dir_all("results").unwrap();
+    let trace_path = "results/profile_pipeline.trace.json";
+    std::fs::write(trace_path, report.to_chrome_trace().to_compact()).unwrap();
+    let summary_path = "results/BENCH_profile_pipeline.json";
+    std::fs::write(summary_path, report.to_json().to_pretty()).unwrap();
+    println!("\nwrote {trace_path} (open in Perfetto / chrome://tracing)");
+    println!("wrote {summary_path}");
+}

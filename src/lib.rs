@@ -1,8 +1,11 @@
 //! Umbrella crate for the NVBit reproduction: re-exports every layer of the
-//! stack under one roof for examples and integration tests.
+//! stack under one roof for examples and integration tests, and carries the
+//! README below as its documentation so every snippet in it is compiled and
+//! run by `cargo test --doc`.
 //!
-//! See `README.md` for the architecture overview and `DESIGN.md` for the
-//! paper-to-module mapping.
+//! See `DESIGN.md` for the paper-to-module mapping.
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
 
 pub use accel;
 pub use cuda;
