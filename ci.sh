@@ -39,4 +39,16 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
+echo "== verify_all: every tool x every workload, zero diagnostics =="
+# Lifts and instruments every bundled tool against every workload kernel
+# (fft pipeline, SPECAccel suite, ML models) and requires the pre-swap
+# static verifier to accept every generated image.
+cargo test --release -q -p nvbit-tools --test verify_all -- --include-ignored
+
+echo "== differential: liveness-reduced saves vs full-tier =="
+cargo test --release -q -p nvbit-tools --test differential_saves
+
+echo "== savereduce: liveness save-slot reduction (>=30% gate) =="
+cargo run --release -q -p nvbit-bench --bin savereduce
+
 echo "CI OK"

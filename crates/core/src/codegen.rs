@@ -33,6 +33,58 @@ pub struct ToolFn {
     pub reg_count: u32,
     /// Stack bytes the function needs.
     pub stack_size: u32,
+    /// Whether the function uses the `nvbit.readreg`/`nvbit.writereg`
+    /// device API. Such functions address arbitrary save-area slots at run
+    /// time, so sites injecting them always get the conservative
+    /// whole-function tier regardless of liveness.
+    pub uses_reg_api: bool,
+}
+
+/// How the code generator sizes each injection site's register save.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SavePolicy {
+    /// Size each site from the dataflow analysis: only registers live
+    /// across the site (plus the tool's own demand) need saving. Falls
+    /// back to [`SavePolicy::FullTier`] per function when the analysis is
+    /// unavailable, and per site when an injected tool uses the register
+    /// device API.
+    #[default]
+    Liveness,
+    /// One conservative tier covering the whole function's register
+    /// demand at every site (the paper's baseline §5.1 behaviour).
+    FullTier,
+}
+
+/// Liveness input to [`generate`]: the dataflow analysis of the function
+/// being instrumented, or the reason it is unavailable.
+#[derive(Debug, Clone, Copy)]
+pub enum LivenessInput<'a> {
+    /// Analysis available — per-site tiers may shrink below the
+    /// whole-function demand under [`SavePolicy::Liveness`].
+    Analysis(&'a sass::Dataflow),
+    /// Analysis unavailable (irreducible control flow, indirect
+    /// branches, …); every site uses the conservative whole-function tier
+    /// and the reason is recorded in [`InstrumentedImage::fallback`].
+    Unavailable(&'a str),
+}
+
+/// Layout record for one injection site's trampoline, used by the
+/// pre-swap verifier and the save-reduction accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteMeta {
+    /// Index of the instrumented instruction in the original body.
+    pub instr_idx: usize,
+    /// Index of the site's first instruction within the trampoline stream.
+    pub start: usize,
+    /// Number of trampoline instructions the site spans.
+    pub len: usize,
+    /// Offset within the site of the relocated original instruction (or
+    /// its `NOP` replacement when `remove_orig` was requested).
+    pub orig_pos: usize,
+    /// Save tier selected for this site.
+    pub tier: u16,
+    /// Number of injections at this site.
+    pub injections: usize,
 }
 
 /// The output of code generation for one function.
@@ -49,20 +101,55 @@ pub struct InstrumentedImage {
     /// Extra per-thread local memory every launch of the instrumented
     /// version needs (save frame + tool stack frames).
     pub extra_local: u32,
-    /// The save tier selected.
+    /// The largest save tier used by any site.
     pub tier: u16,
+    /// Per-site trampoline layout, in trampoline order.
+    pub sites: Vec<SiteMeta>,
+    /// Register slots actually saved across all injections
+    /// (Σ site tier × site injections).
+    pub saved_slots: u64,
+    /// Register slots the conservative whole-function tier would have
+    /// saved for the same injections.
+    pub full_tier_slots: u64,
+    /// Why liveness-driven sizing was not applied, when it was not
+    /// (`None` when every site was sized from the analysis).
+    pub fallback: Option<String>,
+}
+
+/// The register demand of reading one saved register: slot `r` must have
+/// been stored. `RZ` and the reconstructed `SP` need no slot.
+fn reg_demand(r: u8) -> u32 {
+    match r {
+        255 | 1 => 0,
+        _ => r as u32 + 1,
+    }
+}
+
+/// The register demand an argument places on the save tier.
+fn arg_demand(arg: &Arg) -> u32 {
+    match arg {
+        Arg::RegVal(r) => reg_demand(*r),
+        Arg::RegVal64(r) => reg_demand(*r).max(reg_demand(r.saturating_add(1))),
+        _ => 0,
+    }
 }
 
 /// Runs code generation. `alloc` provides device memory for the trampoline
 /// region (the bulk allocation the paper mentions); `routines` must cover
-/// every tier.
+/// every tier. `liveness` and `policy` control per-site save sizing: under
+/// [`SavePolicy::Liveness`] with [`LivenessInput::Analysis`], each site
+/// saves only the registers that are both live across it and inside the
+/// trampoline's clobber window (frame pointer, ABI argument slots and the
+/// injected functions' registers), plus any saved value an argument reads
+/// back; otherwise every site uses the conservative whole-function tier.
 ///
 /// # Errors
 ///
 /// [`NvbitError::UnknownToolFunction`] for unregistered injections,
-/// [`NvbitError::BadRequest`] for argument-ABI violations and
-/// [`NvbitError::Encode`] when the target family cannot encode the result.
-#[allow(clippy::too_many_arguments)] // the paper's six codegen inputs + allocator
+/// [`NvbitError::BadRequest`] for argument-ABI violations or register
+/// demands beyond the register file, and [`NvbitError::Encode`] when the
+/// target family cannot encode the result.
+#[allow(clippy::too_many_arguments)] // the paper's six codegen inputs + policy + allocator
 pub fn generate(
     hal: &Hal,
     info: &FunctionInfo,
@@ -71,6 +158,8 @@ pub fn generate(
     spec: &FuncSpec,
     tool_fns: &HashMap<String, ToolFn>,
     routines: &HashMap<u16, Routines>,
+    liveness: &LivenessInput<'_>,
+    policy: SavePolicy,
     mut alloc: impl FnMut(u64) -> Result<u64>,
 ) -> Result<InstrumentedImage> {
     let isize = hal.instruction_size();
@@ -92,36 +181,101 @@ pub fn generate(
         }
     }
 
-    // Select the save tier: cover the original function's registers, every
-    // injected function's registers, the ABI argument registers, and any
-    // register the tool asks to read.
-    let mut needed: u32 = info.reg_count.max(16);
+    // The conservative whole-function demand (§5.1 baseline): the
+    // instrumented function's registers, every injected function's
+    // registers, the ABI argument registers, and any register a tool asks
+    // to read.
+    let mut whole: u32 = info.reg_count.max(16);
     let mut tool_stack_max: u32 = 0;
     for injections in spec.sites.values() {
         for inj in injections {
             let tf = &tool_fns[&inj.func];
-            needed = needed.max(tf.reg_count);
+            whole = whole.max(tf.reg_count);
             tool_stack_max = tool_stack_max.max(tf.stack_size);
             for arg in &inj.args {
-                match arg {
-                    Arg::RegVal(r) => needed = needed.max(*r as u32 + 1),
-                    Arg::RegVal64(r) => needed = needed.max(*r as u32 + 2),
-                    _ => {}
-                }
+                whole = whole.max(arg_demand(arg));
             }
         }
     }
-    let tier = tier_for(needed.min(255) as u16);
-    let routine = *routines
-        .get(&tier)
-        .ok_or_else(|| NvbitError::BadRequest(format!("no save routine for tier {tier}")))?;
-    let frame = frame_bytes(tier, hal);
+    let whole_tier = tier_for(u16::try_from(whole).unwrap_or(u16::MAX))?;
+
+    // Resolve the liveness analysis, falling back to the whole-function
+    // tier when it cannot be applied.
+    let (dataflow, fallback): (Option<&sass::Dataflow>, Option<String>) = match (policy, liveness) {
+        (SavePolicy::FullTier, _) => (None, Some("full-tier save policy requested".into())),
+        (SavePolicy::Liveness, LivenessInput::Unavailable(reason)) => {
+            (None, Some((*reason).to_string()))
+        }
+        (SavePolicy::Liveness, LivenessInput::Analysis(df)) => {
+            if df.len() == original.len() {
+                (Some(*df), None)
+            } else {
+                (None, Some("dataflow analysis does not match the function body".into()))
+            }
+        }
+    };
+
+    // Per-site tier selection.
+    let mut site_tier: HashMap<usize, u16> = HashMap::new();
+    let mut saved_slots = 0u64;
+    let mut full_tier_slots = 0u64;
+    let mut max_tier = 0u16;
+    let mut max_frame = 0u32;
+    for (&idx, injections) in &spec.sites {
+        let uses_reg_api = injections.iter().any(|inj| tool_fns[&inj.func].uses_reg_api);
+        let tier = match dataflow {
+            // Register-device-API tools index save-area slots computed at
+            // run time; only the whole-function tier is safe for them.
+            Some(df) if !uses_reg_api => {
+                // The trampoline only clobbers R0 (the frame pointer), the
+                // ABI argument window from R4 up, and the injected
+                // functions' own registers. Registers at or above that
+                // ceiling survive the call untouched, so a save slot is
+                // needed only for (a) live registers *below* the ceiling
+                // and (b) saved values an argument reads back.
+                let mut clobber: u32 = 1;
+                let mut demand: u32 = 0;
+                for inj in injections {
+                    clobber = clobber.max(tool_fns[&inj.func].reg_count);
+                    let mut slot: u32 = 4;
+                    for arg in &inj.args {
+                        slot += u32::from(arg.slots());
+                        demand = demand.max(arg_demand(arg));
+                    }
+                    clobber = clobber.max(slot);
+                }
+                let ceiling = u8::try_from(clobber).unwrap_or(u8::MAX);
+                if let Some(live) = df.max_live_below(idx, ceiling) {
+                    demand = demand.max(u32::from(live) + 1);
+                }
+                tier_for(u16::try_from(demand).unwrap_or(u16::MAX))?
+            }
+            _ => whole_tier,
+        };
+        site_tier.insert(idx, tier);
+        saved_slots += u64::from(tier) * injections.len() as u64;
+        full_tier_slots += u64::from(whole_tier) * injections.len() as u64;
+        max_tier = max_tier.max(tier);
+        max_frame = max_frame.max(frame_bytes(tier, hal));
+    }
+    if spec.sites.is_empty() {
+        max_tier = whole_tier;
+        max_frame = frame_bytes(whole_tier, hal);
+    }
+    let routine_for = |tier: u16| -> Result<Routines> {
+        routines
+            .get(&tier)
+            .copied()
+            .ok_or_else(|| NvbitError::BadRequest(format!("no save routine for tier {tier}")))
+    };
 
     // Phase 1: measure each trampoline with a placeholder base address.
     let mut lengths: Vec<(usize, u64)> = Vec::new(); // (site, instr count)
     let mut cursor = 0u64;
     for &idx in spec.sites.keys() {
-        let instrs = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, 0)?;
+        let tier = site_tier[&idx];
+        let routine = routine_for(tier)?;
+        let (instrs, _) = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, 0)?;
         lengths.push((idx, instrs.len() as u64));
         cursor += instrs.len() as u64;
     }
@@ -131,11 +285,23 @@ pub fn generate(
     // Phase 2: emit with real addresses.
     let mut tramp_instrs: Vec<Instruction> = Vec::with_capacity(cursor as usize);
     let mut site_addr: HashMap<usize, u64> = HashMap::new();
+    let mut sites: Vec<SiteMeta> = Vec::with_capacity(lengths.len());
     let mut pc = tramp_addr;
     for &(idx, len) in &lengths {
         site_addr.insert(idx, pc);
-        let instrs = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, pc)?;
+        let tier = site_tier[&idx];
+        let routine = routine_for(tier)?;
+        let (instrs, orig_pos) =
+            emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, pc)?;
         debug_assert_eq!(instrs.len() as u64, len);
+        sites.push(SiteMeta {
+            instr_idx: idx,
+            start: tramp_instrs.len(),
+            len: instrs.len(),
+            orig_pos,
+            tier,
+            injections: spec.sites[&idx].len(),
+        });
         tramp_instrs.extend(instrs);
         pc += len * isize;
     }
@@ -161,13 +327,18 @@ pub fn generate(
         instrumented,
         tramp_addr,
         tramp_code,
-        extra_local: frame + tool_stack_max + 128,
-        tier,
+        extra_local: max_frame + tool_stack_max + 128,
+        tier: max_tier,
+        sites,
+        saved_slots,
+        full_tier_slots,
+        fallback,
     })
 }
 
 /// The assembled trampoline bytes (phase-2 output) are written by the
-/// caller; this emits one site's trampoline instruction sequence.
+/// caller; this emits one site's trampoline instruction sequence and
+/// reports the position of the relocated original instruction within it.
 #[allow(clippy::too_many_arguments)]
 fn emit_site(
     hal: &Hal,
@@ -179,7 +350,7 @@ fn emit_site(
     tier: u16,
     idx: usize,
     tramp_pc: u64,
-) -> Result<Vec<Instruction>> {
+) -> Result<(Vec<Instruction>, usize)> {
     let isize = hal.instruction_size();
     let next_pc = info.addr + (idx as u64 + 1) * isize;
     let injections = &spec.sites[&idx];
@@ -191,6 +362,7 @@ fn emit_site(
 
     // The relocated original instruction (Figure 4, step 5) — a NOP when
     // removed (the PROXY-emulation path of §6.3).
+    let orig_pos = out.len();
     if spec.removed.contains(&idx) {
         out.push(Instruction::nop());
     } else {
@@ -205,13 +377,32 @@ fn emit_site(
         out.push(orig);
     }
 
+    // When the relocated original unconditionally leaves the trampoline
+    // (EXIT, RET, an unguarded jump/branch, SYNC, a trap), nothing after it
+    // can execute: After-injections would be dead code and the Figure-4
+    // back-jump would target past the end of the image for a site on the
+    // last instruction. Emit neither.
+    let no_fall_through = out[orig_pos].guard.is_always()
+        && matches!(
+            out[orig_pos].cf_class(),
+            sass::op::CfClass::Exit
+                | sass::op::CfClass::Ret
+                | sass::op::CfClass::Trap
+                | sass::op::CfClass::Sync
+                | sass::op::CfClass::RelBranch
+                | sass::op::CfClass::AbsJump
+        );
+    if no_fall_through {
+        return Ok((out, orig_pos));
+    }
+
     for inj in injections.iter().filter(|i| i.ipoint == IPoint::After) {
         emit_injection(hal, original, routine, tier, idx, inj, &tool_fns[&inj.func], &mut out)?;
     }
 
     // Back to the instruction after the instrumented one (Figure 4, step 6).
     out.push(Instruction::new(Op::Jmp, vec![Operand::Abs(next_pc)]));
-    Ok(out)
+    Ok((out, orig_pos))
 }
 
 /// Emits one injection: save, frame pointer, arguments, call, restore.
@@ -444,9 +635,14 @@ mod tests {
 
     fn tool_fns() -> HashMap<String, ToolFn> {
         let mut m = HashMap::new();
-        m.insert("ifunc".to_string(), ToolFn { addr: 0x8000, reg_count: 8, stack_size: 16 });
+        m.insert(
+            "ifunc".to_string(),
+            ToolFn { addr: 0x8000, reg_count: 8, stack_size: 16, uses_reg_api: false },
+        );
         m
     }
+
+    const NO_LIVENESS: LivenessInput<'_> = LivenessInput::Unavailable("test: no analysis");
 
     #[test]
     fn trampoline_structure_matches_figure_4() {
@@ -471,6 +667,8 @@ mod tests {
                 &spec,
                 &tool_fns(),
                 &fake_routines(),
+                &NO_LIVENESS,
+                SavePolicy::Liveness,
                 |_len| Ok(0x9000),
             )
             .unwrap();
@@ -530,8 +728,9 @@ mod tests {
         // Re-run emit_site directly to inspect the relocated branch.
         let routines = fake_routines();
         let routine = routines[&16];
-        let out = emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routine, 16, 1, tramp_base)
-            .unwrap();
+        let (out, _) =
+            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routine, 16, 1, tramp_base)
+                .unwrap();
         let _ = code;
         let isize = hal.instruction_size();
         // Locate the relocated BRA.
@@ -560,11 +759,11 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::Before);
         spec.remove_orig(0);
         let routines = fake_routines();
-        let out =
+        let (out, orig_pos) =
             emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
                 .unwrap();
         assert!(out.iter().all(|i| i.op != Op::Proxy));
-        assert!(out.iter().any(|i| i.op == Op::Nop));
+        assert_eq!(out[orig_pos].op, Op::Nop);
         let _ = code;
     }
 
@@ -573,11 +772,19 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "BPT ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.remove_orig(0);
-        let img =
-            generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
-                Ok(0x9000)
-            })
-            .unwrap();
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
         let patched = hal.disassemble(&img.instrumented).unwrap();
         assert_eq!(patched[0].op, Op::Nop);
         assert_eq!(patched[1].op, Op::Exit);
@@ -590,10 +797,11 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::After);
         spec.insert_call(0, "ifunc", IPoint::Before);
         let routines = fake_routines();
-        let out =
+        let (out, orig_pos) =
             emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
                 .unwrap();
         let iadd_pos = out.iter().position(|i| i.op == Op::Iadd).unwrap();
+        assert_eq!(iadd_pos, orig_pos);
         let jcal_positions: Vec<usize> =
             out.iter().enumerate().filter(|(_, i)| i.op == Op::Jcal).map(|(p, _)| p).collect();
         // 3 JCALs before the original (save/tool/restore) and 3 after.
@@ -606,9 +814,18 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "missing", IPoint::Before);
-        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
-            Ok(0x9000)
-        });
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        );
         assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
     }
 
@@ -617,9 +834,18 @@ mod tests {
         let (hal, info, instrs, code) = setup(Arch::Volta, "EXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(5, "ifunc", IPoint::Before);
-        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
-            Ok(0x9000)
-        });
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        );
         assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
     }
 
@@ -630,13 +856,236 @@ mod tests {
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "ifunc", IPoint::Before);
         spec.add_arg(0, Arg::RegVal(70)); // forces tier 128
-        let img =
-            generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
-                Ok(0x9000)
-            })
-            .unwrap();
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
         assert_eq!(img.tier, 128);
         assert!(img.extra_local >= frame_bytes(128, &hal));
+        // No analysis was supplied, so the fallback is recorded and the
+        // conservative accounting shows no savings.
+        assert!(img.fallback.is_some());
+        assert_eq!(img.saved_slots, img.full_tier_slots);
+    }
+
+    #[test]
+    fn liveness_shrinks_the_site_tier() {
+        let (hal, mut info, instrs, code) = setup(
+            Arch::Volta,
+            "S2R R4, SR_TID.X ;\n\
+             IADD R5, R4, 0x1 ;\n\
+             STG [R6], R5 ;\n\
+             EXIT ;",
+        );
+        info.reg_count = 40; // whole-function demand => tier 64
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(1, "ifunc", IPoint::Before);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        // Only R4/R5/R6 are live around the site: the minimum tier covers
+        // them, while the baseline policy would have saved 64 slots.
+        assert_eq!(img.sites.len(), 1);
+        assert_eq!(img.sites[0].tier, 16);
+        assert_eq!(img.tier, 16);
+        assert_eq!(img.saved_slots, 16);
+        assert_eq!(img.full_tier_slots, 64);
+        assert!(img.fallback.is_none());
+        // The trampoline calls the tier-16 routines.
+        let routines = fake_routines();
+        let tramp = hal.disassemble(&img.tramp_code).unwrap();
+        assert_eq!(tramp[0].op, Op::Jcal);
+        assert_eq!(tramp[0].operands[0], Operand::Abs(routines[&16].save_addr));
+    }
+
+    #[test]
+    fn live_registers_above_the_clobber_window_need_no_save() {
+        // R200 is live across the site, but the trampoline clobbers only
+        // R0, the ABI argument window and the 8-register tool function —
+        // R200 survives untouched, so the site keeps the minimum tier.
+        let (hal, mut info, instrs, code) = setup(
+            Arch::Volta,
+            "IADD R5, R4, 0x1 ;\n\
+             STG [R6], R5 ;\n\
+             STG [R6], R200 ;\n\
+             EXIT ;",
+        );
+        info.reg_count = 201; // whole-function demand => tier 255
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        spec.add_arg(0, Arg::GuardPred);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        assert_eq!(img.sites[0].tier, 16);
+        assert_eq!(img.full_tier_slots, 255);
+        assert!(img.fallback.is_none());
+
+        // Reading the saved R200 back as an argument *does* demand its
+        // save slot, clobber window or not.
+        let mut spec2 = FuncSpec::default();
+        spec2.insert_call(0, "ifunc", IPoint::Before);
+        spec2.add_arg(0, Arg::RegVal(200));
+        let img2 = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec2,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        assert_eq!(img2.sites[0].tier, 255);
+    }
+
+    #[test]
+    fn full_tier_policy_ignores_the_analysis() {
+        let (hal, mut info, instrs, code) = setup(Arch::Volta, "IADD R5, R4, 0x1 ;\nEXIT ;");
+        info.reg_count = 40;
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::FullTier,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        assert_eq!(img.sites[0].tier, 64);
+        assert_eq!(img.saved_slots, img.full_tier_slots);
+        assert!(img.fallback.is_some());
+    }
+
+    #[test]
+    fn reg_api_tools_force_the_conservative_tier() {
+        let (hal, mut info, instrs, code) = setup(Arch::Volta, "IADD R5, R4, 0x1 ;\nEXIT ;");
+        info.reg_count = 40;
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut fns = tool_fns();
+        fns.insert(
+            "regapi".to_string(),
+            ToolFn { addr: 0x8800, reg_count: 8, stack_size: 0, uses_reg_api: true },
+        );
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "regapi", IPoint::Before);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &fns,
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        // The tool addresses save-area slots at run time; only the
+        // whole-function tier is safe, even though liveness is tiny.
+        assert_eq!(img.sites[0].tier, 64);
+        // But the fallback field stays clear: the analysis itself applied.
+        assert!(img.fallback.is_none());
+    }
+
+    #[test]
+    fn argument_demand_extends_the_liveness_tier() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "IADD R5, R4, 0x1 ;\nEXIT ;");
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        spec.add_arg(0, Arg::RegVal(70)); // reading saved R70 needs its slot
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        assert_eq!(img.sites[0].tier, 128);
+    }
+
+    #[test]
+    fn site_meta_locates_the_relocated_original() {
+        let (hal, info, instrs, code) = setup(
+            Arch::Volta,
+            "IADD R5, R4, 0x1 ;\n\
+             STG [R6], R5 ;\n\
+             EXIT ;",
+        );
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "ifunc", IPoint::Before);
+        spec.insert_call(1, "ifunc", IPoint::After);
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &LivenessInput::Analysis(&df),
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        let tramp = hal.disassemble(&img.tramp_code).unwrap();
+        assert_eq!(img.sites.len(), 2);
+        for site in &img.sites {
+            let reloc = &tramp[site.start + site.orig_pos];
+            assert_eq!(reloc.op, instrs[site.instr_idx].op);
+            // Each site ends with the jump back into the image.
+            assert_eq!(tramp[site.start + site.len - 1].op, Op::Jmp);
+        }
     }
 
     #[test]
@@ -647,9 +1096,18 @@ mod tests {
         for _ in 0..7 {
             spec.add_arg(0, Arg::Imm64(1)); // 14 slots > 12 available
         }
-        let e = generate(&hal, &info, &instrs, &code, &spec, &tool_fns(), &fake_routines(), |_| {
-            Ok(0x9000)
-        });
+        let e = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &spec,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        );
         assert!(matches!(e, Err(NvbitError::BadRequest(_))));
     }
 }

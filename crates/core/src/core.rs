@@ -1,13 +1,14 @@
 //! The NVBit core: driver interposition, tool dispatch, state management
 //! and the user-level API handed to tools.
 
-use crate::codegen::{generate, InstrumentedImage, ToolFn};
+use crate::codegen::{generate, InstrumentedImage, LivenessInput, SavePolicy, ToolFn};
 use crate::hal::Hal;
 use crate::instr::Instr;
 use crate::lift::{lift, Lifted};
 use crate::overhead::{JitComponent, OverheadReport};
 use crate::saverestore::{restore_text, save_text, Routines, TIERS};
 use crate::spec::{Arg, FuncSpec, IPoint};
+use crate::verify::{self, Diagnostic, ExternalCode};
 use crate::{NvbitError, Result};
 use cuda::{CbId, CbParams, CuContext, CuFunction, Driver, Interposer};
 use std::cell::RefCell;
@@ -83,6 +84,7 @@ pub(crate) struct CoreState {
     lifted: HashMap<u32, Rc<Lifted>>,
     funcs: HashMap<u32, FuncState>,
     overhead: OverheadReport,
+    save_policy: SavePolicy,
 }
 
 impl CoreState {
@@ -94,7 +96,27 @@ impl CoreState {
             lifted: HashMap::new(),
             funcs: HashMap::new(),
             overhead: OverheadReport::default(),
+            save_policy: SavePolicy::default(),
         }
+    }
+
+    /// Code regions outside the image that instrumented control flow may
+    /// legitimately reach, for the pre-swap verifier.
+    fn external_code(&self, drv: &Driver, info: &cuda::FunctionInfo) -> ExternalCode {
+        let mut ext = ExternalCode::default();
+        for r in self.routines.values() {
+            ext.save_addrs.push(r.save_addr);
+            ext.restore_addrs.push(r.restore_addr);
+        }
+        for t in self.tool_fns.values() {
+            ext.tool_addrs.push(t.addr);
+        }
+        for f in &info.related {
+            if let Ok(ri) = drv.function_info(*f) {
+                ext.code_regions.push((ri.addr, ri.addr + ri.code_len));
+            }
+        }
+        ext
     }
 
     fn hal(&mut self, drv: &Driver) -> Hal {
@@ -187,6 +209,8 @@ impl CoreState {
                 lifted.instrs.iter().map(|i| i.raw().clone()).collect();
             let code = drv.read_code(func)?;
 
+            let policy = self.save_policy;
+            let ext = self.external_code(drv, &info);
             let state = self.funcs.get_mut(&func.raw()).expect("checked above");
             // Free a previous trampoline region before regenerating.
             if let Some(old) = state.image.take() {
@@ -198,6 +222,12 @@ impl CoreState {
             }
             let _codegen_span = common::obs::span("codegen");
             let t0 = Instant::now();
+            let cfg_reason = lifted.basic_blocks.as_ref().err().map(|e| e.to_string());
+            let liveness = match (&lifted.dataflow, &cfg_reason) {
+                (Some(df), _) => LivenessInput::Analysis(df),
+                (None, Some(reason)) => LivenessInput::Unavailable(reason),
+                (None, None) => LivenessInput::Unavailable("dataflow analysis unavailable"),
+            };
             let image = generate(
                 &hal,
                 &info,
@@ -206,8 +236,18 @@ impl CoreState {
                 &state.spec,
                 &self.tool_fns,
                 &self.routines,
+                &liveness,
+                policy,
                 |len| drv.with_device(|d| d.alloc(len)).map_err(Into::into),
             )?;
+            // Pre-swap verification: a bad image corrupts the application,
+            // so refuse to install one that fails the static checks.
+            let diags = verify::verify(&hal, info.addr, &image, &ext)?;
+            if !diags.is_empty() {
+                common::obs::counter("instr_image.verify_reject", 1);
+                drv.with_device(|d| d.free(image.tramp_addr)).ok();
+                return Err(NvbitError::VerifyFailed(diags));
+            }
             drv.with_device(|d| d.write(image.tramp_addr, &image.tramp_code))?;
             let t1 = Instant::now();
             state.spec.dirty = false;
@@ -313,6 +353,22 @@ impl Interposer for NvbitCore {
     }
 }
 
+/// Register-save accounting for one instrumented function, as reported by
+/// [`NvbitApi::save_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveStats {
+    /// Register slots actually saved across all injections.
+    pub saved_slots: u64,
+    /// Slots the conservative whole-function tier would have saved.
+    pub full_tier_slots: u64,
+    /// Largest save tier used by any site.
+    pub max_tier: u16,
+    /// Number of injection sites.
+    pub sites: usize,
+    /// Why liveness-driven sizing was not applied, when it was not.
+    pub fallback: Option<String>,
+}
+
 /// The user-level API handed to tools (paper §4). Obtainable only inside
 /// tool callbacks.
 pub struct NvbitApi<'a> {
@@ -368,7 +424,12 @@ impl<'a> NvbitApi<'a> {
             })?;
             st.tool_fns.insert(
                 f.name.clone(),
-                ToolFn { addr, reg_count: f.reg_count, stack_size: f.stack_size },
+                ToolFn {
+                    addr,
+                    reg_count: f.reg_count,
+                    stack_size: f.stack_size,
+                    uses_reg_api: f.uses_reg_api,
+                },
             );
         }
         Ok(())
@@ -403,7 +464,36 @@ impl<'a> NvbitApi<'a> {
     /// Driver/decode failures.
     pub fn get_basic_blocks(&self, func: CuFunction) -> Result<Option<Vec<sass::cfg::BasicBlock>>> {
         let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
-        Ok(lifted.basic_blocks.clone())
+        Ok(lifted.basic_blocks.clone().ok())
+    }
+
+    /// Why static CFG partitioning failed for the function, if it did —
+    /// the structured diagnostic behind a `None` from
+    /// [`NvbitApi::get_basic_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Driver/decode failures.
+    pub fn get_cfg_failure(&self, func: CuFunction) -> Result<Option<sass::CfgFailure>> {
+        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        Ok(lifted.basic_blocks.as_ref().err().cloned())
+    }
+
+    /// General-purpose registers live into instruction `idx` of `func`, in
+    /// ascending order, from the static dataflow analysis (paper §5.1's
+    /// "registers used by the function" made per-instruction). `None` when
+    /// indirect control flow defeats the analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`NvbitError::BadInstrIndex`] for an out-of-range index;
+    /// driver/decode failures.
+    pub fn get_live_regs(&self, func: CuFunction, idx: usize) -> Result<Option<Vec<u8>>> {
+        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        if idx >= lifted.instrs.len() {
+            return Err(NvbitError::BadInstrIndex { index: idx, len: lifted.instrs.len() });
+        }
+        Ok(lifted.dataflow.as_ref().map(|df| df.live_regs(idx)))
     }
 
     /// Functions the given function may call (`nvbit_get_related_funcs`).
@@ -594,6 +684,65 @@ impl<'a> NvbitApi<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Selects how injection-site register saves are sized for functions
+    /// instrumented from now on: liveness-driven per-site tiers (the
+    /// default) or the conservative whole-function tier. Existing
+    /// instrumented images are regenerated on their next launch.
+    pub fn set_save_policy(&self, policy: SavePolicy) {
+        let mut st = self.state.borrow_mut();
+        if st.save_policy != policy {
+            st.save_policy = policy;
+            for f in st.funcs.values_mut() {
+                if !f.spec.is_empty() {
+                    f.spec.dirty = true;
+                }
+            }
+        }
+    }
+
+    /// Statically verifies the instrumented image of `func`, generating it
+    /// first if the spec is dirty. Returns the verifier's diagnostics — an
+    /// empty vector means the image is safe to swap in. (The core runs the
+    /// same checks before every swap; this surfaces them to tools.)
+    ///
+    /// # Errors
+    ///
+    /// Driver/codegen failures; a verification *failure* is reported
+    /// through the returned diagnostics, not as an error.
+    pub fn verify_instrumented(&self, func: CuFunction) -> Result<Vec<Diagnostic>> {
+        let mut st = self.state.borrow_mut();
+        match st.apply(self.drv, func) {
+            Ok(()) => {}
+            Err(NvbitError::VerifyFailed(diags)) => return Ok(diags),
+            Err(e) => return Err(e),
+        }
+        let hal = st.hal(self.drv);
+        let Some(state) = st.funcs.get(&func.raw()) else { return Ok(Vec::new()) };
+        let Some(image) = &state.image else { return Ok(Vec::new()) };
+        let info = self.drv.function_info(func)?;
+        let ext = st.external_code(self.drv, &info);
+        verify::verify(&hal, info.addr, image, &ext)
+    }
+
+    /// Register-save accounting for the instrumented image of `func`
+    /// (generated first if the spec is dirty): `None` when the function has
+    /// no instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Driver/codegen/verification failures during generation.
+    pub fn save_stats(&self, func: CuFunction) -> Result<Option<SaveStats>> {
+        let mut st = self.state.borrow_mut();
+        st.apply(self.drv, func)?;
+        Ok(st.funcs.get(&func.raw()).and_then(|f| f.image.as_ref()).map(|img| SaveStats {
+            saved_slots: img.saved_slots,
+            full_tier_slots: img.full_tier_slots,
+            max_tier: img.tier,
+            sites: img.sites.len(),
+            fallback: img.fallback.clone(),
+        }))
     }
 
     /// True if the function currently has a generated instrumented image.

@@ -128,12 +128,15 @@ pub mod lift;
 pub mod overhead;
 pub mod saverestore;
 pub mod spec;
+pub mod verify;
 
-pub use crate::core::{attach_tool, NvbitApi, NvbitCore, NvbitTool};
+pub use crate::core::{attach_tool, NvbitApi, NvbitCore, NvbitTool, SaveStats};
+pub use codegen::SavePolicy;
 pub use hal::Hal;
 pub use instr::Instr;
 pub use overhead::{JitComponent, JitOverhead, OverheadReport};
 pub use spec::{Arg, IPoint};
+pub use verify::{DiagKind, Diagnostic};
 
 /// Errors raised by the instrumentation framework.
 #[derive(Debug)]
@@ -155,6 +158,9 @@ pub enum NvbitError {
     BadRequest(String),
     /// Code generation failed to encode an instruction.
     Encode(sass::SassError),
+    /// The generated instrumented image failed pre-swap verification; the
+    /// swap was refused to protect the application.
+    VerifyFailed(Vec<verify::Diagnostic>),
 }
 
 impl std::fmt::Display for NvbitError {
@@ -170,6 +176,13 @@ impl std::fmt::Display for NvbitError {
             }
             NvbitError::BadRequest(s) => write!(f, "bad instrumentation request: {s}"),
             NvbitError::Encode(e) => write!(f, "code generation encode failure: {e}"),
+            NvbitError::VerifyFailed(diags) => {
+                write!(f, "instrumented image failed verification ({} finding(s)", diags.len())?;
+                match diags.first() {
+                    Some(first) => write!(f, "; first: {first})"),
+                    None => write!(f, ")"),
+                }
+            }
         }
     }
 }

@@ -12,9 +12,12 @@ pub struct Lifted {
     pub addr: u64,
     /// One view per SASS instruction, in program order.
     pub instrs: Vec<Instr>,
-    /// Basic blocks as instruction-index ranges, or `None` when indirect
+    /// Basic blocks as instruction-index ranges, or the reason indirect
     /// control flow defeats static partitioning (the paper's ICF fallback).
-    pub basic_blocks: Option<Vec<sass::cfg::BasicBlock>>,
+    pub basic_blocks: std::result::Result<Vec<sass::cfg::BasicBlock>, sass::CfgFailure>,
+    /// Liveness / reaching-definitions analysis over the body; `None`
+    /// exactly when `basic_blocks` failed (the analysis needs the CFG).
+    pub dataflow: Option<sass::Dataflow>,
 }
 
 /// Lifts the function's current code bytes.
@@ -26,6 +29,7 @@ pub fn lift(hal: &Hal, info: &FunctionInfo, code: &[u8]) -> Result<Lifted> {
     let raw = hal.disassemble(code)?;
     let isize = hal.instruction_size();
     let blocks = sass::cfg::basic_blocks(&raw, hal.arch());
+    let dataflow = sass::Dataflow::analyze(&raw, hal.arch()).ok();
     let mut instrs = Vec::with_capacity(raw.len());
     for (idx, inner) in raw.into_iter().enumerate() {
         let line_info = info
@@ -36,7 +40,7 @@ pub fn lift(hal: &Hal, info: &FunctionInfo, code: &[u8]) -> Result<Lifted> {
             .map(|l| (l.file.clone(), l.line));
         instrs.push(Instr::new(idx, idx as u64 * isize, inner, line_info));
     }
-    Ok(Lifted { addr: info.addr, instrs, basic_blocks: blocks })
+    Ok(Lifted { addr: info.addr, instrs, basic_blocks: blocks, dataflow })
 }
 
 #[cfg(test)]
@@ -85,6 +89,7 @@ mod tests {
         // Blocks: [0..3], [3..4] (branch target of .+0x10 = idx 4), [4..5].
         let blocks = lifted.basic_blocks.as_ref().unwrap();
         assert_eq!(blocks.len(), 3);
+        assert!(lifted.dataflow.is_some());
     }
 
     #[test]
@@ -92,7 +97,12 @@ mod tests {
         let hal = Hal::new(Arch::Kepler);
         let code = hal.assemble_text("BRX R4 ;\nEXIT ;").unwrap();
         let lifted = lift(&hal, &fake_info(vec![]), &code).unwrap();
-        assert!(lifted.basic_blocks.is_none());
+        assert_eq!(
+            lifted.basic_blocks,
+            Err(sass::CfgFailure::IndirectBranch { index: 0 }),
+            "ICF must surface the structured failure"
+        );
+        assert!(lifted.dataflow.is_none());
         assert_eq!(lifted.instrs.len(), 2);
     }
 

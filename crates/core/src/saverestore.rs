@@ -46,8 +46,18 @@ pub fn frame_bytes(tier: u16, hal: &Hal) -> u32 {
 }
 
 /// The smallest tier covering `regs` registers.
-pub fn tier_for(regs: u16) -> u16 {
-    TIERS.iter().copied().find(|t| *t >= regs).unwrap_or(255)
+///
+/// # Errors
+///
+/// [`crate::NvbitError::BadRequest`] when `regs` exceeds the 255-register
+/// file. No tier can cover such a demand, and silently clamping it would
+/// under-save and corrupt the instrumented application.
+pub fn tier_for(regs: u16) -> crate::Result<u16> {
+    TIERS.iter().copied().find(|t| *t >= regs).ok_or_else(|| {
+        crate::NvbitError::BadRequest(format!(
+            "register demand {regs} exceeds the 255-register file"
+        ))
+    })
 }
 
 /// Generates the save routine's assembly text for a tier.
@@ -103,11 +113,21 @@ mod tests {
 
     #[test]
     fn tiers_cover_the_register_file() {
-        assert_eq!(tier_for(1), 16);
-        assert_eq!(tier_for(16), 16);
-        assert_eq!(tier_for(17), 32);
-        assert_eq!(tier_for(200), 255);
-        assert_eq!(tier_for(255), 255);
+        assert_eq!(tier_for(1).unwrap(), 16);
+        assert_eq!(tier_for(16).unwrap(), 16);
+        assert_eq!(tier_for(17).unwrap(), 32);
+        assert_eq!(tier_for(200).unwrap(), 255);
+        assert_eq!(tier_for(255).unwrap(), 255);
+    }
+
+    #[test]
+    fn demands_beyond_the_register_file_are_rejected() {
+        for regs in [256, 300, u16::MAX] {
+            assert!(
+                matches!(tier_for(regs), Err(crate::NvbitError::BadRequest(_))),
+                "tier_for({regs}) must not clamp"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,630 @@
+//! Pre-swap static verification of instrumented images.
+//!
+//! Before the core swaps a function to its instrumented version, the image
+//! and its trampolines are checked statically: a malformed trampoline would
+//! corrupt the *application*, not the tool, so failures must be caught
+//! before the first instrumented launch (paper §5.1 — the swap is the
+//! point of no return; §5.2 budgets it as part of JIT overhead).
+//!
+//! The verifier checks, per [`crate::codegen::InstrumentedImage`]:
+//!
+//! * every control-flow target lands on an instruction boundary inside the
+//!   image, the trampoline region, or known external code (save/restore
+//!   routines, tool functions, related functions);
+//! * the image cannot fall off its last instruction, and every trampoline
+//!   site ends with an unconditional jump back into the image;
+//! * register and predicate operands stay within the architectural bounds
+//!   (including multi-register spans of wide loads/stores);
+//! * operand lists match their opcode formats;
+//! * trampoline frame discipline: the save routine is called before any
+//!   save-area access or tool call, every save is matched by a restore,
+//!   and no site ends with an open frame.
+
+use crate::codegen::SiteMeta;
+use crate::hal::Hal;
+use sass::op::{CfClass, OKind};
+use sass::{Instruction, MemSpace, Op, Operand, Reg};
+
+/// Which code region a diagnostic points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The instrumented copy of the function body.
+    Image,
+    /// The trampoline region.
+    Trampoline,
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Region::Image => write!(f, "image"),
+            Region::Trampoline => write!(f, "trampoline"),
+        }
+    }
+}
+
+/// The class of defect a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagKind {
+    /// A control-flow target is outside every known code region, or not on
+    /// an instruction boundary.
+    BranchTarget,
+    /// Execution can run off the end of the image, or a trampoline site
+    /// does not end with an unconditional jump back into the image.
+    FallThrough,
+    /// A register operand (or its multi-register span) exceeds the
+    /// register file.
+    BadRegister,
+    /// A predicate operand or guard exceeds the predicate file.
+    BadPredicate,
+    /// An operand list does not match its opcode's format.
+    BadOperands,
+    /// The save area is read (or a tool called) before the save routine
+    /// has run.
+    ReadBeforeSave,
+    /// A restore call without a matching save.
+    RestoreWithoutSave,
+    /// A trampoline site ends with an open save frame.
+    UnbalancedFrame,
+}
+
+/// One verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Defect class.
+    pub kind: DiagKind,
+    /// Region the offending instruction lives in.
+    pub region: Region,
+    /// Instruction index within the region.
+    pub index: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} at {} instruction {}: {}", self.kind, self.region, self.index, self.message)
+    }
+}
+
+/// Code outside the image/trampoline that control flow may legitimately
+/// reach: the embedded save/restore routines, the loaded tool functions and
+/// the code regions of related functions.
+#[derive(Debug, Clone, Default)]
+pub struct ExternalCode {
+    /// Save-routine entry addresses (one per tier).
+    pub save_addrs: Vec<u64>,
+    /// Restore-routine entry addresses (one per tier).
+    pub restore_addrs: Vec<u64>,
+    /// Tool-function entry addresses.
+    pub tool_addrs: Vec<u64>,
+    /// `[start, end)` byte ranges of other known device code (related
+    /// functions the original body may call).
+    pub code_regions: Vec<(u64, u64)>,
+}
+
+impl ExternalCode {
+    fn is_entry(&self, addr: u64) -> bool {
+        self.save_addrs.contains(&addr)
+            || self.restore_addrs.contains(&addr)
+            || self.tool_addrs.contains(&addr)
+            || self.code_regions.iter().any(|&(s, e)| addr >= s && addr < e)
+    }
+}
+
+/// The multi-register span of each register operand, mirroring the width
+/// rules of [`Instruction::reg_reads`]/[`Instruction::reg_writes`] but
+/// *without* the clamping those apply — the verifier wants the raw span.
+fn reg_spans(ins: &Instruction) -> Vec<(Reg, usize)> {
+    let mut out = Vec::new();
+    for (kind, opnd) in ins.op.format().iter().zip(&ins.operands) {
+        match (kind, opnd) {
+            (OKind::RegW, Operand::Reg(r)) => {
+                let n = if ins.op.is_double() && ins.op != Op::D2f && ins.op != Op::Dsetp {
+                    2
+                } else if ins.op.is_load() && ins.op != Op::Atom {
+                    ins.mods.width.regs()
+                } else if ins.op == Op::F2d {
+                    2
+                } else {
+                    1
+                };
+                out.push((*r, n));
+            }
+            (OKind::RegR | OKind::RegRI, Operand::Reg(r)) => {
+                let n = if ins.op.is_double() {
+                    2
+                } else if matches!(kind, OKind::RegR)
+                    && matches!(ins.op, Op::Stg | Op::Sts | Op::Stl)
+                {
+                    ins.mods.width.regs()
+                } else {
+                    1
+                };
+                out.push((*r, n));
+            }
+            (OKind::MRef | OKind::MRefAtom, Operand::MRef { base, .. }) => {
+                let n = match ins.op.mem_space() {
+                    Some(MemSpace::Shared) => 1,
+                    _ => 2,
+                };
+                out.push((*base, n));
+            }
+            (OKind::CBankRef, Operand::CBank { base, .. }) => out.push((*base, 1)),
+            _ => {}
+        }
+    }
+    if ins.op == Op::Brx {
+        if let Some(Operand::Reg(r)) = ins.operands.first() {
+            out.push((*r, 2));
+        }
+    }
+    out
+}
+
+/// True when the instruction touches the save area through the stack
+/// pointer (a `[R1 + off]` local access).
+fn touches_save_area(ins: &Instruction) -> bool {
+    matches!(ins.op, Op::Ldl | Op::Stl)
+        && ins.operands.iter().any(|o| matches!(o, Operand::MRef { base, .. } if *base == Reg::SP))
+}
+
+/// Verifies an instrumented image plus trampoline, both already
+/// disassembled. `sites` is the per-site layout recorded by the code
+/// generator. Returns every defect found (empty = image is safe to swap).
+pub fn verify_instrs(
+    hal: &Hal,
+    image_addr: u64,
+    image: &[Instruction],
+    tramp_addr: u64,
+    tramp: &[Instruction],
+    sites: &[SiteMeta],
+    ext: &ExternalCode,
+) -> Vec<Diagnostic> {
+    let isize = hal.instruction_size();
+    let image_end = image_addr + image.len() as u64 * isize;
+    let tramp_end = tramp_addr + tramp.len() as u64 * isize;
+    let mut diags = Vec::new();
+
+    let in_image = |t: u64| t >= image_addr && t < image_end;
+    let in_tramp = |t: u64| t >= tramp_addr && t < tramp_end;
+    let target_ok = |t: u64| -> bool {
+        if in_image(t) {
+            (t - image_addr).is_multiple_of(isize)
+        } else if in_tramp(t) {
+            (t - tramp_addr).is_multiple_of(isize)
+        } else {
+            ext.is_entry(t)
+        }
+    };
+
+    // Per-instruction structural checks over both regions.
+    for (region, base, instrs) in
+        [(Region::Image, image_addr, image), (Region::Trampoline, tramp_addr, tramp)]
+    {
+        for (index, ins) in instrs.iter().enumerate() {
+            if let Err(e) = ins.validate() {
+                diags.push(Diagnostic {
+                    kind: DiagKind::BadOperands,
+                    region,
+                    index,
+                    message: e.to_string(),
+                });
+            }
+            if ins.guard.pred.0 > 7 {
+                diags.push(Diagnostic {
+                    kind: DiagKind::BadPredicate,
+                    region,
+                    index,
+                    message: format!(
+                        "guard predicate P{} exceeds the predicate file",
+                        ins.guard.pred.0
+                    ),
+                });
+            }
+            for opnd in &ins.operands {
+                if let Operand::Pred { pred, .. } = opnd {
+                    if pred.0 > 7 {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::BadPredicate,
+                            region,
+                            index,
+                            message: format!("predicate P{} exceeds the predicate file", pred.0),
+                        });
+                    }
+                }
+            }
+            for (reg, span) in reg_spans(ins) {
+                // RZ is a single pseudo-register; any other operand must fit
+                // its whole span below R255.
+                if !reg.is_zero() && reg.0 as usize + span - 1 > 254 {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::BadRegister,
+                        region,
+                        index,
+                        message: format!(
+                            "{}-register span at R{} runs past the register file",
+                            span, reg.0
+                        ),
+                    });
+                }
+            }
+            match ins.cf_class() {
+                CfClass::RelBranch | CfClass::RelCall | CfClass::Ssy => {
+                    if let Some(off) = ins.rel_target() {
+                        let t = (base + (index as u64 + 1) * isize).wrapping_add(off as u64);
+                        if !target_ok(t) {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::BranchTarget,
+                                region,
+                                index,
+                                message: format!(
+                                    "relative target {t:#x} is outside known code or misaligned"
+                                ),
+                            });
+                        }
+                    }
+                }
+                CfClass::AbsJump | CfClass::AbsCall => {
+                    if let Some(Operand::Abs(t)) =
+                        ins.operands.iter().find(|o| matches!(o, Operand::Abs(_)))
+                    {
+                        if !target_ok(*t) {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::BranchTarget,
+                                region,
+                                index,
+                                message: format!(
+                                    "absolute target {t:#x} is outside known code or misaligned"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // The image must not fall off its end.
+    match image.last() {
+        Some(last) if last.cf_class().ends_block() && last.guard.is_always() => {}
+        Some(_) => diags.push(Diagnostic {
+            kind: DiagKind::FallThrough,
+            region: Region::Image,
+            index: image.len() - 1,
+            message: "execution can fall off the end of the image".into(),
+        }),
+        None => {}
+    }
+
+    // Per-site trampoline discipline.
+    for site in sites {
+        let end = site.start + site.len;
+        if end > tramp.len() || site.len == 0 {
+            diags.push(Diagnostic {
+                kind: DiagKind::FallThrough,
+                region: Region::Trampoline,
+                index: site.start.min(tramp.len().saturating_sub(1)),
+                message: format!(
+                    "site for instruction {} extends past the trampoline region",
+                    site.instr_idx
+                ),
+            });
+            continue;
+        }
+        let body = &tramp[site.start..end];
+
+        // The site must end with an unconditional jump back into the image,
+        // or with a relocated original that itself unconditionally leaves
+        // the trampoline (EXIT/RET/branch — target validity is checked by
+        // the per-instruction pass above).
+        let last = &body[site.len - 1];
+        let exits_to_image = last.op == Op::Jmp
+            && last.guard.is_always()
+            && matches!(last.operands.first(),
+                Some(Operand::Abs(t)) if in_image(*t) && (*t - image_addr).is_multiple_of(isize));
+        let terminal_original = site.orig_pos == site.len - 1
+            && last.guard.is_always()
+            && matches!(
+                last.cf_class(),
+                CfClass::Exit
+                    | CfClass::Ret
+                    | CfClass::Trap
+                    | CfClass::Sync
+                    | CfClass::RelBranch
+                    | CfClass::AbsJump
+            );
+        if !exits_to_image && !terminal_original {
+            diags.push(Diagnostic {
+                kind: DiagKind::FallThrough,
+                region: Region::Trampoline,
+                index: end - 1,
+                message: format!(
+                    "site for instruction {} does not end with a jump back into the image",
+                    site.instr_idx
+                ),
+            });
+        }
+
+        // Save/restore ordering and frame balance.
+        let mut depth: u32 = 0;
+        for (pos, ins) in body.iter().enumerate() {
+            let index = site.start + pos;
+            if ins.op == Op::Jcal {
+                if let Some(Operand::Abs(t)) = ins.operands.first() {
+                    if ext.save_addrs.contains(t) {
+                        depth += 1;
+                        continue;
+                    }
+                    if ext.restore_addrs.contains(t) {
+                        if depth == 0 {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::RestoreWithoutSave,
+                                region: Region::Trampoline,
+                                index,
+                                message: "restore call without a matching save".into(),
+                            });
+                        } else {
+                            depth -= 1;
+                        }
+                        continue;
+                    }
+                    if ext.tool_addrs.contains(t) && depth == 0 {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::ReadBeforeSave,
+                            region: Region::Trampoline,
+                            index,
+                            message: "tool called before the thread state is saved".into(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            // The relocated original instruction runs at depth 0 and may
+            // legitimately use the application's own stack frame.
+            if pos != site.orig_pos && depth == 0 && touches_save_area(ins) {
+                diags.push(Diagnostic {
+                    kind: DiagKind::ReadBeforeSave,
+                    region: Region::Trampoline,
+                    index,
+                    message: "save-area access before the save routine has run".into(),
+                });
+            }
+        }
+        if depth != 0 {
+            diags.push(Diagnostic {
+                kind: DiagKind::UnbalancedFrame,
+                region: Region::Trampoline,
+                index: end - 1,
+                message: format!(
+                    "site for instruction {} ends with {depth} open save frame(s)",
+                    site.instr_idx
+                ),
+            });
+        }
+    }
+
+    diags
+}
+
+/// Disassembles and verifies a generated image.
+///
+/// # Errors
+///
+/// Decode failures on the image or trampoline bytes (anything else is
+/// reported as diagnostics, not errors).
+pub fn verify(
+    hal: &Hal,
+    image_addr: u64,
+    img: &crate::codegen::InstrumentedImage,
+    ext: &ExternalCode,
+) -> crate::Result<Vec<Diagnostic>> {
+    let image = hal.disassemble(&img.instrumented)?;
+    let tramp = hal.disassemble(&img.tramp_code)?;
+    Ok(verify_instrs(hal, image_addr, &image, img.tramp_addr, &tramp, &img.sites, ext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass::{Arch, Mods, Width};
+
+    const IMAGE_ADDR: u64 = 0x4000;
+    const TRAMP_ADDR: u64 = 0x9000;
+    const SAVE: u64 = 0x10_0000;
+    const RESTORE: u64 = 0x20_0000;
+    const TOOL: u64 = 0x8000;
+
+    fn ext() -> ExternalCode {
+        ExternalCode {
+            save_addrs: vec![SAVE],
+            restore_addrs: vec![RESTORE],
+            tool_addrs: vec![TOOL],
+            code_regions: vec![],
+        }
+    }
+
+    fn hal() -> Hal {
+        Hal::new(Arch::Volta)
+    }
+
+    fn jmp(addr: u64) -> Instruction {
+        Instruction::new(Op::Jmp, vec![Operand::Abs(addr)])
+    }
+
+    fn jcal(addr: u64) -> Instruction {
+        Instruction::new(Op::Jcal, vec![Operand::Abs(addr)])
+    }
+
+    /// A well-formed one-site image: `IADD; JMP tramp; EXIT` plus a
+    /// Figure-4 trampoline.
+    fn good() -> (Vec<Instruction>, Vec<Instruction>, Vec<SiteMeta>) {
+        let image = vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(4)), Operand::Reg(Reg(4)), Operand::Imm(1)],
+            ),
+            jmp(TRAMP_ADDR),
+            Instruction::new(Op::Exit, vec![]),
+        ];
+        let isize = hal().instruction_size();
+        let tramp = vec![
+            jcal(SAVE),
+            Instruction::new(Op::Mov, vec![Operand::Reg(Reg(0)), Operand::Reg(Reg::SP)]),
+            jcal(TOOL),
+            jcal(RESTORE),
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(2)],
+            ),
+            jmp(IMAGE_ADDR + 2 * isize),
+        ];
+        let sites = vec![SiteMeta {
+            instr_idx: 1,
+            start: 0,
+            len: tramp.len(),
+            orig_pos: 4,
+            tier: 16,
+            injections: 1,
+        }];
+        (image, tramp, sites)
+    }
+
+    fn run(image: &[Instruction], tramp: &[Instruction], sites: &[SiteMeta]) -> Vec<Diagnostic> {
+        verify_instrs(&hal(), IMAGE_ADDR, image, TRAMP_ADDR, tramp, sites, &ext())
+    }
+
+    #[test]
+    fn a_well_formed_image_passes() {
+        let (image, tramp, sites) = good();
+        assert_eq!(run(&image, &tramp, &sites), vec![]);
+    }
+
+    #[test]
+    fn out_of_range_branch_is_rejected() {
+        let (mut image, tramp, sites) = good();
+        // Branch way past the end of every known region.
+        image[0] = Instruction::new(Op::Bra, vec![Operand::Rel(0x4_0000)]);
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::BranchTarget && d.region == Region::Image));
+    }
+
+    #[test]
+    fn misaligned_branch_target_is_rejected() {
+        let (mut image, tramp, sites) = good();
+        image[0] = Instruction::new(Op::Bra, vec![Operand::Rel(4)]); // mid-instruction
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::BranchTarget));
+    }
+
+    #[test]
+    fn fall_through_off_the_image_end_is_rejected() {
+        let (mut image, _tramp, _sites) = good();
+        image.truncate(1); // image now ends in a plain IADD
+        let d = run(&image, &[], &[]);
+        assert!(d.iter().any(|d| d.kind == DiagKind::FallThrough && d.region == Region::Image));
+    }
+
+    #[test]
+    fn guarded_terminator_still_falls_through() {
+        let (mut image, tramp, sites) = good();
+        let n = image.len();
+        image[n - 1] = Instruction::new(Op::Exit, vec![])
+            .with_guard(sass::Guard { pred: sass::Pred(0), negated: false });
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::FallThrough && d.region == Region::Image));
+    }
+
+    #[test]
+    fn register_span_overflow_is_rejected() {
+        let (mut image, tramp, sites) = good();
+        // LDG.128 R253 spans R253..R256 — past the register file.
+        image[0] = Instruction::new(
+            Op::Ldg,
+            vec![Operand::Reg(Reg(253)), Operand::MRef { base: Reg(8), offset: 0 }],
+        )
+        .with_mods(Mods { width: Width::B128, ..Mods::default() });
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::BadRegister));
+    }
+
+    #[test]
+    fn bad_predicate_is_rejected() {
+        let (mut image, tramp, sites) = good();
+        image[0] = image[0].clone().with_guard(sass::Guard { pred: sass::Pred(9), negated: false });
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::BadPredicate));
+    }
+
+    #[test]
+    fn malformed_operand_lists_are_rejected() {
+        let (mut image, tramp, sites) = good();
+        image[0] = Instruction::new(Op::Iadd, vec![Operand::Reg(Reg(4))]); // arity 1, needs 3
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::BadOperands));
+    }
+
+    #[test]
+    fn unbalanced_frame_is_rejected() {
+        let (image, mut tramp, sites) = good();
+        tramp[3] = Instruction::nop(); // drop the restore call
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::UnbalancedFrame));
+    }
+
+    #[test]
+    fn restore_without_save_is_rejected() {
+        let (image, mut tramp, sites) = good();
+        tramp[0] = Instruction::nop(); // drop the save call
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::RestoreWithoutSave));
+    }
+
+    #[test]
+    fn tool_call_before_save_is_rejected() {
+        let (image, mut tramp, sites) = good();
+        tramp.swap(0, 2); // tool call now precedes the save
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::ReadBeforeSave));
+    }
+
+    #[test]
+    fn save_area_read_before_save_is_rejected() {
+        let (image, mut tramp, sites) = good();
+        tramp[0] = Instruction::new(
+            Op::Ldl,
+            vec![Operand::Reg(Reg(4)), Operand::MRef { base: Reg::SP, offset: 16 }],
+        );
+        let d = run(&image, &tramp, &sites);
+        assert!(d.iter().any(|d| d.kind == DiagKind::ReadBeforeSave));
+        assert!(
+            d.iter()
+                .any(|d| d.kind == DiagKind::UnbalancedFrame
+                    || d.kind == DiagKind::RestoreWithoutSave)
+        );
+    }
+
+    #[test]
+    fn site_missing_terminal_jump_is_rejected() {
+        let (image, mut tramp, sites) = good();
+        let n = tramp.len();
+        tramp[n - 1] = jmp(TRAMP_ADDR); // jumps inside the trampoline, not the image
+        let d = run(&image, &tramp, &sites);
+        assert!(d
+            .iter()
+            .any(|d| d.kind == DiagKind::FallThrough && d.region == Region::Trampoline));
+    }
+
+    #[test]
+    fn relocated_original_may_use_the_stack() {
+        let (image, mut tramp, mut sites) = good();
+        // The relocated original is a local store at depth 0 — legitimate.
+        tramp[4] = Instruction::new(
+            Op::Stl,
+            vec![Operand::MRef { base: Reg::SP, offset: 8 }, Operand::Reg(Reg(5))],
+        );
+        sites[0].orig_pos = 4;
+        assert_eq!(run(&image, &tramp, &sites), vec![]);
+    }
+}

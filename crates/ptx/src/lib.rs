@@ -192,6 +192,12 @@ pub struct CompiledFunction {
     pub related: Vec<String>,
     /// Source correlation table; empty when compiled without `.loc`.
     pub line_table: Vec<LineInfo>,
+    /// True when the function uses the `nvbit.readreg`/`nvbit.writereg`
+    /// device-API intrinsics. Such functions address arbitrary slots of the
+    /// register save area at run time, so the instrumentation code generator
+    /// must not shrink the save tier below the instrumented function's full
+    /// register demand.
+    pub uses_reg_api: bool,
 }
 
 impl CompiledFunction {

@@ -295,6 +295,7 @@ struct Emitter<'a> {
     shared_offsets: HashMap<String, u32>,
     shared_size: u32,
     frame_bytes: u32,
+    uses_reg_api: bool,
 }
 
 impl<'a> Emitter<'a> {
@@ -348,6 +349,7 @@ impl<'a> Emitter<'a> {
             shared_offsets,
             shared_size: soff,
             frame_bytes,
+            uses_reg_api: false,
         })
     }
 
@@ -1076,6 +1078,7 @@ impl<'a> Emitter<'a> {
                 );
             }
             P::NvReadReg { dst, idx } => {
+                self.uses_reg_api = true;
                 let d = self.gpr_of(dst)?;
                 match idx {
                     Src::Imm(v) => {
@@ -1107,6 +1110,7 @@ impl<'a> Emitter<'a> {
                 }
             }
             P::NvWriteReg { idx, src } => {
+                self.uses_reg_api = true;
                 let s = self.gpr_of(src)?;
                 match idx {
                     Src::Imm(v) => {
@@ -1608,6 +1612,7 @@ impl<'a> Emitter<'a> {
             relocs: self.relocs,
             related: self.related,
             line_table: self.line_table,
+            uses_reg_api: self.uses_reg_api,
         })
     }
 }

@@ -4,13 +4,51 @@
 //! runs of consecutive PCs ending at (a) the PC before a control-flow
 //! instruction or (b) the PC that is the target of a control-flow
 //! instruction. Indirect control flow (`BRX`) makes static partitioning
-//! impossible, in which case [`basic_blocks`] returns `None` and callers
-//! must fall back to the flat view — the same behaviour NVBit documents.
+//! impossible, in which case [`basic_blocks`] returns a [`CfgFailure`]
+//! explaining why and callers must fall back to the flat view — the same
+//! behaviour NVBit documents, with the failure reason made explicit so the
+//! dataflow fallback and the image verifier can report it.
 
 use crate::arch::Arch;
 use crate::inst::Instruction;
 use crate::op::CfClass;
 use std::ops::Range;
+
+/// Why static basic-block partitioning (and hence dataflow analysis) bailed
+/// out on a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgFailure {
+    /// The body contains an indirect branch (`BRX`) whose target set is not
+    /// statically known — the paper's ICF exception.
+    IndirectBranch {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A relative control-flow target is not aligned to the architecture's
+    /// instruction size, so it cannot land on an instruction boundary.
+    MisalignedTarget {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The byte offset that failed to align.
+        offset: i64,
+    },
+}
+
+impl std::fmt::Display for CfgFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgFailure::IndirectBranch { index } => {
+                write!(f, "indirect branch (BRX) at instruction {index} defeats static analysis")
+            }
+            CfgFailure::MisalignedTarget { index, offset } => write!(
+                f,
+                "relative target {offset:#x} of instruction {index} is not instruction-aligned"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfgFailure {}
 
 /// A basic block: a half-open range of instruction indices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,13 +74,22 @@ impl BasicBlock {
 /// Partitions a function body into basic blocks.
 ///
 /// `instrs` is the complete body in program order; relative targets are
-/// interpreted using `arch`'s instruction size. Returns `None` when the body
-/// contains indirect control flow (the paper's ICF exception). Targets that
-/// fall outside the body (calls into other functions, absolute jumps) do not
-/// create leaders.
-pub fn basic_blocks(instrs: &[Instruction], arch: Arch) -> Option<Vec<BasicBlock>> {
+/// interpreted using `arch`'s instruction size. Returns a [`CfgFailure`]
+/// when the body contains indirect control flow (the paper's ICF exception)
+/// or a misaligned relative target. Targets that fall outside the body
+/// (calls into other functions, absolute jumps) do not create leaders.
+///
+/// # Errors
+///
+/// [`CfgFailure::IndirectBranch`] on `BRX`,
+/// [`CfgFailure::MisalignedTarget`] when a relative offset is not a multiple
+/// of the instruction size.
+pub fn basic_blocks(
+    instrs: &[Instruction],
+    arch: Arch,
+) -> std::result::Result<Vec<BasicBlock>, CfgFailure> {
     if instrs.is_empty() {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     let isize = arch.instruction_size() as i64;
     let n = instrs.len();
@@ -52,14 +99,17 @@ pub fn basic_blocks(instrs: &[Instruction], arch: Arch) -> Option<Vec<BasicBlock
     for (idx, i) in instrs.iter().enumerate() {
         let cf = i.cf_class();
         if cf == CfClass::IndirectBranch {
-            return None;
+            return Err(CfgFailure::IndirectBranch { index: idx });
         }
         // Reconvergence-point pushes (SSY) mark their target a leader but do
         // not themselves end a block.
         if let Some(off) = i.rel_target() {
+            if off % isize != 0 {
+                return Err(CfgFailure::MisalignedTarget { index: idx, offset: off });
+            }
             let next = idx as i64 + 1;
             let target = next + off / isize;
-            if off % isize == 0 && (0..n as i64).contains(&target) {
+            if (0..n as i64).contains(&target) {
                 leader[target as usize] = true;
             }
         }
@@ -78,7 +128,7 @@ pub fn basic_blocks(instrs: &[Instruction], arch: Arch) -> Option<Vec<BasicBlock
         }
     }
     blocks.push(BasicBlock { id: blocks.len(), range: start..n });
-    Some(blocks)
+    Ok(blocks)
 }
 
 /// Successor block ids of `block` within a partition, following fall-through
@@ -183,7 +233,21 @@ skip:
     #[test]
     fn indirect_branches_defeat_partitioning() {
         let prog = assemble_arch("BRX R4 ;\nEXIT ;", Arch::Kepler).unwrap();
-        assert_eq!(basic_blocks(&prog, Arch::Kepler), None);
+        assert_eq!(basic_blocks(&prog, Arch::Kepler), Err(CfgFailure::IndirectBranch { index: 0 }));
+    }
+
+    #[test]
+    fn misaligned_targets_are_reported() {
+        use crate::inst::{Instruction, Operand};
+        use crate::op::Op;
+        let prog = vec![
+            Instruction::new(Op::Bra, vec![Operand::Rel(3)]),
+            Instruction::new(Op::Exit, vec![]),
+        ];
+        assert_eq!(
+            basic_blocks(&prog, Arch::Volta),
+            Err(CfgFailure::MisalignedTarget { index: 0, offset: 3 })
+        );
     }
 
     #[test]
@@ -221,6 +285,6 @@ merge:
 
     #[test]
     fn empty_body_yields_no_blocks() {
-        assert_eq!(basic_blocks(&[], Arch::Volta), Some(Vec::new()));
+        assert_eq!(basic_blocks(&[], Arch::Volta), Ok(Vec::new()));
     }
 }

@@ -1,0 +1,738 @@
+//! Dataflow analysis over SASS basic blocks: backward liveness and forward
+//! reaching definitions.
+//!
+//! **Paper mapping:** §5.1 — the register save/restore cost around every
+//! injected call is NVBit's dominant instrumentation overhead. A liveness
+//! analysis over the function body lets the code generator pick a per-site
+//! save tier covering only the registers whose values actually matter at the
+//! injection point, instead of the whole function's register demand.
+//!
+//! The analyses operate on [`crate::cfg::basic_blocks`] partitions and are
+//! deliberately conservative wherever static knowledge runs out:
+//!
+//! * **predicated definitions are may-defs** — a write under a guard other
+//!   than `@PT` does not kill the previous value, because some lanes may
+//!   keep it;
+//! * **calls** (`CAL`/`JCAL`) treat every register and predicate as used and
+//!   may-defined — the callee is not analyzed;
+//! * **absolute jumps, returns and traps** leave the function body, so
+//!   everything is considered live across them;
+//! * **`SYNC`** transfers to a reconvergence point pushed by some `SSY`; the
+//!   analysis adds an edge from every `SYNC`-terminated block to every `SSY`
+//!   target (an over-approximation of the reconvergence stack).
+//!
+//! Indirect branches (`BRX`) defeat the CFG itself; [`Dataflow::analyze`]
+//! then returns the [`CfgFailure`] and callers must fall back to a
+//! conservative whole-function policy.
+
+use crate::arch::Arch;
+use crate::cfg::{self, BasicBlock, CfgFailure};
+use crate::inst::Instruction;
+use crate::op::CfClass;
+use crate::reg::{Pred, Reg};
+
+/// A bitset over the 255 general-purpose registers `R0`..`R254`.
+///
+/// `RZ` (index 255) is hardwired zero and never appears in the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet {
+    words: [u64; 4],
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet { words: [0; 4] };
+
+    /// The set of all writable registers `R0`..`R254`.
+    pub fn all() -> RegSet {
+        RegSet { words: [u64::MAX, u64::MAX, u64::MAX, u64::MAX >> 1] }
+    }
+
+    /// Inserts a register; `RZ` is ignored.
+    pub fn insert(&mut self, r: Reg) {
+        if !r.is_zero() {
+            self.words[r.0 as usize / 64] |= 1 << (r.0 % 64);
+        }
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        if !r.is_zero() {
+            self.words[r.0 as usize / 64] &= !(1 << (r.0 % 64));
+        }
+    }
+
+    /// Membership test; always false for `RZ`.
+    pub fn contains(&self, r: Reg) -> bool {
+        !r.is_zero() && self.words[r.0 as usize / 64] & (1 << (r.0 % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no register is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Highest register index in the set, if any.
+    pub fn max(&self) -> Option<u8> {
+        for (wi, w) in self.words.iter().enumerate().rev() {
+            if *w != 0 {
+                return Some((wi * 64 + 63 - w.leading_zeros() as usize) as u8);
+            }
+        }
+        None
+    }
+
+    /// Register indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..255).filter(|r| self.contains(Reg(*r as u8))).map(|r| r as u8)
+    }
+
+    /// Highest register index strictly below `bound`, if any.
+    ///
+    /// Used to size save areas: a caller that only clobbers `R0`..`R{bound-1}`
+    /// does not care about live registers at or above `bound`.
+    pub fn max_below(&self, bound: u8) -> Option<u8> {
+        let bound = usize::from(bound);
+        for (wi, w) in self.words.iter().enumerate().rev() {
+            let base = wi * 64;
+            if base >= bound {
+                continue;
+            }
+            let keep = (bound - base).min(64);
+            let masked = if keep == 64 { *w } else { w & ((1u64 << keep) - 1) };
+            if masked != 0 {
+                return Some((base + 63 - masked.leading_zeros() as usize) as u8);
+            }
+        }
+        None
+    }
+}
+
+/// The live set at a program point: general-purpose registers plus the
+/// writable predicates `P0`..`P6` as a bitmask (`PT` is hardwired and never
+/// tracked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveSet {
+    /// Live general-purpose registers.
+    pub gprs: RegSet,
+    /// Live predicates, bit `i` for `Pi` (`i < 7`).
+    pub preds: u8,
+}
+
+impl LiveSet {
+    /// The empty live set.
+    pub const EMPTY: LiveSet = LiveSet { gprs: RegSet::EMPTY, preds: 0 };
+
+    /// Everything live: all registers and all writable predicates.
+    pub fn all() -> LiveSet {
+        LiveSet { gprs: RegSet::all(), preds: 0x7f }
+    }
+
+    /// Unions `other` into `self`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &LiveSet) -> bool {
+        let g = self.gprs.union_with(&other.gprs);
+        let p = self.preds | other.preds;
+        let changed = g || p != self.preds;
+        self.preds = p;
+        changed
+    }
+
+    /// Highest live general-purpose register index, if any.
+    pub fn max_gpr(&self) -> Option<u8> {
+        self.gprs.max()
+    }
+
+    /// True when a predicate is live.
+    pub fn pred_live(&self, p: Pred) -> bool {
+        !p.is_true_reg() && self.preds & (1 << p.0) != 0
+    }
+}
+
+/// One definition site tracked by the reaching-definitions analysis.
+///
+/// `reg` is `None` for a call's conservative may-definition of *every*
+/// register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DefSite {
+    instr: usize,
+    reg: Option<Reg>,
+}
+
+/// The result of analyzing one function body: per-instruction live-in /
+/// live-out sets and reaching definitions, queryable by instruction index.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    blocks: Vec<BasicBlock>,
+    live_in: Vec<LiveSet>,
+    live_out: Vec<LiveSet>,
+    // Reaching definitions: bitsets over enumerated definition sites.
+    def_sites: Vec<DefSite>,
+    /// Def-site ids grouped by register index (255 = the call wildcard).
+    defs_of_reg: Vec<Vec<u32>>,
+    /// Per-instruction generated def-site ids.
+    gen: Vec<Vec<u32>>,
+    /// Per-instruction must-defined registers (kills).
+    must_defs: Vec<Vec<Reg>>,
+    /// Per-block IN sets over def-site ids.
+    rd_in: Vec<Vec<u64>>,
+}
+
+impl Dataflow {
+    /// Runs both analyses over a function body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`CfgFailure`] of [`cfg::basic_blocks`] when the body
+    /// cannot be statically partitioned (indirect branches, misaligned
+    /// targets) — the caller must fall back to a conservative policy.
+    pub fn analyze(instrs: &[Instruction], arch: Arch) -> Result<Dataflow, CfgFailure> {
+        let blocks = cfg::basic_blocks(instrs, arch)?;
+        let n = instrs.len();
+        let nb = blocks.len();
+
+        // --- Edges (shared by both analyses, over-approximated) -------------
+        // cfg::successors plus an edge from every SYNC-terminated block to
+        // every SSY target block (reconvergence-stack over-approximation).
+        let ssy_targets: Vec<usize> = {
+            let isize = arch.instruction_size() as i64;
+            let mut t = Vec::new();
+            for (idx, i) in instrs.iter().enumerate() {
+                if i.cf_class() == CfClass::Ssy {
+                    if let Some(off) = i.rel_target() {
+                        let target = idx as i64 + 1 + off / isize;
+                        if (0..n as i64).contains(&target) {
+                            if let Some(b) =
+                                blocks.iter().find(|b| b.range.start == target as usize)
+                            {
+                                t.push(b.id);
+                            }
+                        }
+                    }
+                }
+            }
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        let mut succ: Vec<Vec<usize>> = Vec::with_capacity(nb);
+        for b in &blocks {
+            let mut s = cfg::successors(instrs, &blocks, b, arch);
+            if !b.is_empty() && instrs[b.range.end - 1].cf_class() == CfClass::Sync {
+                for &t in &ssy_targets {
+                    if !s.contains(&t) {
+                        s.push(t);
+                    }
+                }
+            }
+            succ.push(s);
+        }
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (b, ss) in succ.iter().enumerate() {
+            for &s in ss {
+                pred[s].push(b);
+            }
+        }
+
+        // --- Backward liveness ----------------------------------------------
+        let mut block_in = vec![LiveSet::EMPTY; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in blocks.iter().rev() {
+                let mut live = block_out(instrs, b, &succ[b.id], &block_in);
+                for idx in b.range.clone().rev() {
+                    transfer_backward(&instrs[idx], &mut live);
+                }
+                changed |= block_in[b.id].union_with(&live);
+            }
+        }
+        // Final pass: per-instruction sets.
+        let mut live_in = vec![LiveSet::EMPTY; n];
+        let mut live_out = vec![LiveSet::EMPTY; n];
+        for b in &blocks {
+            let mut live = block_out(instrs, b, &succ[b.id], &block_in);
+            for idx in b.range.clone().rev() {
+                live_out[idx] = live;
+                transfer_backward(&instrs[idx], &mut live);
+                live_in[idx] = live;
+            }
+        }
+
+        // --- Forward reaching definitions -----------------------------------
+        let mut def_sites: Vec<DefSite> = Vec::new();
+        let mut defs_of_reg: Vec<Vec<u32>> = vec![Vec::new(); 256];
+        let mut gen: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut must_defs: Vec<Vec<Reg>> = vec![Vec::new(); n];
+        for (idx, i) in instrs.iter().enumerate() {
+            if matches!(i.cf_class(), CfClass::RelCall | CfClass::AbsCall) {
+                // A call may define anything; one wildcard site suffices.
+                let id = def_sites.len() as u32;
+                def_sites.push(DefSite { instr: idx, reg: None });
+                defs_of_reg[255].push(id);
+                gen[idx].push(id);
+                continue;
+            }
+            for r in i.reg_writes() {
+                let id = def_sites.len() as u32;
+                def_sites.push(DefSite { instr: idx, reg: Some(r) });
+                defs_of_reg[r.0 as usize].push(id);
+                gen[idx].push(id);
+            }
+            if i.guard.is_always() {
+                must_defs[idx] = i.reg_writes();
+            }
+        }
+        let words = def_sites.len().div_ceil(64).max(1);
+        let mut rd_in: Vec<Vec<u64>> = vec![vec![0u64; words]; nb];
+        let mut rd_out: Vec<Vec<u64>> = vec![vec![0u64; words]; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in &blocks {
+                let mut set = vec![0u64; words];
+                for &p in &pred[b.id] {
+                    for (a, x) in set.iter_mut().zip(&rd_out[p]) {
+                        *a |= *x;
+                    }
+                }
+                rd_in[b.id].clone_from(&set);
+                for idx in b.range.clone() {
+                    rd_transfer(idx, &gen, &must_defs, &defs_of_reg, &mut set);
+                }
+                if set != rd_out[b.id] {
+                    rd_out[b.id] = set;
+                    changed = true;
+                }
+            }
+        }
+
+        Ok(Dataflow { blocks, live_in, live_out, def_sites, defs_of_reg, gen, must_defs, rd_in })
+    }
+
+    /// The basic-block partition the analysis ran over.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Number of instructions analyzed.
+    pub fn len(&self) -> usize {
+        self.live_in.len()
+    }
+
+    /// True when the analyzed body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.live_in.is_empty()
+    }
+
+    /// The live set immediately before instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn live_in(&self, idx: usize) -> &LiveSet {
+        &self.live_in[idx]
+    }
+
+    /// The live set immediately after instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn live_out(&self, idx: usize) -> &LiveSet {
+        &self.live_out[idx]
+    }
+
+    /// Live general-purpose register indices before instruction `idx`, in
+    /// ascending order — the paper-API-style query backing
+    /// `nvbit`-level `get_live_regs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn live_regs(&self, idx: usize) -> Vec<u8> {
+        self.live_in[idx].gprs.iter().collect()
+    }
+
+    /// Highest register live around instruction `idx` (union of live-in and
+    /// live-out, so both `Before` and `After` injection points are covered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn max_live(&self, idx: usize) -> Option<u8> {
+        self.live_in[idx].max_gpr().max(self.live_out[idx].max_gpr())
+    }
+
+    /// Highest register live around instruction `idx` that lies strictly
+    /// below `bound` (union of live-in and live-out).
+    ///
+    /// This is the query save-area sizing wants: an injected trampoline
+    /// clobbers only `R0`..`R{bound-1}` (frame pointer, ABI argument window
+    /// and the tool function's own registers), so live registers at or above
+    /// `bound` survive untouched and need no save slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn max_live_below(&self, idx: usize, bound: u8) -> Option<u8> {
+        self.live_in[idx].gprs.max_below(bound).max(self.live_out[idx].gprs.max_below(bound))
+    }
+
+    /// Instruction indices whose definition of `reg` may reach the entry of
+    /// instruction `idx` (calls count as definitions of every register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn reaching_defs(&self, idx: usize, reg: Reg) -> Vec<usize> {
+        let block = self
+            .blocks
+            .iter()
+            .find(|b| b.range.contains(&idx))
+            .expect("instruction index within a block");
+        let mut set = self.rd_in[block.id].clone();
+        for i in block.range.start..idx {
+            rd_transfer(i, &self.gen, &self.must_defs, &self.defs_of_reg, &mut set);
+        }
+        let mut out: Vec<usize> = self
+            .def_sites
+            .iter()
+            .enumerate()
+            .filter(|(id, d)| {
+                set[id / 64] & (1 << (id % 64)) != 0 && (d.reg == Some(reg) || d.reg.is_none())
+            })
+            .map(|(_, d)| d.instr)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Live-out of a block: the union of successor live-ins, or the conservative
+/// extreme when control leaves the function body.
+fn block_out(
+    instrs: &[Instruction],
+    b: &BasicBlock,
+    succ: &[usize],
+    block_in: &[LiveSet],
+) -> LiveSet {
+    if b.is_empty() {
+        return LiveSet::EMPTY;
+    }
+    match instrs[b.range.end - 1].cf_class() {
+        // Thread termination: nothing is live after.
+        CfClass::Exit => LiveSet::EMPTY,
+        // Control leaves the body for statically unknown code.
+        CfClass::AbsJump | CfClass::Ret | CfClass::Trap => LiveSet::all(),
+        _ => {
+            let mut out = LiveSet::EMPTY;
+            for &s in succ {
+                out.union_with(&block_in[s]);
+            }
+            // A relative branch whose target is outside the body behaves
+            // like a jump to unknown code.
+            let last = &instrs[b.range.end - 1];
+            if last.cf_class() == CfClass::RelBranch && succ.is_empty() {
+                return LiveSet::all();
+            }
+            out
+        }
+    }
+}
+
+/// One backward transfer step: kill must-defs, add uses.
+fn transfer_backward(i: &Instruction, live: &mut LiveSet) {
+    if matches!(i.cf_class(), CfClass::RelCall | CfClass::AbsCall) {
+        // The callee may read and write anything.
+        *live = LiveSet::all();
+        return;
+    }
+    if i.guard.is_always() {
+        for r in i.reg_writes() {
+            live.gprs.remove(r);
+        }
+        for p in i.pred_writes() {
+            live.preds &= !(1 << p.0);
+        }
+    }
+    for r in i.reg_reads() {
+        live.gprs.insert(r);
+    }
+    for p in i.pred_reads() {
+        live.preds |= 1 << p.0;
+    }
+}
+
+/// One forward reaching-definitions transfer step over the def-site bitset.
+fn rd_transfer(
+    idx: usize,
+    gen: &[Vec<u32>],
+    must_defs: &[Vec<Reg>],
+    defs_of_reg: &[Vec<u32>],
+    set: &mut [u64],
+) {
+    for r in &must_defs[idx] {
+        for &id in &defs_of_reg[r.0 as usize] {
+            set[id as usize / 64] &= !(1 << (id % 64));
+        }
+    }
+    for &id in &gen[idx] {
+        set[id as usize / 64] |= 1 << (id % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_arch;
+
+    fn analyze(text: &str, arch: Arch) -> Dataflow {
+        let prog = assemble_arch(text, arch).unwrap();
+        Dataflow::analyze(&prog, arch).unwrap()
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // R2 is read by the store, R4 feeds R5 which feeds the store address.
+        let df = analyze(
+            "S2R R4, SR_TID.X ;\n\
+             IADD R5, R4, 0x1 ;\n\
+             STG [R2], R5 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        // Before the IADD: R4 (its source) and R2/R3 (the store base pair).
+        let live = df.live_regs(1);
+        assert!(live.contains(&4) && live.contains(&2) && live.contains(&3));
+        assert!(!live.contains(&5), "R5 is defined here, not used before");
+        // After the store nothing is live (EXIT follows).
+        assert!(df.live_out(2).gprs.is_empty());
+        // Before the S2R, R4 is dead (it is about to be overwritten).
+        assert!(!df.live_regs(0).contains(&4));
+    }
+
+    #[test]
+    fn branch_joins_union_liveness() {
+        // R6 is used only on the fall-through path; it must be live before
+        // the branch too.
+        let df = analyze(
+            "ISETP.GE.S32 P0, R4, 0x10 ;\n\
+             @P0 BRA skip ;\n\
+             IADD R5, R6, 0x1 ;\n\
+             STG [R2], R5 ;\n\
+             skip:\n\
+             EXIT ;",
+            Arch::Kepler,
+        );
+        assert!(df.live_regs(1).contains(&6));
+        assert!(df.live_in(1).pred_live(Pred(0)), "the guard predicate is live");
+        // P0 is written by ISETP: dead before it.
+        assert!(!df.live_in(0).pred_live(Pred(0)));
+    }
+
+    #[test]
+    fn predicated_defs_are_may_defs() {
+        // The guarded MOV may not execute, so R5's previous value survives:
+        // R5 stays live across the predicated write.
+        let df = analyze(
+            "@P1 MOV R5, R6 ;\n\
+             STG [R2], R5 ;\n\
+             EXIT ;",
+            Arch::Pascal,
+        );
+        assert!(df.live_regs(0).contains(&5), "may-def does not kill R5");
+        // An unconditional def does kill.
+        let df2 = analyze(
+            "MOV R5, R6 ;\n\
+             STG [R2], R5 ;\n\
+             EXIT ;",
+            Arch::Pascal,
+        );
+        assert!(!df2.live_regs(0).contains(&5));
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // R4 is the induction variable: live throughout the loop.
+        let df = analyze(
+            "MOV32I R4, 0x0 ;\n\
+             loop:\n\
+             IADD R4, R4, 0x1 ;\n\
+             ISETP.LT.S32 P0, R4, 0x10 ;\n\
+             @P0 BRA loop ;\n\
+             STG [R2], R4 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        assert!(df.live_regs(1).contains(&4));
+        assert!(df.live_out(3).gprs.contains(Reg(4)));
+    }
+
+    #[test]
+    fn calls_are_fully_conservative() {
+        let df = analyze(
+            "MOV R4, R5 ;\n\
+             JCAL `0x8000 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        // Everything is live going into the call.
+        assert_eq!(df.live_in(1).gprs.len(), 255);
+        assert_eq!(df.live_in(1).preds, 0x7f);
+        // And hence before the MOV too (minus its own must-def R4).
+        assert!(!df.live_regs(0).contains(&4));
+        assert!(df.live_regs(0).contains(&200));
+    }
+
+    #[test]
+    fn exit_terminates_liveness_but_ret_does_not() {
+        let exit = analyze("MOV R4, R5 ;\nEXIT ;", Arch::Volta);
+        assert!(exit.live_out(0).gprs.is_empty());
+        let ret = analyze("MOV R4, R5 ;\nRET ;", Arch::Volta);
+        // The caller may use anything.
+        assert_eq!(ret.live_out(0).gprs.len(), 255);
+    }
+
+    #[test]
+    fn sync_edges_cover_reconvergence_targets() {
+        // The SYNC-ended path must see liveness from the SSY target: R9 is
+        // used only at `merge`, after reconvergence.
+        let df = analyze(
+            "SSY merge ;\n\
+             ISETP.EQ.S32 P0, R4, RZ ;\n\
+             @P0 BRA merge ;\n\
+             IADD R5, R5, 0x1 ;\n\
+             SYNC ;\n\
+             merge:\n\
+             STG [R2], R9 ;\n\
+             EXIT ;",
+            Arch::Maxwell,
+        );
+        assert!(df.live_regs(3).contains(&9), "R9 flows through the SYNC edge");
+    }
+
+    #[test]
+    fn reaching_defs_through_branches() {
+        let df = analyze(
+            "MOV32I R4, 0x1 ;\n\
+             ISETP.EQ.S32 P0, R5, RZ ;\n\
+             @P0 BRA skip ;\n\
+             MOV32I R4, 0x2 ;\n\
+             skip:\n\
+             STG [R2], R4 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        // Both defs of R4 reach the store (one through each path).
+        assert_eq!(df.reaching_defs(4, Reg(4)), vec![0, 3]);
+        // Only the first def reaches the second MOV.
+        assert_eq!(df.reaching_defs(3, Reg(4)), vec![0]);
+    }
+
+    #[test]
+    fn unconditional_defs_kill_reaching_defs() {
+        let df = analyze(
+            "MOV32I R4, 0x1 ;\n\
+             MOV32I R4, 0x2 ;\n\
+             STG [R2], R4 ;\n\
+             EXIT ;",
+            Arch::Kepler,
+        );
+        assert_eq!(df.reaching_defs(2, Reg(4)), vec![1]);
+    }
+
+    #[test]
+    fn calls_generate_wildcard_defs() {
+        let df = analyze(
+            "MOV32I R4, 0x1 ;\n\
+             JCAL `0x8000 ;\n\
+             STG [R2], R4 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        // Both the MOV and the (wildcard) call reach the store.
+        assert_eq!(df.reaching_defs(2, Reg(4)), vec![0, 1]);
+    }
+
+    #[test]
+    fn regset_bit_operations() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty() && s.max().is_none());
+        s.insert(Reg(0));
+        s.insert(Reg(254));
+        s.insert(Reg::RZ); // ignored
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max(), Some(254));
+        assert!(s.contains(Reg(0)) && !s.contains(Reg(7)) && !s.contains(Reg::RZ));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 254]);
+        s.remove(Reg(254));
+        assert_eq!(s.max(), Some(0));
+        assert_eq!(RegSet::all().len(), 255);
+        assert_eq!(RegSet::all().max(), Some(254));
+    }
+
+    #[test]
+    fn regset_max_below_respects_the_bound() {
+        let mut s = RegSet::EMPTY;
+        s.insert(Reg(3));
+        s.insert(Reg(63));
+        s.insert(Reg(64));
+        s.insert(Reg(200));
+        assert_eq!(s.max_below(255), Some(200));
+        assert_eq!(s.max_below(200), Some(64), "the bound itself is excluded");
+        // Word-boundary cases around bit 64.
+        assert_eq!(s.max_below(65), Some(64));
+        assert_eq!(s.max_below(64), Some(63));
+        assert_eq!(s.max_below(63), Some(3));
+        assert_eq!(s.max_below(3), None);
+        assert_eq!(s.max_below(0), None);
+        assert_eq!(RegSet::EMPTY.max_below(255), None);
+    }
+
+    #[test]
+    fn max_live_below_ignores_high_live_registers() {
+        // R200 is live across the IADD, but a caller that clobbers only
+        // R0..R7 does not care about it.
+        let df = analyze(
+            "IADD R5, R4, 0x1 ;\n\
+             STG [R2], R5 ;\n\
+             STG [R2], R200 ;\n\
+             EXIT ;",
+            Arch::Volta,
+        );
+        assert_eq!(df.max_live(0), Some(200));
+        assert_eq!(df.max_live_below(0, 8), Some(5));
+        assert_eq!(df.max_live_below(0, 3), Some(2), "store base pair R2/R3");
+    }
+
+    #[test]
+    fn icf_propagates_cfg_failure() {
+        let prog = assemble_arch("BRX R4 ;\nEXIT ;", Arch::Kepler).unwrap();
+        let err = Dataflow::analyze(&prog, Arch::Kepler).unwrap_err();
+        assert_eq!(err, CfgFailure::IndirectBranch { index: 0 });
+    }
+
+    #[test]
+    fn empty_body_analyzes_trivially() {
+        let df = Dataflow::analyze(&[], Arch::Volta).unwrap();
+        assert!(df.is_empty());
+        assert!(df.blocks().is_empty());
+    }
+}

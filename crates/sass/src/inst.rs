@@ -425,6 +425,46 @@ impl Instruction {
         self.reg_reads().iter().chain(self.reg_writes().iter()).map(|r| r.0).max()
     }
 
+    /// Predicate registers read by this instruction: the guard (when not
+    /// `PT`), every `PredR` operand, and — for `P2R`, which packs the whole
+    /// predicate file into a register — all writable predicates.
+    pub fn pred_reads(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        if !self.guard.pred.is_true_reg() {
+            out.push(self.guard.pred);
+        }
+        if self.op == Op::P2r {
+            out.extend((0..Pred::NUM_WRITABLE as u8).map(Pred));
+        }
+        for (kind, opnd) in self.op.format().iter().zip(&self.operands) {
+            if let (OKind::PredR, Operand::Pred { pred, .. }) = (kind, opnd) {
+                if !pred.is_true_reg() && !out.contains(pred) {
+                    out.push(*pred);
+                }
+            }
+        }
+        out
+    }
+
+    /// Predicate registers written by this instruction: every `PredW`
+    /// operand, plus — for `R2P`, which unpacks a register into the whole
+    /// predicate file — all writable predicates.
+    pub fn pred_writes(&self) -> Vec<Pred> {
+        let mut out = Vec::new();
+        if self.op == Op::R2p {
+            out.extend((0..Pred::NUM_WRITABLE as u8).map(Pred));
+            return out;
+        }
+        for (kind, opnd) in self.op.format().iter().zip(&self.operands) {
+            if let (OKind::PredW, Operand::Pred { pred, .. }) = (kind, opnd) {
+                if !pred.is_true_reg() {
+                    out.push(*pred);
+                }
+            }
+        }
+        out
+    }
+
     /// The control-flow class of the opcode (convenience forwarder).
     pub fn cf_class(&self) -> CfClass {
         self.op.cf_class()
@@ -575,6 +615,35 @@ mod tests {
         )
         .with_mods(Mods { sub: SubOp::Add, itype: IType::F32, ..Mods::default() });
         assert_eq!(atom.opcode_string(), "ATOM.ADD.F32");
+    }
+
+    #[test]
+    fn pred_reads_and_writes_cover_guard_operands_and_pack_unpack() {
+        let setp = Instruction::new(
+            Op::Isetp,
+            vec![Operand::pred(Pred(2)), Operand::Reg(Reg(3)), Operand::Imm(0)],
+        )
+        .with_guard(Guard { pred: Pred(0), negated: true });
+        assert_eq!(setp.pred_reads(), vec![Pred(0)]);
+        assert_eq!(setp.pred_writes(), vec![Pred(2)]);
+
+        // PT never appears in use/def sets.
+        let sel = Instruction::new(
+            Op::Sel,
+            vec![
+                Operand::Reg(Reg(0)),
+                Operand::Reg(Reg(1)),
+                Operand::Reg(Reg(2)),
+                Operand::pred(Pred::PT),
+            ],
+        );
+        assert!(sel.pred_reads().is_empty());
+
+        // P2R reads the whole predicate file; R2P writes it.
+        let p2r = Instruction::new(Op::P2r, vec![Operand::Reg(Reg(0))]);
+        assert_eq!(p2r.pred_reads().len(), Pred::NUM_WRITABLE);
+        let r2p = Instruction::new(Op::R2p, vec![Operand::Reg(Reg(0))]);
+        assert_eq!(r2p.pred_writes().len(), Pred::NUM_WRITABLE);
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //!
 //! The crate provides the ISA definition ([`Instruction`], [`Op`],
 //! [`Operand`]), binary encoders/decoders per family ([`codec`]), a textual
-//! assembler and disassembler ([`asm`]), and basic-block partitioning
-//! ([`mod@cfg`]).
+//! assembler and disassembler ([`asm`]), basic-block partitioning
+//! ([`mod@cfg`]) and liveness/reaching-definitions dataflow analysis
+//! ([`mod@dataflow`]).
 //!
 //! # Example
 //!
@@ -44,11 +45,14 @@ pub mod arch;
 pub mod asm;
 pub mod cfg;
 pub mod codec;
+pub mod dataflow;
 pub mod inst;
 pub mod op;
 pub mod reg;
 
 pub use arch::{Arch, EncodingFamily};
+pub use cfg::CfgFailure;
+pub use dataflow::{Dataflow, LiveSet, RegSet};
 pub use inst::{Guard, Instruction, MemSpace, Mods, Operand, Width};
 pub use op::{CmpOp, Op, OpCategory, SubOp};
 pub use reg::{Pred, Reg, SpecialReg};

@@ -1,0 +1,327 @@
+//! Differential testing of liveness-driven save sizing (paper §5.1): for
+//! every tool × workload pair, an instrumented run under the default
+//! liveness-reduced save policy must produce bit-identical guest memory and
+//! identical tool output to a run under the conservative full-tier policy.
+//! The only observable difference may be cost (fewer saved register slots).
+
+use cuda::{CbId, CbParams, CuFunction, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, NvbitApi, NvbitTool, SavePolicy, SaveStats};
+use nvbit_tools::{
+    BbInstrCount, InstrCount, MemDivergence, MemTrace, OpcodeHistogram, SamplingMode, WfftEmu,
+};
+use sass::Arch;
+use std::cell::RefCell;
+use std::rc::Rc;
+use workloads::{fft, kernels};
+
+/// Wraps a tool so the save policy is fixed before anything is lifted or
+/// instrumented.
+struct WithPolicy<T> {
+    policy: SavePolicy,
+    inner: T,
+}
+
+impl<T: NvbitTool> NvbitTool for WithPolicy<T> {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.set_save_policy(self.policy);
+        self.inner.at_init(api);
+    }
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_term(api);
+    }
+    fn at_ctx_init(&mut self, api: &NvbitApi<'_>, ctx: cuda::CuContext) {
+        self.inner.at_ctx_init(api, ctx);
+    }
+    fn at_ctx_term(&mut self, api: &NvbitApi<'_>, ctx: cuda::CuContext) {
+        self.inner.at_ctx_term(api, ctx);
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        self.inner.at_cuda_event(api, is_exit, cbid, params);
+    }
+}
+
+// ----- Workload applications (each returns its guest output bytes) --------
+
+/// The software warp-FFT pipeline over unit-magnitude input.
+fn fft_app(drv: &Driver) -> Vec<u8> {
+    const BLOCKS: u32 = 2;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", fft::soft_fft_kernel_ptx())).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    let input: Vec<u8> = (0..BLOCKS * 32)
+        .flat_map(|_| {
+            let mut rec = [0u8; 8];
+            rec[..4].copy_from_slice(&1.0f32.to_le_bytes());
+            rec
+        })
+        .collect();
+    drv.memcpy_htod(din, &input).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; bytes as usize];
+    drv.memcpy_dtoh(&mut out, dout).unwrap();
+    out
+}
+
+/// A 5-point stencil step (grid-determined control flow).
+fn stencil_app(drv: &Driver) -> Vec<u8> {
+    let (h, w) = (16u32, 128u32);
+    let n = h * w;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", kernels::stencil5("step"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("stencil", src)).unwrap();
+    let f = drv.module_get_function(&m, "step").unwrap();
+    let a = drv.mem_alloc(n as u64 * 4).unwrap();
+    let b = drv.mem_alloc(n as u64 * 4).unwrap();
+    let init: Vec<u8> = (0..n).flat_map(|i| ((i % 17) as f32).to_bits().to_le_bytes()).collect();
+    drv.memcpy_htod(a, &init).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::xyz(h - 2, 1, 1),
+        Dim3::linear(128),
+        &[KernelArg::Ptr(a), KernelArg::Ptr(b), KernelArg::U32(h), KernelArg::U32(w)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; n as usize * 4];
+    drv.memcpy_dtoh(&mut out, b).unwrap();
+    out
+}
+
+/// Sparse matrix-vector product with data-dependent loop trip counts
+/// (divergent control flow).
+fn spmv_app(drv: &Driver) -> Vec<u8> {
+    let rows = 64u32;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", kernels::spmv_csr("spmv"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("spmv", src)).unwrap();
+    let f = drv.module_get_function(&m, "spmv").unwrap();
+    // Deterministic CSR structure: row r has 1 + (r mod 9) entries.
+    let mut rowptr = vec![0u32];
+    let mut cols = Vec::new();
+    for r in 0..rows {
+        for j in 0..=(r % 9) {
+            cols.push((r * 7 + j * 13) % rows);
+        }
+        rowptr.push(cols.len() as u32);
+    }
+    let alloc_u32 = |vals: &[u32]| {
+        let a = drv.mem_alloc(vals.len() as u64 * 4).unwrap();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let alloc_f32 = |n: u32, f: &dyn Fn(u32) -> f32| {
+        let a = drv.mem_alloc(n as u64 * 4).unwrap();
+        let bytes: Vec<u8> = (0..n).flat_map(|i| f(i).to_bits().to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let d_rowptr = alloc_u32(&rowptr);
+    let d_cols = alloc_u32(&cols);
+    let d_vals = alloc_f32(cols.len() as u32, &|i| 1.0 / (1.0 + i as f32));
+    let x = alloc_f32(rows, &|_| 1.0);
+    let y = alloc_f32(rows, &|_| 0.0);
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(1),
+        Dim3::linear(128),
+        &[
+            KernelArg::Ptr(d_rowptr),
+            KernelArg::Ptr(d_cols),
+            KernelArg::Ptr(d_vals),
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::U32(rows),
+        ],
+    )
+    .unwrap();
+    let mut out = vec![0u8; rows as usize * 4];
+    drv.memcpy_dtoh(&mut out, y).unwrap();
+    out
+}
+
+/// A deterministic guest application: runs kernels and returns the output
+/// buffer bytes.
+type App = fn(&Driver) -> Vec<u8>;
+
+const APPS: [(&str, App); 3] = [("fft", fft_app), ("stencil", stencil_app), ("spmv", spmv_app)];
+
+/// Runs `app` under `tool` with the given save policy; returns the guest
+/// output bytes and a string signature of the tool's own results.
+fn run_case(tool: &str, policy: SavePolicy, app: fn(&Driver) -> Vec<u8>) -> (Vec<u8>, String) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let sig: Box<dyn Fn() -> String> = match tool {
+        "instr_count" => {
+            let (t, r) = InstrCount::new();
+            attach_tool(&drv, WithPolicy { policy, inner: t });
+            Box::new(move || r.total().to_string())
+        }
+        "bb_instr_count" => {
+            let (t, r) = BbInstrCount::new();
+            attach_tool(&drv, WithPolicy { policy, inner: t });
+            Box::new(move || r.total().to_string())
+        }
+        "opcode_hist" => {
+            let (t, r) = OpcodeHistogram::new(SamplingMode::Full);
+            attach_tool(&drv, WithPolicy { policy, inner: t });
+            Box::new(move || format!("{:?}", r.histogram()))
+        }
+        "mem_trace" => {
+            let (t, r) = MemTrace::new(4096);
+            attach_tool(&drv, WithPolicy { policy, inner: t });
+            Box::new(move || format!("{} {:?}", r.demanded(), r.addresses()))
+        }
+        "mem_divergence" => {
+            let (t, r) = MemDivergence::new(true);
+            attach_tool(&drv, WithPolicy { policy, inner: t });
+            Box::new(move || format!("{} {}", r.mem_instructions(), r.unique_lines()))
+        }
+        other => unreachable!("unknown tool {other}"),
+    };
+    let mem = app(&drv);
+    drv.shutdown();
+    (mem, sig())
+}
+
+/// The differential itself: liveness vs full-tier must agree bit-for-bit on
+/// both the guest output and the tool output, for every workload.
+fn differential(tool: &str) {
+    for (app_name, app) in APPS {
+        let (mem_full, sig_full) = run_case(tool, SavePolicy::FullTier, app);
+        let (mem_live, sig_live) = run_case(tool, SavePolicy::Liveness, app);
+        assert_eq!(mem_live, mem_full, "guest memory differs: {tool} × {app_name}");
+        assert_eq!(sig_live, sig_full, "tool output differs: {tool} × {app_name}");
+    }
+}
+
+#[test]
+fn instr_count_is_policy_invariant() {
+    differential("instr_count");
+}
+
+#[test]
+fn bb_instr_count_is_policy_invariant() {
+    differential("bb_instr_count");
+}
+
+#[test]
+fn opcode_hist_is_policy_invariant() {
+    differential("opcode_hist");
+}
+
+#[test]
+fn mem_trace_is_policy_invariant() {
+    differential("mem_trace");
+}
+
+#[test]
+fn mem_divergence_is_policy_invariant() {
+    differential("mem_divergence");
+}
+
+#[test]
+fn wfft_emulation_is_policy_invariant() {
+    // The emulation tool uses the register device API (permanent
+    // write-back), which forces the conservative tier at its sites even
+    // under the liveness policy — the differential must still hold.
+    let run = |policy| -> Vec<u8> {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        attach_tool(&drv, WithPolicy { policy, inner: WfftEmu::new() });
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("wfft", fft::wfft_kernel_ptx())).unwrap();
+        let f = drv.module_get_function(&m, "fft32").unwrap();
+        let bytes = 32 * 8u64;
+        let din = drv.mem_alloc(bytes).unwrap();
+        let dout = drv.mem_alloc(bytes).unwrap();
+        let input: Vec<u8> = (0..32u32)
+            .flat_map(|k| {
+                let mut rec = [0u8; 8];
+                rec[..4].copy_from_slice(&(k as f32 * 0.25).to_le_bytes());
+                rec[4..].copy_from_slice(&(1.0f32 - k as f32 * 0.03).to_le_bytes());
+                rec
+            })
+            .collect();
+        drv.memcpy_htod(din, &input).unwrap();
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(32),
+            &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+        )
+        .unwrap();
+        let mut out = vec![0u8; bytes as usize];
+        drv.memcpy_dtoh(&mut out, dout).unwrap();
+        drv.shutdown();
+        out
+    };
+    let full = run(SavePolicy::FullTier);
+    let live = run(SavePolicy::Liveness);
+    assert_eq!(live, full);
+    // The emulated run is meaningful, not all-zero.
+    assert!(full.iter().any(|&b| b != 0));
+}
+
+/// Captures the codegen's register-save accounting at launch exit.
+struct StatsCapture<T> {
+    inner: T,
+    stats: Rc<RefCell<Option<SaveStats>>>,
+}
+
+impl<T: NvbitTool> NvbitTool for StatsCapture<T> {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_init(api);
+    }
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_term(api);
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        self.inner.at_cuda_event(api, is_exit, cbid, params);
+        if is_exit && cbid == CbId::LaunchKernel {
+            if let CbParams::LaunchKernel { func, .. } = params {
+                let func: CuFunction = *func;
+                if let Ok(Some(s)) = api.save_stats(func) {
+                    *self.stats.borrow_mut() = Some(s);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn liveness_reduces_saved_slots_on_the_fft_kernel() {
+    let stats = Rc::new(RefCell::new(None));
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let (tool, _results) = InstrCount::new();
+    attach_tool(&drv, StatsCapture { inner: tool, stats: stats.clone() });
+    fft_app(&drv);
+    drv.shutdown();
+    let s = stats.borrow().clone().expect("fft kernel was instrumented");
+    assert!(s.fallback.is_none(), "liveness analysis must apply: {:?}", s.fallback);
+    assert!(
+        s.saved_slots < s.full_tier_slots,
+        "liveness should shrink saves: {} vs {}",
+        s.saved_slots,
+        s.full_tier_slots
+    );
+}
