@@ -51,4 +51,10 @@ cargo test --release -q -p nvbit-tools --test differential_saves
 echo "== savereduce: liveness save-slot reduction (>=30% gate) =="
 cargo run --release -q -p nvbit-bench --bin savereduce
 
+echo "== module-unload regression: recycled handles never see stale caches =="
+cargo test --release -q -p nvbit-core --test module_unload
+
+echo "== jitpar: concurrent JIT (>=2x on >=4 hw threads), bit-identical, zero-regen flips =="
+cargo run --release -q -p nvbit-bench --bin jitpar
+
 echo "CI OK"

@@ -41,7 +41,7 @@ pub struct ToolFn {
 }
 
 /// How the code generator sizes each injection site's register save.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SavePolicy {
     /// Size each site from the dataflow analysis: only registers live
     /// across the site (plus the tool's own demand) need saving. Falls

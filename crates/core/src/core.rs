@@ -1,5 +1,28 @@
 //! The NVBit core: driver interposition, tool dispatch, state management
 //! and the user-level API handed to tools.
+//!
+//! # Code-cache concurrency contract
+//!
+//! `CoreState` is shared behind an `Arc` and sharded: per-function state
+//! lives in `SHARDS` independent mutex-guarded maps keyed by the raw
+//! function handle. Shard locks are held only for short map operations —
+//! never across device calls that could re-enter the core, and never two
+//! at once — so batch instrumentation can fan lift/codegen/verify work out
+//! across `std::thread::scope` workers (the PR-1 scheduler pattern) while
+//! the main thread keeps exclusive use of the single-threaded [`Driver`],
+//! servicing trampoline allocations over a channel in deterministic input
+//! order (a turnstile), which makes parallel builds bit-identical to
+//! serial ones.
+//!
+//! # Versioned images
+//!
+//! Each function caches *multiple* instrumented images keyed by
+//! ([`FuncSpec::content_hash`], [`SavePolicy`]). Flipping
+//! `enable_instrumented` or `set_save_policy` between already-built
+//! versions is a pure O(memcpy) swap (paper §6.2) — codegen never re-runs
+//! for a key it has seen. `cuModuleUnload` evicts every entry of the dying
+//! module and frees its trampolines, so a recycled handle can never be
+//! served a stale lifted image.
 
 use crate::codegen::{generate, InstrumentedImage, LivenessInput, SavePolicy, ToolFn};
 use crate::hal::Hal;
@@ -10,11 +33,11 @@ use crate::saverestore::{restore_text, save_text, Routines, TIERS};
 use crate::spec::{Arg, FuncSpec, IPoint};
 use crate::verify::{self, Diagnostic, ExternalCode};
 use crate::{NvbitError, Result};
-use cuda::{CbId, CbParams, CuContext, CuFunction, Driver, Interposer};
-use std::cell::RefCell;
+use cuda::{CbId, CbParams, CuContext, CuFunction, CuModule, Driver, Interposer};
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// A user instrumentation tool — the analog of an NVBit tool shared
 /// library. Implement the callbacks you need; defaults are no-ops.
@@ -49,6 +72,9 @@ pub trait NvbitTool {
     );
 }
 
+/// Number of independent function-state shards.
+const SHARDS: usize = 16;
+
 /// Whether a function currently runs its original or instrumented version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Version {
@@ -56,59 +82,216 @@ enum Version {
     Instrumented,
 }
 
-struct FuncState {
+/// Key of one cached instrumented image: what was asked for (the spec) and
+/// how saves were sized (the policy). Same key ⇒ bit-identical image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ImageKey {
+    spec_hash: u64,
+    policy: SavePolicy,
+}
+
+/// Per-function code-cache entry.
+struct FuncEntry {
+    func: CuFunction,
+    lifted: Option<Arc<Lifted>>,
     spec: FuncSpec,
-    image: Option<InstrumentedImage>,
+    /// Cached [`FuncSpec::content_hash`]; refreshed when `spec.dirty`.
+    spec_hash: Option<u64>,
+    /// All generated versions, kept until reset/unload (paper Figure 5:
+    /// amortization; §6.2: O(memcpy) sampling switches).
+    images: HashMap<ImageKey, InstrumentedImage>,
     /// What the tool asked for (`enable_instrumented`). Defaults to
     /// instrumented once instrumentation exists, like NVBit.
     desired: Version,
-    current: Version,
+    /// The version currently written at the function's code address
+    /// (`None` = the original code).
+    current: Option<ImageKey>,
 }
 
-impl Default for FuncState {
-    fn default() -> Self {
-        FuncState {
+impl FuncEntry {
+    fn new(func: CuFunction) -> FuncEntry {
+        FuncEntry {
+            func,
+            lifted: None,
             spec: FuncSpec::default(),
-            image: None,
+            spec_hash: None,
+            images: HashMap::new(),
             desired: Version::Instrumented,
-            current: Version::Original,
+            current: None,
         }
+    }
+
+    /// The image key of the entry's present spec under `policy`.
+    fn key(&mut self, policy: SavePolicy) -> ImageKey {
+        if self.spec.dirty || self.spec_hash.is_none() {
+            self.spec_hash = Some(self.spec.content_hash());
+            self.spec.dirty = false;
+        }
+        ImageKey { spec_hash: self.spec_hash.expect("just refreshed"), policy }
     }
 }
 
-/// Shared core state (interior-mutable: tool callbacks re-enter the API).
+/// Everything a worker needs to build one instrumented image, fully owned
+/// (workers never touch [`CoreState`] or the [`Driver`]).
+struct BuildInput {
+    func: CuFunction,
+    key: ImageKey,
+    info: cuda::FunctionInfo,
+    /// Pristine function bytes (never read while an instrumented version
+    /// is installed — see the gather phase).
+    code: Vec<u8>,
+    lifted: Option<Arc<Lifted>>,
+    spec: FuncSpec,
+    ext: ExternalCode,
+}
+
+/// Result of building one image (worker side).
+struct BuildOutcome {
+    idx: usize,
+    /// The lifted view used (newly created when the input carried none).
+    lifted: Option<Arc<Lifted>>,
+    result: Result<(InstrumentedImage, Vec<Diagnostic>)>,
+    timings: Vec<(JitComponent, Duration)>,
+}
+
+/// Advances the allocation turnstile past `next` on drop, so a build that
+/// errors (or panics) before reaching its allocation never wedges the
+/// workers queued behind it.
+struct TurnGuard<'a> {
+    turn: &'a Mutex<usize>,
+    cv: &'a Condvar,
+    next: usize,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.turn.lock().unwrap_or_else(|e| e.into_inner());
+        *g = (*g).max(self.next);
+        self.cv.notify_all();
+    }
+}
+
+/// Builds one instrumented image from an owned input: lift (if not cached),
+/// codegen, then pre-swap verification. Pure CPU work except `alloc` —
+/// safe on worker threads; obs spans land on the calling thread.
+fn build_one(
+    idx: usize,
+    hal: &Hal,
+    input: &BuildInput,
+    tool_fns: &HashMap<String, ToolFn>,
+    routines: &HashMap<u16, Routines>,
+    alloc: impl FnMut(u64) -> Result<u64>,
+) -> BuildOutcome {
+    let _span = common::obs::span("instrument");
+    common::obs::counter("instr_image.build", 1);
+    let mut timings = Vec::new();
+    let mut lifted = input.lifted.clone();
+    let result = (|| -> Result<(InstrumentedImage, Vec<Diagnostic>)> {
+        let l = match lifted.clone() {
+            Some(l) => l,
+            None => {
+                let _lspan = common::obs::span("lift");
+                let t1 = Instant::now();
+                let raw = hal.disassemble(&input.code)?;
+                let t2 = Instant::now();
+                drop(raw); // the lifter re-decodes; keep attribution honest
+                let l = Arc::new(lift(hal, &input.info, &input.code)?);
+                timings.push((JitComponent::Disassemble, t2 - t1));
+                timings.push((JitComponent::Convert, t2.elapsed()));
+                lifted = Some(l.clone());
+                l
+            }
+        };
+        let original: Vec<sass::Instruction> = l.instrs.iter().map(|i| i.raw().clone()).collect();
+        let cfg_reason = l.basic_blocks.as_ref().err().map(|e| e.to_string());
+        let liveness = match (&l.dataflow, &cfg_reason) {
+            (Some(df), _) => LivenessInput::Analysis(df),
+            (None, Some(reason)) => LivenessInput::Unavailable(reason),
+            (None, None) => LivenessInput::Unavailable("dataflow analysis unavailable"),
+        };
+        let t0 = Instant::now();
+        let image = {
+            let _cspan = common::obs::span("codegen");
+            generate(
+                hal,
+                &input.info,
+                &original,
+                &input.code,
+                &input.spec,
+                tool_fns,
+                routines,
+                &liveness,
+                input.key.policy,
+                alloc,
+            )?
+        };
+        // Pre-swap verification: a bad image corrupts the application, so
+        // the install phase refuses any image with findings.
+        let diags = {
+            let _vspan = common::obs::span("verify");
+            verify::verify(hal, input.info.addr, &image, &input.ext)?
+        };
+        timings.push((JitComponent::Codegen, t0.elapsed()));
+        Ok((image, diags))
+    })();
+    BuildOutcome { idx, lifted, result, timings }
+}
+
+/// Shared core state (see the module docs for the concurrency contract).
 pub(crate) struct CoreState {
-    hal: Option<Hal>,
-    tool_fns: HashMap<String, ToolFn>,
-    routines: HashMap<u16, Routines>,
-    lifted: HashMap<u32, Rc<Lifted>>,
-    funcs: HashMap<u32, FuncState>,
-    overhead: OverheadReport,
-    save_policy: SavePolicy,
+    hal: Mutex<Option<Hal>>,
+    tool_fns: RwLock<HashMap<String, ToolFn>>,
+    routines: RwLock<HashMap<u16, Routines>>,
+    shards: Vec<Mutex<HashMap<u32, FuncEntry>>>,
+    overhead: Mutex<OverheadReport>,
+    save_policy: Mutex<SavePolicy>,
+    /// Worker threads for batch instrumentation; 0 = one per hardware
+    /// thread.
+    jit_workers: AtomicUsize,
 }
 
 impl CoreState {
     fn new() -> CoreState {
+        let workers =
+            std::env::var("NVBIT_JIT_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(0usize);
         CoreState {
-            hal: None,
-            tool_fns: HashMap::new(),
-            routines: HashMap::new(),
-            lifted: HashMap::new(),
-            funcs: HashMap::new(),
-            overhead: OverheadReport::default(),
-            save_policy: SavePolicy::default(),
+            hal: Mutex::new(None),
+            tool_fns: RwLock::new(HashMap::new()),
+            routines: RwLock::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            overhead: Mutex::new(OverheadReport::default()),
+            save_policy: Mutex::new(SavePolicy::default()),
+            jit_workers: AtomicUsize::new(workers),
         }
+    }
+
+    fn shard(&self, raw: u32) -> &Mutex<HashMap<u32, FuncEntry>> {
+        &self.shards[raw as usize % SHARDS]
+    }
+
+    fn hal(&self, drv: &Driver) -> Hal {
+        *self.hal.lock().unwrap().get_or_insert_with(|| Hal::new(drv.arch()))
+    }
+
+    fn effective_workers(&self, inputs: usize) -> usize {
+        let configured = self.jit_workers.load(Ordering::Relaxed);
+        let configured = if configured == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            configured
+        };
+        configured.min(inputs)
     }
 
     /// Code regions outside the image that instrumented control flow may
     /// legitimately reach, for the pre-swap verifier.
     fn external_code(&self, drv: &Driver, info: &cuda::FunctionInfo) -> ExternalCode {
         let mut ext = ExternalCode::default();
-        for r in self.routines.values() {
+        for r in self.routines.read().unwrap().values() {
             ext.save_addrs.push(r.save_addr);
             ext.restore_addrs.push(r.restore_addr);
         }
-        for t in self.tool_fns.values() {
+        for t in self.tool_fns.read().unwrap().values() {
             ext.tool_addrs.push(t.addr);
         }
         for f in &info.related {
@@ -119,17 +302,16 @@ impl CoreState {
         ext
     }
 
-    fn hal(&mut self, drv: &Driver) -> Hal {
-        *self.hal.get_or_insert_with(|| Hal::new(drv.arch()))
-    }
-
     /// Loads the embedded save/restore routines on first use (Tool
-    /// Functions Loader, the `libnvbit.a`-embedded part).
-    fn ensure_routines(&mut self, drv: &Driver) -> Result<()> {
-        if !self.routines.is_empty() {
+    /// Functions Loader, the `libnvbit.a`-embedded part). Built fully
+    /// before publication, so a failure leaves the table empty and a
+    /// retry starts clean.
+    fn ensure_routines(&self, drv: &Driver) -> Result<()> {
+        if !self.routines.read().unwrap().is_empty() {
             return Ok(());
         }
         let hal = self.hal(drv);
+        let mut built = HashMap::new();
         for tier in TIERS {
             let save = hal.assemble_text(&save_text(tier, &hal))?;
             let restore = hal.assemble_text(&restore_text(tier, &hal))?;
@@ -140,7 +322,7 @@ impl CoreState {
                 d.write(ra, &restore)?;
                 Ok((sa, ra))
             })?;
-            self.routines.insert(
+            built.insert(
                 tier,
                 Routines {
                     tier,
@@ -150,15 +332,17 @@ impl CoreState {
                 },
             );
         }
+        *self.routines.write().unwrap() = built;
         Ok(())
     }
 
     /// Lifts (and caches) a function, timing the retrieve/disassemble/
     /// convert components.
-    fn lifted(&mut self, drv: &Driver, func: CuFunction) -> Result<Rc<Lifted>> {
-        if let Some(l) = self.lifted.get(&func.raw()) {
+    fn lifted_for(&self, drv: &Driver, func: CuFunction) -> Result<Arc<Lifted>> {
+        let raw = func.raw();
+        if let Some(l) = self.shard(raw).lock().unwrap().get(&raw).and_then(|e| e.lifted.clone()) {
             common::obs::counter("lift_cache.hit", 1);
-            return Ok(l.clone());
+            return Ok(l);
         }
         common::obs::counter("lift_cache.miss", 1);
         let _span = common::obs::span("lift");
@@ -168,115 +352,384 @@ impl CoreState {
         let t0 = Instant::now();
         let code = drv.read_code(func)?;
         let t1 = Instant::now();
-        let raw = hal.disassemble(&code)?;
+        let raw_stream = hal.disassemble(&code)?;
         let t2 = Instant::now();
-        drop(raw); // the lifter re-decodes; keep component attribution honest
-        let lifted = Rc::new(lift(&hal, &info, &code)?);
+        drop(raw_stream); // the lifter re-decodes; keep attribution honest
+        let lifted = Arc::new(lift(&hal, &info, &code)?);
         let t3 = Instant::now();
 
-        self.overhead.add(&info.name, JitComponent::Retrieve, t1 - t0);
-        self.overhead.add(&info.name, JitComponent::Disassemble, t2 - t1);
-        self.overhead.add(&info.name, JitComponent::Convert, t3 - t2);
-        self.lifted.insert(func.raw(), lifted.clone());
+        {
+            let mut o = self.overhead.lock().unwrap();
+            o.add(&info.name, JitComponent::Retrieve, t1 - t0);
+            o.add(&info.name, JitComponent::Disassemble, t2 - t1);
+            o.add(&info.name, JitComponent::Convert, t3 - t2);
+        }
+        self.shard(raw).lock().unwrap().entry(raw).or_insert_with(|| FuncEntry::new(func)).lifted =
+            Some(lifted.clone());
         Ok(lifted)
     }
 
-    /// Regenerates instrumentation for a function whose spec is dirty, then
-    /// reconciles the desired/current code version.
-    fn apply(&mut self, drv: &Driver, func: CuFunction) -> Result<()> {
-        let needs_codegen = self
-            .funcs
-            .get(&func.raw())
-            .map(|f| f.spec.dirty && !f.spec.is_empty())
-            .unwrap_or(false);
-
-        if !needs_codegen
-            && self.funcs.get(&func.raw()).is_some_and(|f| f.image.is_some() && !f.spec.dirty)
-        {
-            // An up-to-date instrumented image exists — the code-cache
-            // reuse the paper's Figure 5 amortization depends on.
-            common::obs::counter("instr_image.reuse", 1);
-        }
-
-        if needs_codegen {
-            let _span = common::obs::span("instrument");
-            common::obs::counter("instr_image.build", 1);
-            self.ensure_routines(drv)?;
-            let hal = self.hal(drv);
-            let info = drv.function_info(func)?;
-            let lifted = self.lifted(drv, func)?;
-            let original: Vec<sass::Instruction> =
-                lifted.instrs.iter().map(|i| i.raw().clone()).collect();
-            let code = drv.read_code(func)?;
-
-            let policy = self.save_policy;
-            let ext = self.external_code(drv, &info);
-            let state = self.funcs.get_mut(&func.raw()).expect("checked above");
-            // Free a previous trampoline region before regenerating.
-            if let Some(old) = state.image.take() {
-                if state.current == Version::Instrumented {
-                    drv.with_device(|d| d.write(info.addr, &old.original))?;
-                    state.current = Version::Original;
+    /// Functions whose present (spec, policy) key has no cached image yet.
+    fn pending(&self, policy: SavePolicy) -> Vec<CuFunction> {
+        let mut v = Vec::new();
+        for shard in &self.shards {
+            let mut g = shard.lock().unwrap();
+            for e in g.values_mut() {
+                if !e.spec.is_empty() {
+                    let k = e.key(policy);
+                    if !e.images.contains_key(&k) {
+                        v.push(e.func);
+                    }
                 }
-                drv.with_device(|d| d.free(old.tramp_addr)).ok();
             }
-            let _codegen_span = common::obs::span("codegen");
-            let t0 = Instant::now();
-            let cfg_reason = lifted.basic_blocks.as_ref().err().map(|e| e.to_string());
-            let liveness = match (&lifted.dataflow, &cfg_reason) {
-                (Some(df), _) => LivenessInput::Analysis(df),
-                (None, Some(reason)) => LivenessInput::Unavailable(reason),
-                (None, None) => LivenessInput::Unavailable("dataflow analysis unavailable"),
+        }
+        v.sort_by_key(|f| f.raw());
+        v
+    }
+
+    /// Instruments a batch of functions: gather inputs, build images
+    /// (in parallel when configured), install, then reconcile the
+    /// desired/current version of every batch member. Returns one result
+    /// per distinct function.
+    fn apply_batch(&self, drv: &Driver, funcs: &[CuFunction]) -> Vec<(CuFunction, Result<()>)> {
+        let policy = *self.save_policy.lock().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let funcs: Vec<CuFunction> =
+            funcs.iter().copied().filter(|f| seen.insert(f.raw())).collect();
+        let mut errors: HashMap<u32, NvbitError> = HashMap::new();
+
+        // Gather: decide per function under a brief shard lock, then
+        // assemble fully-owned build inputs on the main thread.
+        let mut inputs: Vec<BuildInput> = Vec::new();
+        for &func in &funcs {
+            let raw = func.raw();
+            let (key, lifted, spec, pristine) = {
+                let mut shard = self.shard(raw).lock().unwrap();
+                let Some(entry) = shard.get_mut(&raw) else { continue };
+                if entry.spec.is_empty() {
+                    continue;
+                }
+                let key = entry.key(policy);
+                if entry.images.contains_key(&key) {
+                    // The code-cache reuse the paper's Figure 5
+                    // amortization depends on.
+                    common::obs::counter("instr_image.reuse", 1);
+                    continue;
+                }
+                // The code at the function's address may currently be an
+                // instrumented version; build new images from the pristine
+                // bytes every cached image carries.
+                let pristine = entry.images.values().next().map(|img| img.original.clone());
+                (key, entry.lifted.clone(), entry.spec.clone(), pristine)
             };
-            let image = generate(
-                &hal,
-                &info,
-                &original,
-                &code,
-                &state.spec,
-                &self.tool_fns,
-                &self.routines,
-                &liveness,
-                policy,
-                |len| drv.with_device(|d| d.alloc(len)).map_err(Into::into),
-            )?;
-            // Pre-swap verification: a bad image corrupts the application,
-            // so refuse to install one that fails the static checks.
-            let diags = verify::verify(&hal, info.addr, &image, &ext)?;
-            if !diags.is_empty() {
-                common::obs::counter("instr_image.verify_reject", 1);
-                drv.with_device(|d| d.free(image.tramp_addr)).ok();
-                return Err(NvbitError::VerifyFailed(diags));
+            common::obs::counter(
+                if lifted.is_some() { "lift_cache.hit" } else { "lift_cache.miss" },
+                1,
+            );
+            if let Err(e) = self.ensure_routines(drv) {
+                errors.insert(raw, e);
+                continue;
             }
-            drv.with_device(|d| d.write(image.tramp_addr, &image.tramp_code))?;
-            let t1 = Instant::now();
-            state.spec.dirty = false;
-            state.image = Some(image);
-            self.overhead.add(&info.name, JitComponent::Codegen, t1 - t0);
+            let gathered = (|| -> Result<BuildInput> {
+                let info = drv.function_info(func)?;
+                let code = match pristine {
+                    Some(c) => c,
+                    None => {
+                        let t0 = Instant::now();
+                        let code = drv.read_code(func)?;
+                        self.overhead.lock().unwrap().add(
+                            &info.name,
+                            JitComponent::Retrieve,
+                            t0.elapsed(),
+                        );
+                        code
+                    }
+                };
+                let ext = self.external_code(drv, &info);
+                Ok(BuildInput { func, key, info, code, lifted, spec, ext })
+            })();
+            match gathered {
+                Ok(i) => inputs.push(i),
+                Err(e) => {
+                    errors.insert(raw, e);
+                }
+            }
         }
 
-        // Reconcile version.
-        let Some(state) = self.funcs.get_mut(&func.raw()) else { return Ok(()) };
-        let Some(image) = &state.image else { return Ok(()) };
-        if state.desired == state.current {
+        // Build + install.
+        for out in self.build_all(drv, &inputs) {
+            let input = &inputs[out.idx];
+            let raw = input.func.raw();
+            {
+                let mut o = self.overhead.lock().unwrap();
+                for (c, d) in &out.timings {
+                    o.add(&input.info.name, *c, *d);
+                }
+            }
+            match out.result {
+                Err(e) => {
+                    errors.insert(raw, e);
+                }
+                Ok((image, diags)) => {
+                    if !diags.is_empty() {
+                        common::obs::counter("instr_image.verify_reject", 1);
+                        if drv.with_device(|d| d.free(image.tramp_addr)).is_err() {
+                            common::obs::counter("tramp.free_fail", 1);
+                        }
+                        errors.insert(raw, NvbitError::VerifyFailed(diags));
+                    } else if let Err(e) =
+                        drv.with_device(|d| d.write(image.tramp_addr, &image.tramp_code))
+                    {
+                        errors.insert(raw, e.into());
+                    } else {
+                        let mut shard = self.shard(raw).lock().unwrap();
+                        match shard.get_mut(&raw) {
+                            Some(entry) => {
+                                if entry.lifted.is_none() {
+                                    entry.lifted = out.lifted.clone();
+                                }
+                                entry.images.insert(input.key, image);
+                            }
+                            None => {
+                                // Entry vanished mid-batch (reset): drop
+                                // the orphaned trampoline.
+                                drop(shard);
+                                if drv.with_device(|d| d.free(image.tramp_addr)).is_err() {
+                                    common::obs::counter("tramp.free_fail", 1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reconcile every batch member (including pure cache hits).
+        funcs
+            .into_iter()
+            .map(|func| {
+                let res = match errors.remove(&func.raw()) {
+                    Some(e) => Err(e),
+                    None => self.reconcile(drv, func, policy),
+                };
+                (func, res)
+            })
+            .collect()
+    }
+
+    /// Builds all inputs: inline on the calling thread when one worker
+    /// suffices, else fanned out across scoped workers with the
+    /// deterministic allocation turnstile.
+    fn build_all(&self, drv: &Driver, inputs: &[BuildInput]) -> Vec<BuildOutcome> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let hal = self.hal(drv);
+        let tool_fns = self.tool_fns.read().unwrap().clone();
+        let routines = self.routines.read().unwrap().clone();
+        let workers = self.effective_workers(inputs.len());
+        if workers <= 1 {
+            return inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    build_one(i, &hal, input, &tool_fns, &routines, |len| {
+                        drv.with_device(|d| d.alloc(len)).map_err(Into::into)
+                    })
+                })
+                .collect();
+        }
+
+        // Workers do the pure lift/codegen/verify work; the main thread
+        // stays on this side of the single-threaded driver, servicing
+        // trampoline allocations over a channel. The turnstile forces
+        // allocations into ascending input order, so device addresses —
+        // and therefore the generated images — are bit-identical to a
+        // serial build.
+        let next = AtomicUsize::new(0);
+        let turn = Mutex::new(0usize);
+        let turn_cv = Condvar::new();
+        let outcomes = Mutex::new(Vec::with_capacity(inputs.len()));
+        let (tx, rx) = mpsc::channel::<(u64, mpsc::Sender<gpu::Result<u64>>)>();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, turn, turn_cv, outcomes) = (&next, &turn, &turn_cv, &outcomes);
+                let (hal, tool_fns, routines) = (&hal, &tool_fns, &routines);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let guard = TurnGuard { turn, cv: turn_cv, next: i + 1 };
+                    let alloc = |len: u64| -> Result<u64> {
+                        let mut g = turn.lock().unwrap();
+                        while *g < i {
+                            g = turn_cv.wait(g).unwrap();
+                        }
+                        drop(g);
+                        let (rtx, rrx) = mpsc::channel();
+                        let res = if tx.send((len, rtx)).is_ok() { rrx.recv().ok() } else { None };
+                        let mut g = turn.lock().unwrap();
+                        *g = (*g).max(i + 1);
+                        turn_cv.notify_all();
+                        drop(g);
+                        match res {
+                            Some(r) => r.map_err(Into::into),
+                            None => Err(NvbitError::BadRequest(
+                                "trampoline allocation service unavailable".into(),
+                            )),
+                        }
+                    };
+                    let out = build_one(i, hal, &inputs[i], tool_fns, routines, alloc);
+                    drop(guard);
+                    outcomes.lock().unwrap().push(out);
+                });
+            }
+            drop(tx);
+            while let Ok((len, reply)) = rx.recv() {
+                let _ = reply.send(drv.with_device(|d| d.alloc(len)));
+            }
+        });
+        let mut v = outcomes.into_inner().unwrap();
+        v.sort_by_key(|o| o.idx);
+        v
+    }
+
+    /// Installs the version the tool asked for, when it differs from what
+    /// is at the function's code address: one memcpy plus the local-memory
+    /// override (paper §6.2).
+    fn reconcile(&self, drv: &Driver, func: CuFunction, policy: SavePolicy) -> Result<()> {
+        let raw = func.raw();
+        let mut shard = self.shard(raw).lock().unwrap();
+        let Some(entry) = shard.get_mut(&raw) else { return Ok(()) };
+        let target = if entry.desired == Version::Instrumented {
+            let k = entry.key(policy);
+            entry.images.contains_key(&k).then_some(k)
+        } else {
+            None
+        };
+        if entry.current == target {
             return Ok(());
         }
         let info = drv.function_info(func)?;
         let _swap_span = common::obs::span("swap");
         let t0 = Instant::now();
-        match state.desired {
-            Version::Instrumented => {
-                drv.with_device(|d| d.write(info.addr, &image.instrumented))?;
-                drv.set_local_override(func, image.extra_local)?;
+        match target {
+            Some(k) => {
+                let img = &entry.images[&k];
+                drv.with_device(|d| d.write(info.addr, &img.instrumented))?;
+                drv.set_local_override(func, img.extra_local)?;
             }
-            Version::Original => {
-                drv.with_device(|d| d.write(info.addr, &image.original))?;
-                drv.set_local_override(func, 0)?;
+            None => {
+                // `current` was Some, so at least that image exists and
+                // carries the pristine bytes.
+                let img = entry
+                    .current
+                    .and_then(|c| entry.images.get(&c))
+                    .or_else(|| entry.images.values().next());
+                if let Some(img) = img {
+                    drv.with_device(|d| d.write(info.addr, &img.original))?;
+                    drv.set_local_override(func, 0)?;
+                }
             }
         }
-        state.current = state.desired;
-        self.overhead.add(&info.name, JitComponent::Swap, t0.elapsed());
+        entry.current = target;
+        drop(shard);
+        self.overhead.lock().unwrap().add(&info.name, JitComponent::Swap, t0.elapsed());
         Ok(())
+    }
+
+    /// Single-function convenience over [`CoreState::apply_batch`].
+    fn apply_one(&self, drv: &Driver, func: CuFunction) -> Result<()> {
+        self.apply_batch(drv, &[func]).pop().map(|(_, r)| r).unwrap_or(Ok(()))
+    }
+
+    /// Drops a function's entry after an instrumentation failure: restore
+    /// the original code if a version was installed, then free every
+    /// cached trampoline.
+    fn discard_entry(&self, drv: &Driver, func: CuFunction) {
+        let raw = func.raw();
+        let Some(entry) = self.shard(raw).lock().unwrap().remove(&raw) else { return };
+        if entry.current.is_some() {
+            if let Ok(info) = drv.function_info(func) {
+                let img = entry
+                    .current
+                    .and_then(|c| entry.images.get(&c))
+                    .or_else(|| entry.images.values().next());
+                if let Some(img) = img {
+                    let _ = drv.with_device(|d| d.write(info.addr, &img.original));
+                }
+                let _ = drv.set_local_override(func, 0);
+            }
+        }
+        for img in entry.images.values() {
+            if drv.with_device(|d| d.free(img.tramp_addr)).is_err() {
+                common::obs::counter("tramp.free_fail", 1);
+            }
+        }
+    }
+
+    /// `cuModuleUnload` entry: evicts every cached entry of the dying
+    /// module and frees its trampolines. Runs while the module is still
+    /// queryable; afterwards the driver recycles the handles, so anything
+    /// left here would serve stale code to their next owner.
+    fn evict_module(&self, drv: &Driver, module: &CuModule) {
+        let Ok(funcs) = drv.module_functions(module) else { return };
+        let mut lift_evicted = 0u64;
+        let mut image_evicted = 0u64;
+        for func in funcs {
+            let raw = func.raw();
+            let Some(entry) = self.shard(raw).lock().unwrap().remove(&raw) else { continue };
+            if entry.lifted.is_some() {
+                lift_evicted += 1;
+            }
+            for img in entry.images.values() {
+                image_evicted += 1;
+                if drv.with_device(|d| d.free(img.tramp_addr)).is_err() {
+                    common::obs::counter("tramp.free_fail", 1);
+                }
+            }
+        }
+        if lift_evicted > 0 {
+            common::obs::counter("lift_cache.evict", lift_evicted);
+        }
+        if image_evicted > 0 {
+            common::obs::counter("instr_image.evict", image_evicted);
+        }
+    }
+
+    /// Launch-entry instrumentation: attribute the user callback, then
+    /// batch-build every pending function (first launch after a module
+    /// load fans out across all of them) and reconcile versions.
+    fn instrument_for_launch(&self, drv: &Driver, func: CuFunction, user: Duration) {
+        let raw = func.raw();
+        let tracked = self
+            .shard(raw)
+            .lock()
+            .unwrap()
+            .get(&raw)
+            .map(|e| !e.spec.is_empty() || !e.images.is_empty())
+            .unwrap_or(false);
+        if tracked {
+            if let Ok(info) = drv.function_info(func) {
+                self.overhead.lock().unwrap().add(&info.name, JitComponent::UserCode, user);
+            }
+        }
+        let policy = *self.save_policy.lock().unwrap();
+        let mut batch = self.pending(policy);
+        if tracked && !batch.iter().any(|f| f.raw() == raw) {
+            batch.push(func);
+            batch.sort_by_key(|f| f.raw());
+        }
+        for (f, res) in self.apply_batch(drv, &batch) {
+            if let Err(e) = res {
+                // Instrumentation failures must not corrupt the
+                // application; drop the request and keep the original.
+                eprintln!("nvbit: instrumentation of {f} failed: {e}");
+                self.discard_entry(drv, f);
+            }
+        }
     }
 }
 
@@ -286,13 +739,13 @@ impl CoreState {
 /// Generator begins functioning").
 pub struct NvbitCore {
     tool: Box<dyn NvbitTool>,
-    state: Rc<RefCell<CoreState>>,
+    state: Arc<CoreState>,
 }
 
 impl NvbitCore {
     /// Wraps a tool.
     pub fn new(tool: impl NvbitTool + 'static) -> NvbitCore {
-        NvbitCore { tool: Box::new(tool), state: Rc::new(RefCell::new(CoreState::new())) }
+        NvbitCore { tool: Box::new(tool), state: Arc::new(CoreState::new()) }
     }
 }
 
@@ -325,7 +778,6 @@ impl Interposer for NvbitCore {
 
     fn at_cuda_event(&mut self, drv: &Driver, is_exit: bool, cbid: CbId, params: &CbParams<'_>) {
         let api = NvbitApi { drv, state: &self.state };
-        let is_launch_entry = !is_exit && cbid == CbId::LaunchKernel;
 
         let t0 = Instant::now();
         {
@@ -334,20 +786,15 @@ impl Interposer for NvbitCore {
         }
         let user = t0.elapsed();
 
-        if is_launch_entry {
-            if let CbParams::LaunchKernel { func, .. } = params {
-                let mut st = self.state.borrow_mut();
-                if st.funcs.contains_key(&func.raw()) {
-                    if let Ok(info) = drv.function_info(*func) {
-                        st.overhead.add(&info.name, JitComponent::UserCode, user);
-                    }
+        if !is_exit {
+            match (cbid, params) {
+                (CbId::LaunchKernel, CbParams::LaunchKernel { func, .. }) => {
+                    self.state.instrument_for_launch(drv, *func, user);
                 }
-                if let Err(e) = st.apply(drv, *func) {
-                    // Instrumentation failures must not corrupt the
-                    // application; drop the request and keep the original.
-                    eprintln!("nvbit: instrumentation of {func} failed: {e}");
-                    st.funcs.remove(&func.raw());
+                (CbId::ModuleUnload, CbParams::Module { module, .. }) => {
+                    self.state.evict_module(drv, module);
                 }
+                _ => {}
             }
         }
     }
@@ -373,7 +820,7 @@ pub struct SaveStats {
 /// tool callbacks.
 pub struct NvbitApi<'a> {
     drv: &'a Driver,
-    state: &'a Rc<RefCell<CoreState>>,
+    state: &'a Arc<CoreState>,
 }
 
 impl<'a> NvbitApi<'a> {
@@ -385,7 +832,7 @@ impl<'a> NvbitApi<'a> {
 
     /// The hardware abstraction layer of the current device.
     pub fn hal(&self) -> Hal {
-        self.state.borrow_mut().hal(self.drv)
+        self.state.hal(self.drv)
     }
 
     // ----- Tool Functions Loader (paper §5.1) -----------------------------
@@ -399,8 +846,7 @@ impl<'a> NvbitApi<'a> {
     ///
     /// Compilation or device-memory failures.
     pub fn load_tool_functions(&self, ptx_src: &str) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        let hal = st.hal(self.drv);
+        let hal = self.state.hal(self.drv);
         let module = ptx::compile_module(ptx_src, hal.arch())?;
         for f in &module.functions {
             if !f.relocs.is_empty() {
@@ -422,7 +868,7 @@ impl<'a> NvbitApi<'a> {
                 d.write(a, &f.code)?;
                 Ok(a)
             })?;
-            st.tool_fns.insert(
+            self.state.tool_fns.write().unwrap().insert(
                 f.name.clone(),
                 ToolFn {
                     addr,
@@ -437,8 +883,7 @@ impl<'a> NvbitApi<'a> {
 
     /// The loaded tool functions (name → device address).
     pub fn tool_functions(&self) -> Vec<String> {
-        let st = self.state.borrow();
-        let mut v: Vec<String> = st.tool_fns.keys().cloned().collect();
+        let mut v: Vec<String> = self.state.tool_fns.read().unwrap().keys().cloned().collect();
         v.sort();
         v
     }
@@ -451,7 +896,7 @@ impl<'a> NvbitApi<'a> {
     ///
     /// Driver/decode failures.
     pub fn get_instrs(&self, func: CuFunction) -> Result<Vec<Instr>> {
-        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        let lifted = self.state.lifted_for(self.drv, func)?;
         Ok(lifted.instrs.clone())
     }
 
@@ -463,7 +908,7 @@ impl<'a> NvbitApi<'a> {
     ///
     /// Driver/decode failures.
     pub fn get_basic_blocks(&self, func: CuFunction) -> Result<Option<Vec<sass::cfg::BasicBlock>>> {
-        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        let lifted = self.state.lifted_for(self.drv, func)?;
         Ok(lifted.basic_blocks.clone().ok())
     }
 
@@ -475,7 +920,7 @@ impl<'a> NvbitApi<'a> {
     ///
     /// Driver/decode failures.
     pub fn get_cfg_failure(&self, func: CuFunction) -> Result<Option<sass::CfgFailure>> {
-        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        let lifted = self.state.lifted_for(self.drv, func)?;
         Ok(lifted.basic_blocks.as_ref().err().cloned())
     }
 
@@ -489,7 +934,7 @@ impl<'a> NvbitApi<'a> {
     /// [`NvbitError::BadInstrIndex`] for an out-of-range index;
     /// driver/decode failures.
     pub fn get_live_regs(&self, func: CuFunction, idx: usize) -> Result<Option<Vec<u8>>> {
-        let lifted = self.state.borrow_mut().lifted(self.drv, func)?;
+        let lifted = self.state.lifted_for(self.drv, func)?;
         if idx >= lifted.instrs.len() {
             return Err(NvbitError::BadInstrIndex { index: idx, len: lifted.instrs.len() });
         }
@@ -540,11 +985,18 @@ impl<'a> NvbitApi<'a> {
         fname: &str,
         ipoint: IPoint,
     ) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        if !st.tool_fns.contains_key(fname) {
+        if !self.state.tool_fns.read().unwrap().contains_key(fname) {
             return Err(NvbitError::UnknownToolFunction(fname.to_string()));
         }
-        st.funcs.entry(func.raw()).or_default().spec.insert_call(idx, fname, ipoint);
+        let raw = func.raw();
+        self.state
+            .shard(raw)
+            .lock()
+            .unwrap()
+            .entry(raw)
+            .or_insert_with(|| FuncEntry::new(func))
+            .spec
+            .insert_call(idx, fname, ipoint);
         Ok(())
     }
 
@@ -555,9 +1007,9 @@ impl<'a> NvbitApi<'a> {
     ///
     /// [`NvbitError::BadRequest`] when no call was inserted at the site.
     pub fn add_call_arg(&self, func: CuFunction, idx: usize, arg: Arg) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        let state = st.funcs.entry(func.raw()).or_default();
-        if state.spec.add_arg(idx, arg) {
+        let raw = func.raw();
+        let mut shard = self.state.shard(raw).lock().unwrap();
+        if shard.get_mut(&raw).is_some_and(|entry| entry.spec.add_arg(idx, arg)) {
             Ok(())
         } else {
             Err(NvbitError::BadRequest(format!(
@@ -622,9 +1074,9 @@ impl<'a> NvbitApi<'a> {
     ///
     /// [`NvbitError::BadRequest`] when no call was inserted at the site.
     pub fn set_pred_filter(&self, func: CuFunction, idx: usize) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        let state = st.funcs.entry(func.raw()).or_default();
-        if state.spec.set_pred_filter(idx) {
+        let raw = func.raw();
+        let mut shard = self.state.shard(raw).lock().unwrap();
+        if shard.get_mut(&raw).is_some_and(|entry| entry.spec.set_pred_filter(idx)) {
             Ok(())
         } else {
             Err(NvbitError::BadRequest(format!(
@@ -641,8 +1093,15 @@ impl<'a> NvbitApi<'a> {
     ///
     /// Range errors surface at code generation.
     pub fn remove_orig(&self, func: CuFunction, idx: usize) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        st.funcs.entry(func.raw()).or_default().spec.remove_orig(idx);
+        let raw = func.raw();
+        self.state
+            .shard(raw)
+            .lock()
+            .unwrap()
+            .entry(raw)
+            .or_insert_with(|| FuncEntry::new(func))
+            .spec
+            .remove_orig(idx);
         Ok(())
     }
 
@@ -650,93 +1109,138 @@ impl<'a> NvbitApi<'a> {
 
     /// Selects whether the next launches of `func` run the instrumented or
     /// original version (`nvbit_enable_instrumented`) — the sampling switch
-    /// of §6.2. The swap costs one memcpy of the function's code.
+    /// of §6.2. With the version already cached, the swap costs one memcpy
+    /// of the function's code. A no-op for functions that were never
+    /// instrumented (no spec and no image): no phantom state is created.
     ///
     /// # Errors
     ///
     /// Driver failures during an immediate swap.
     pub fn enable_instrumented(&self, func: CuFunction, enable: bool) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        let state = st.funcs.entry(func.raw()).or_default();
-        state.desired = if enable { Version::Instrumented } else { Version::Original };
-        // Reconcile now if an image already exists (launch entry will also
-        // reconcile, so calling this before instrumentation is fine).
-        st.apply(self.drv, func)
+        let raw = func.raw();
+        {
+            let mut shard = self.state.shard(raw).lock().unwrap();
+            match shard.get_mut(&raw) {
+                Some(entry) if !entry.spec.is_empty() || !entry.images.is_empty() => {
+                    entry.desired = if enable { Version::Instrumented } else { Version::Original };
+                }
+                _ => return Ok(()),
+            }
+        }
+        // Reconcile now (builds the image first if needed, so callees that
+        // are never launched still get their code swapped in).
+        self.state.apply_one(self.drv, func)
     }
 
     /// Discards instrumentation of `func`: restores the original code,
-    /// frees the trampolines and clears the spec
-    /// (`nvbit_reset_instrumented`).
+    /// clears the local-memory override, frees the trampolines of *every*
+    /// cached version and drops the spec (`nvbit_reset_instrumented`).
+    ///
+    /// Cleanup runs to completion even when a step fails; the first
+    /// failure is returned afterwards, and trampoline-free failures are
+    /// additionally counted on `tramp.free_fail`.
     ///
     /// # Errors
     ///
-    /// Driver failures while restoring.
+    /// The first driver failure encountered while restoring.
     pub fn reset_instrumented(&self, func: CuFunction) -> Result<()> {
-        let mut st = self.state.borrow_mut();
-        if let Some(state) = st.funcs.remove(&func.raw()) {
-            if let Some(image) = state.image {
-                let info = self.drv.function_info(func)?;
-                if state.current == Version::Instrumented {
-                    self.drv.with_device(|d| d.write(info.addr, &image.original))?;
-                    self.drv.set_local_override(func, 0)?;
+        let raw = func.raw();
+        let Some(entry) = self.state.shard(raw).lock().unwrap().remove(&raw) else {
+            return Ok(());
+        };
+        let mut first_err: Option<NvbitError> = None;
+        if !entry.images.is_empty() {
+            if let Ok(info) = self.drv.function_info(func) {
+                if let Some(img) = entry.current.and_then(|c| entry.images.get(&c)) {
+                    if let Err(e) = self.drv.with_device(|d| d.write(info.addr, &img.original)) {
+                        first_err.get_or_insert(e.into());
+                    }
                 }
-                self.drv.with_device(|d| d.free(image.tramp_addr)).ok();
+                // Always reset the override once any image existed — even
+                // when the original version happens to be installed.
+                if let Err(e) = self.drv.set_local_override(func, 0) {
+                    first_err.get_or_insert(e.into());
+                }
             }
         }
-        Ok(())
+        for img in entry.images.values() {
+            if let Err(e) = self.drv.with_device(|d| d.free(img.tramp_addr)) {
+                common::obs::counter("tramp.free_fail", 1);
+                first_err.get_or_insert(e.into());
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Selects how injection-site register saves are sized for functions
-    /// instrumented from now on: liveness-driven per-site tiers (the
-    /// default) or the conservative whole-function tier. Existing
-    /// instrumented images are regenerated on their next launch.
+    /// Selects how injection-site register saves are sized for subsequent
+    /// image builds: liveness-driven per-site tiers (the default) or the
+    /// conservative whole-function tier. Images are cached per
+    /// (spec, policy) version, so flipping the policy back and forth swaps
+    /// between already-built images without re-running code generation.
     pub fn set_save_policy(&self, policy: SavePolicy) {
-        let mut st = self.state.borrow_mut();
-        if st.save_policy != policy {
-            st.save_policy = policy;
-            for f in st.funcs.values_mut() {
-                if !f.spec.is_empty() {
-                    f.spec.dirty = true;
-                }
-            }
-        }
+        *self.state.save_policy.lock().unwrap() = policy;
+    }
+
+    /// Sets the number of worker threads batch instrumentation may use
+    /// (0 = one per available hardware thread, the default; also
+    /// configurable with the `NVBIT_JIT_WORKERS` environment variable).
+    /// Whatever the count, parallel builds produce images bit-identical
+    /// to a serial build.
+    pub fn set_jit_workers(&self, workers: usize) {
+        self.state.jit_workers.store(workers, Ordering::Relaxed);
     }
 
     /// Statically verifies the instrumented image of `func`, generating it
-    /// first if the spec is dirty. Returns the verifier's diagnostics — an
-    /// empty vector means the image is safe to swap in. (The core runs the
-    /// same checks before every swap; this surfaces them to tools.)
+    /// first if none is cached for the present (spec, policy). Returns the
+    /// verifier's diagnostics — an empty vector means the image is safe to
+    /// swap in. (The core runs the same checks before every swap; this
+    /// surfaces them to tools.)
     ///
     /// # Errors
     ///
     /// Driver/codegen failures; a verification *failure* is reported
     /// through the returned diagnostics, not as an error.
     pub fn verify_instrumented(&self, func: CuFunction) -> Result<Vec<Diagnostic>> {
-        let mut st = self.state.borrow_mut();
-        match st.apply(self.drv, func) {
+        match self.state.apply_one(self.drv, func) {
             Ok(()) => {}
             Err(NvbitError::VerifyFailed(diags)) => return Ok(diags),
             Err(e) => return Err(e),
         }
-        let hal = st.hal(self.drv);
-        let Some(state) = st.funcs.get(&func.raw()) else { return Ok(Vec::new()) };
-        let Some(image) = &state.image else { return Ok(Vec::new()) };
+        let policy = *self.state.save_policy.lock().unwrap();
+        let raw = func.raw();
+        let image = {
+            let mut shard = self.state.shard(raw).lock().unwrap();
+            let Some(entry) = shard.get_mut(&raw) else { return Ok(Vec::new()) };
+            let key = entry.key(policy);
+            match entry.images.get(&key) {
+                Some(img) => img.clone(),
+                None => return Ok(Vec::new()),
+            }
+        };
+        let hal = self.state.hal(self.drv);
         let info = self.drv.function_info(func)?;
-        let ext = st.external_code(self.drv, &info);
-        verify::verify(&hal, info.addr, image, &ext)
+        let ext = self.state.external_code(self.drv, &info);
+        verify::verify(&hal, info.addr, &image, &ext)
     }
 
     /// Register-save accounting for the instrumented image of `func`
-    /// (generated first if the spec is dirty): `None` when the function has
-    /// no instrumentation.
+    /// (generated first if none is cached for the present spec and
+    /// policy): `None` when the function has no instrumentation.
     ///
     /// # Errors
     ///
     /// Driver/codegen/verification failures during generation.
     pub fn save_stats(&self, func: CuFunction) -> Result<Option<SaveStats>> {
-        let mut st = self.state.borrow_mut();
-        st.apply(self.drv, func)?;
-        Ok(st.funcs.get(&func.raw()).and_then(|f| f.image.as_ref()).map(|img| SaveStats {
+        self.state.apply_one(self.drv, func)?;
+        let policy = *self.state.save_policy.lock().unwrap();
+        let raw = func.raw();
+        let mut shard = self.state.shard(raw).lock().unwrap();
+        let Some(entry) = shard.get_mut(&raw) else { return Ok(None) };
+        let key = entry.key(policy);
+        Ok(entry.images.get(&key).map(|img| SaveStats {
             saved_slots: img.saved_slots,
             full_tier_slots: img.full_tier_slots,
             max_tier: img.tier,
@@ -745,13 +1249,16 @@ impl<'a> NvbitApi<'a> {
         }))
     }
 
-    /// True if the function currently has a generated instrumented image.
+    /// True if the function currently has a generated instrumented image
+    /// or a pending instrumentation request.
     pub fn is_instrumented(&self, func: CuFunction) -> bool {
+        let raw = func.raw();
         self.state
-            .borrow()
-            .funcs
-            .get(&func.raw())
-            .map(|f| f.image.is_some() || !f.spec.is_empty())
+            .shard(raw)
+            .lock()
+            .unwrap()
+            .get(&raw)
+            .map(|e| !e.images.is_empty() || !e.spec.is_empty())
             .unwrap_or(false)
     }
 
@@ -759,14 +1266,14 @@ impl<'a> NvbitApi<'a> {
 
     /// The accumulated JIT-compilation overhead report.
     pub fn overhead(&self) -> OverheadReport {
-        self.state.borrow().overhead.clone()
+        self.state.overhead.lock().unwrap().clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     // The end-to-end behaviour of the core is exercised by the crate's
-    // integration tests (`tests/instrumentation.rs`), which require the full
-    // driver + device stack; unit coverage of the pieces lives in the
-    // sibling modules.
+    // integration tests (`tests/instrumentation.rs`, `tests/version_cache.rs`,
+    // `tests/module_unload.rs`), which require the full driver + device
+    // stack; unit coverage of the pieces lives in the sibling modules.
 }

@@ -2,6 +2,7 @@
 //! per-function instrumentation specification built up by tool calls.
 
 use std::collections::{BTreeMap, HashSet};
+use std::hash::{Hash, Hasher};
 
 /// Where to inject relative to the instrumented instruction (the paper's
 /// `IPOINT_BEFORE` / `IPOINT_AFTER`).
@@ -16,7 +17,7 @@ pub enum IPoint {
 /// An argument passed to an injected device function (the paper's
 /// `nvbit_add_call_arg_*` family). Argument passing is positional and must
 /// match the injected function's signature.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arg {
     /// The evaluated guard predicate of the instrumented instruction
     /// (1 = the instruction actually executes on this thread).
@@ -51,7 +52,7 @@ impl Arg {
 }
 
 /// One injected call at an instrumentation site.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Injection {
     /// Name of the tool device function to call.
     pub func: String,
@@ -75,7 +76,8 @@ pub struct FuncSpec {
     /// Instructions whose original operation is removed (paper:
     /// `nvbit_remove_orig`).
     pub removed: HashSet<usize>,
-    /// Set when the spec changed since code generation last ran.
+    /// Set when the spec changed since its content hash was last taken
+    /// (the core keys its image cache on [`FuncSpec::content_hash`]).
     pub dirty: bool,
 }
 
@@ -128,6 +130,22 @@ impl FuncSpec {
     pub fn remove_orig(&mut self, idx: usize) {
         self.removed.insert(idx);
         self.dirty = true;
+    }
+
+    /// A process-deterministic content hash of the spec (sites in index
+    /// order, removals sorted; the `dirty` flag is excluded). Together with
+    /// the [`crate::SavePolicy`] this keys the multi-version image cache:
+    /// two specs with the same hash generate the same trampoline code.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (idx, injections) in &self.sites {
+            idx.hash(&mut h);
+            injections.hash(&mut h);
+        }
+        let mut removed: Vec<usize> = self.removed.iter().copied().collect();
+        removed.sort_unstable();
+        removed.hash(&mut h);
+        h.finish()
     }
 }
 

@@ -1,0 +1,125 @@
+//! Observability-counter proof of the multi-version image cache: flipping
+//! `enable_instrumented` and `set_save_policy` back and forth must never
+//! re-run codegen (version swaps are O(memcpy) — paper §6.2), and a module
+//! unload must show up as cache evictions.
+//!
+//! This test owns process-global state twice over: it flips the obs
+//! switch, and `Report::capture` destructively drains every thread's ring.
+//! It therefore lives alone in its own integration-test binary.
+
+use common::obs;
+use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, IPoint, NvbitApi, NvbitTool, SavePolicy};
+use sass::Arch;
+
+const COUNT_FN: &str = r#"
+.func count_one(.reg .u32 %pred, .reg .u64 %ctr)
+{
+    .reg .u32 %r<3>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    mov.u32 %r1, 1;
+    atom.global.add.u32 %r2, [%ctr], %r1;
+    ret;
+}
+"#;
+
+const APP: &str = r#"
+.entry k(.param .u64 out)
+{
+    .reg .u32 %r<4>;
+    .reg .u64 %rd<4>;
+    ld.param.u64 %rd1, [out];
+    mov.u32 %r1, %tid.x;
+    mul.wide.u32 %rd2, %r1, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r1;
+    exit;
+}
+"#;
+
+/// Instruments at the first launch, then exercises the version cache:
+/// enable flips on launches 1–5, a save-policy change on launch 6 (the
+/// one legitimate second build), and policy flips back and forth after.
+struct Flipper {
+    launches: u32,
+}
+
+impl NvbitTool for Flipper {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.load_tool_functions(COUNT_FN).unwrap();
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if is_exit || cbid != CbId::LaunchKernel {
+            return;
+        }
+        match self.launches {
+            0 => {
+                let ctr = api.driver().with_device(|d| d.alloc(8)).unwrap();
+                for idx in 0..api.get_instrs(*func).unwrap().len() {
+                    api.insert_call(*func, idx, "count_one", IPoint::Before).unwrap();
+                    api.add_call_arg_guard_pred(*func, idx).unwrap();
+                    api.add_call_arg_imm64(*func, idx, ctr).unwrap();
+                }
+            }
+            1..=5 => {
+                // §6.2 sampling: versions swap, nothing rebuilds.
+                api.enable_instrumented(*func, self.launches.is_multiple_of(2)).unwrap();
+            }
+            6 => api.set_save_policy(SavePolicy::FullTier),
+            7 => api.set_save_policy(SavePolicy::Liveness),
+            8 => api.set_save_policy(SavePolicy::FullTier),
+            _ => api.set_save_policy(SavePolicy::Liveness),
+        }
+        self.launches += 1;
+    }
+}
+
+#[test]
+fn version_flips_reuse_cached_images_and_unload_evicts() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    attach_tool(&drv, Flipper { launches: 0 });
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+    let f = drv.module_get_function(&m, "k").unwrap();
+    let out = drv.mem_alloc(128).unwrap();
+    for _ in 0..10 {
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(out)]).unwrap();
+    }
+    drv.module_unload(m).unwrap();
+    drv.shutdown();
+
+    let report = obs::Report::capture();
+    obs::set_enabled(false);
+
+    // Exactly two codegen runs: the initial Liveness image and the first
+    // FullTier image. Every other flip — five enable toggles and three
+    // further policy flips — must be served from the version cache.
+    assert_eq!(report.counter_sum("instr_image.build"), 2, "only the two distinct versions build");
+    assert!(
+        report.counter_sum("instr_image.reuse") >= 6,
+        "flips must hit the cache (got {} reuses)",
+        report.counter_sum("instr_image.reuse")
+    );
+    // The function is lifted exactly once for all versions.
+    assert_eq!(report.counter_sum("lift_cache.miss"), 1);
+    assert!(report.counter_sum("lift_cache.hit") >= 1);
+
+    // The unload evicted one lifted function carrying two image versions.
+    assert_eq!(report.counter_sum("module.unloads"), 1);
+    assert_eq!(report.counter_sum("lift_cache.evict"), 1);
+    assert_eq!(report.counter_sum("instr_image.evict"), 2);
+    assert_eq!(report.counter_sum("tramp.free_fail"), 0, "all trampolines free cleanly");
+}

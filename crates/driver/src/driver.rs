@@ -7,7 +7,7 @@ use gpu::{Device, DeviceSpec, Dim3, ExecStats, LaunchConfig};
 use ptx::{LineInfo, ParamInfo};
 use sass::{Arch, Operand};
 use std::cell::{Cell, RefCell, RefMut};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 macro_rules! handle_type {
     ($(#[$doc:meta])* $name:ident) => {
@@ -137,10 +137,26 @@ struct ModuleState {
 struct State {
     device: Device,
     next_handle: u32,
+    /// Handles released by `module_unload`, reissued lowest-first. Reuse is
+    /// deliberate: real drivers recycle `CUfunction` values, which is
+    /// exactly what makes stale instrumentation code caches dangerous.
+    free_handles: BTreeSet<u32>,
     contexts: Vec<CuContext>,
     modules: HashMap<u32, ModuleState>,
     functions: HashMap<u32, FunctionInfo>,
     launches: Vec<LaunchRecord>,
+}
+
+impl State {
+    /// Issues a handle value: the smallest recycled one, else a fresh one.
+    fn take_handle(&mut self) -> u32 {
+        if let Some(h) = self.free_handles.pop_first() {
+            return h;
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        h
+    }
 }
 
 /// The simulated CUDA driver. Single-threaded by design (deterministic);
@@ -159,6 +175,7 @@ impl Driver {
             state: RefCell::new(State {
                 device: Device::new(spec),
                 next_handle: 1,
+                free_handles: BTreeSet::new(),
                 contexts: Vec::new(),
                 modules: HashMap::new(),
                 functions: HashMap::new(),
@@ -242,8 +259,7 @@ impl Driver {
     pub fn ctx_create(&self) -> Result<CuContext> {
         let ctx = {
             let mut st = self.state.borrow_mut();
-            let ctx = CuContext(st.next_handle);
-            st.next_handle += 1;
+            let ctx = CuContext(st.take_handle());
             st.contexts.push(ctx);
             ctx
         };
@@ -296,8 +312,8 @@ impl Driver {
         };
 
         let module = {
-            let st = self.state.borrow();
-            CuModule(st.next_handle)
+            let mut st = self.state.borrow_mut();
+            CuModule(st.take_handle())
         };
         self.event(
             false,
@@ -305,10 +321,8 @@ impl Driver {
             &CbParams::Module { module, name: &fatbin.name, library: fatbin.library },
         );
 
-        let module = {
+        {
             let mut st = self.state.borrow_mut();
-            let module = CuModule(st.next_handle);
-            st.next_handle += 1;
 
             // Pass 1: allocate code space for every function.
             let mut addrs: HashMap<String, u64> = HashMap::new();
@@ -346,8 +360,7 @@ impl Driver {
             // Pass 3: register the functions.
             let mut fn_handles: HashMap<String, CuFunction> = HashMap::new();
             for f in &image.functions {
-                let h = CuFunction(st.next_handle);
-                st.next_handle += 1;
+                let h = CuFunction(st.take_handle());
                 fn_handles.insert(f.name.clone(), h);
             }
             for f in &image.functions {
@@ -383,8 +396,7 @@ impl Driver {
                     functions: fn_handles,
                 },
             );
-            module
-        };
+        }
 
         self.event(
             true,
@@ -410,6 +422,64 @@ impl Driver {
         self.event(false, CbId::ModuleGetFunction, &CbParams::GetFunction { func, name });
         self.event(true, CbId::ModuleGetFunction, &CbParams::GetFunction { func, name });
         Ok(func)
+    }
+
+    /// `cuModuleUnload`: releases the module, its function records and
+    /// their device code allocations, and recycles the handles.
+    ///
+    /// The *entry* callback fires while the module is still fully loaded,
+    /// so interposers can enumerate its functions and evict any cached
+    /// per-function state (lifted code, instrumented images) before the
+    /// records disappear; by the exit callback the handles are dead and the
+    /// handle values may be reissued by the next load.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::InvalidHandle`] for an unknown module.
+    pub fn module_unload(&self, module: CuModule) -> Result<()> {
+        let (name, library, mut funcs) = {
+            let st = self.state.borrow();
+            let m = st
+                .modules
+                .get(&module.0)
+                .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))?;
+            (m.name.clone(), m.library, m.functions.values().copied().collect::<Vec<_>>())
+        };
+        common::obs::counter("module.unloads", 1);
+        let p = CbParams::Module { module, name: &name, library };
+        self.event(false, CbId::ModuleUnload, &p);
+        {
+            let mut st = self.state.borrow_mut();
+            funcs.sort_by_key(|f| f.0);
+            for f in funcs {
+                if let Some(info) = st.functions.remove(&f.0) {
+                    st.device.free(info.addr)?;
+                    st.free_handles.insert(f.0);
+                }
+            }
+            st.modules.remove(&module.0);
+            st.free_handles.insert(module.0);
+        }
+        self.event(true, CbId::ModuleUnload, &p);
+        Ok(())
+    }
+
+    /// All functions of a module (kernels and device functions), ordered by
+    /// handle. Interposers use this during the `ModuleUnload` entry
+    /// callback to evict per-function caches.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::InvalidHandle`] for an unknown module.
+    pub fn module_functions(&self, module: &CuModule) -> Result<Vec<CuFunction>> {
+        let st = self.state.borrow();
+        let m = st
+            .modules
+            .get(&module.0)
+            .ok_or_else(|| DriverError::InvalidHandle(module.to_string()))?;
+        let mut v: Vec<CuFunction> = m.functions.values().copied().collect();
+        v.sort_by_key(|h| h.0);
+        Ok(v)
     }
 
     /// All kernels (entry functions) of a module, in load order.

@@ -45,6 +45,12 @@ impl Memory {
         self.allocs.values().sum()
     }
 
+    /// Number of live allocations (leak accounting: code-cache eviction
+    /// tests assert this returns to its baseline after a module unload).
+    pub fn live_allocs(&self) -> usize {
+        self.allocs.len()
+    }
+
     /// Allocates `len` bytes (rounded up to [`ALLOC_ALIGN`]); returns the
     /// device address.
     ///
