@@ -1,0 +1,214 @@
+//! Instrumentation-plan optimization passes on the software warp-FFT
+//! pipeline: instrument with the coalesced instruction-count tool and
+//! compare the instrumented run's executed instructions and cycles under
+//! the naive per-site plan, with basic-block call coalescing, and with
+//! coalescing plus leaf-tool inlining.
+//!
+//! ```text
+//! cargo run --release -p nvbit-bench --bin inject_overhead
+//! ```
+//!
+//! Writes `results/BENCH_inject_overhead.json` with the per-configuration
+//! accounting; the repository gates on a ≥25% reduction in instrumented
+//! thread-instructions from coalescing alone.
+
+use common::json::Json;
+use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, PlanStats};
+use nvbit_tools::CoalescedInstrCount;
+use sass::Arch;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Wraps the tool and collects the planner's accounting per instrumented
+/// function at launch exit.
+struct PlanAccounting<T> {
+    inner: T,
+    stats: Rc<RefCell<Vec<(String, PlanStats)>>>,
+}
+
+impl<T: NvbitTool> NvbitTool for PlanAccounting<T> {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_init(api);
+    }
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_term(api);
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        self.inner.at_cuda_event(api, is_exit, cbid, params);
+        if !is_exit || cbid != CbId::LaunchKernel {
+            return;
+        }
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if let Ok(Some(s)) = api.plan_stats(*func) {
+            let name = api.get_func_name(*func).unwrap_or_default();
+            let mut stats = self.stats.borrow_mut();
+            if !stats.iter().any(|(n, _)| *n == name) {
+                stats.push((name, s));
+            }
+        }
+    }
+}
+
+/// One configuration's measurements.
+struct Run {
+    label: &'static str,
+    opts: PlanOpts,
+    count: u64,
+    instructions: u64,
+    cycles: u64,
+    stats: Vec<(String, PlanStats)>,
+}
+
+/// Runs the FFT pipeline natively (no tool) for the baseline.
+fn run_native() -> (u64, u64) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    run_fft_app(&drv);
+    drv.shutdown();
+    let s = drv.total_stats();
+    (s.thread_instructions, s.cycles)
+}
+
+/// Runs the FFT pipeline under the coalesced counter with `opts`.
+fn run_instrumented(label: &'static str, opts: PlanOpts) -> Run {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let (tool, results) = CoalescedInstrCount::new(opts);
+    let stats = Rc::new(RefCell::new(Vec::new()));
+    attach_tool(&drv, PlanAccounting { inner: tool, stats: stats.clone() });
+    run_fft_app(&drv);
+    drv.shutdown();
+    let s = drv.total_stats();
+    Run {
+        label,
+        opts,
+        count: results.total(),
+        instructions: s.thread_instructions,
+        cycles: s.cycles,
+        stats: Rc::try_unwrap(stats).unwrap().into_inner(),
+    }
+}
+
+fn run_fft_app(drv: &Driver) {
+    const BLOCKS: u32 = 8;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let ctx = drv.ctx_create().unwrap();
+    let src = workloads::fft::soft_fft_kernel_ptx();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", src)).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    let input: Vec<u8> = (0..BLOCKS * 32)
+        .flat_map(|_| {
+            let mut rec = [0u8; 8];
+            rec[..4].copy_from_slice(&1.0f32.to_le_bytes());
+            rec
+        })
+        .collect();
+    drv.memcpy_htod(din, &input).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+}
+
+fn main() {
+    let (native_instrs, native_cycles) = run_native();
+    let runs = [
+        run_instrumented("naive", PlanOpts { coalesce: false, inline: false }),
+        run_instrumented("coalesced", PlanOpts { coalesce: true, inline: false }),
+        run_instrumented("coalesced+inlined", PlanOpts { coalesce: true, inline: true }),
+    ];
+
+    println!("== inject_overhead: plan passes on the FFT pipeline ==\n");
+    println!("native: {native_instrs} thread-instructions, {native_cycles} cycles\n");
+    println!(
+        "{:18}  {:>14}  {:>12}  {:>10}  {:>8}",
+        "configuration", "thread-instrs", "cycles", "overhead", "count"
+    );
+    let mut cfgs = Vec::new();
+    for r in &runs {
+        let overhead = r.instructions as f64 / native_instrs as f64;
+        println!(
+            "{:18}  {:>14}  {:>12}  {:>9.2}x  {:>8}",
+            r.label, r.instructions, r.cycles, overhead, r.count
+        );
+        let emitted: u64 = r.stats.iter().map(|(_, s)| s.emitted_calls).sum();
+        let requested: u64 = r.stats.iter().map(|(_, s)| s.requested_calls).sum();
+        let inlined: u64 = r.stats.iter().map(|(_, s)| s.inlined_calls).sum();
+        cfgs.push(Json::obj(vec![
+            ("label", Json::Str(r.label.into())),
+            ("coalesce", Json::Bool(r.opts.coalesce)),
+            ("inline", Json::Bool(r.opts.inline)),
+            ("thread_instructions", Json::Num(r.instructions as f64)),
+            ("cycles", Json::Num(r.cycles as f64)),
+            ("overhead_vs_native", Json::Num(overhead)),
+            ("tool_count", Json::Num(r.count as f64)),
+            ("requested_calls", Json::Num(requested as f64)),
+            ("emitted_calls", Json::Num(emitted as f64)),
+            ("inlined_calls", Json::Num(inlined as f64)),
+        ]));
+    }
+
+    // The differential invariant also holds here: the plan never changes
+    // what the tool measures.
+    assert_eq!(runs[0].count, runs[1].count, "coalescing changed the tool output");
+    assert_eq!(runs[0].count, runs[2].count, "inlining changed the tool output");
+
+    // Reduction in *instrumentation* work: compare the instructions added
+    // on top of the native run.
+    let added = |r: &Run| (r.instructions - native_instrs) as f64;
+    let coalesce_reduction = 1.0 - added(&runs[1]) / added(&runs[0]);
+    let inline_reduction = 1.0 - added(&runs[2]) / added(&runs[0]);
+    // And the headline ISSUE gate: total instrumented thread-instructions.
+    let total_reduction = 1.0 - runs[1].instructions as f64 / runs[0].instructions as f64;
+    let total_inline_reduction = 1.0 - runs[2].instructions as f64 / runs[0].instructions as f64;
+    println!(
+        "\ncoalescing cuts instrumented thread-instructions by {:.1}% \
+         ({:.1}% of added work); +inlining: {:.1}% ({:.1}%)",
+        total_reduction * 100.0,
+        coalesce_reduction * 100.0,
+        total_inline_reduction * 100.0,
+        inline_reduction * 100.0
+    );
+
+    let doc = Json::obj(vec![
+        ("bench", Json::Str("inject_overhead".into())),
+        ("workload", Json::Str("fft32_soft pipeline".into())),
+        ("tool", Json::Str("coalesced_instr_count".into())),
+        ("arch", Json::Str("volta".into())),
+        ("native_thread_instructions", Json::Num(native_instrs as f64)),
+        ("native_cycles", Json::Num(native_cycles as f64)),
+        ("configurations", Json::Arr(cfgs)),
+        ("coalesce_reduction", Json::Num(total_reduction)),
+        ("coalesce_added_work_reduction", Json::Num(coalesce_reduction)),
+        ("inline_reduction", Json::Num(total_inline_reduction)),
+        ("inline_added_work_reduction", Json::Num(inline_reduction)),
+    ]);
+    std::fs::create_dir_all("results").unwrap();
+    let path = "results/BENCH_inject_overhead.json";
+    std::fs::write(path, doc.to_pretty()).unwrap();
+    println!("wrote {path}");
+
+    assert!(
+        total_reduction >= 0.25,
+        "coalescing must cut ≥25% of instrumented thread-instructions on the FFT pipeline \
+         (got {:.1}%)",
+        total_reduction * 100.0
+    );
+    assert!(
+        total_inline_reduction >= total_reduction,
+        "inlining must not regress the coalesced plan ({:.1}% vs {:.1}%)",
+        total_inline_reduction * 100.0,
+        total_reduction * 100.0
+    );
+}

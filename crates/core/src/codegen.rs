@@ -17,15 +17,24 @@
 //! 4. jumps back to the next original instruction.
 
 use crate::hal::Hal;
+use crate::plan::{InstrumentationPlan, PlanStats, PlannedCall};
 use crate::saverestore::{frame_bytes, tier_for, Routines};
-use crate::spec::{Arg, FuncSpec, IPoint, Injection};
+use crate::spec::{Arg, IPoint};
 use crate::{NvbitError, Result};
 use cuda::FunctionInfo;
+use sass::op::CfClass;
 use sass::{Instruction, Mods, Op, Operand, Reg};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Size ceiling (in instructions) under which a leaf tool body qualifies
+/// for inline splicing.
+pub const INLINE_MAX_INSTRS: usize = 24;
+/// Register ceiling under which a leaf tool body qualifies for inlining.
+pub const INLINE_MAX_REGS: u32 = 16;
 
 /// A tool device function loaded by the Tool Functions Loader.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ToolFn {
     /// Device address of the first instruction.
     pub addr: u64,
@@ -38,6 +47,111 @@ pub struct ToolFn {
     /// time, so sites injecting them always get the conservative
     /// whole-function tier regardless of liveness.
     pub uses_reg_api: bool,
+    /// The function's instruction body as loaded, retained for the inline
+    /// pass and the pre-swap verifier (`None` for opaque registrations).
+    pub body: Option<Arc<Vec<Instruction>>>,
+    /// Set when the body is an inlinable leaf: small, call-free,
+    /// stack-free, no register device API, a single unguarded trailing
+    /// `RET`, and no control flow escaping the body. The planner splices
+    /// such bodies into the trampoline in place of the `JCAL`/`RET` pair.
+    pub inlinable: bool,
+    /// One past the highest general-purpose register the body *writes*
+    /// (`None` when unknown — e.g. the body makes calls). Registers at or
+    /// above this ceiling survive the call untouched, letting liveness
+    /// tier selection shrink further than the used-register count allows.
+    pub write_ceiling: Option<u8>,
+}
+
+impl ToolFn {
+    /// A registration with no retained body: never inlined, clobber sized
+    /// by `reg_count` alone.
+    pub fn opaque(addr: u64, reg_count: u32, stack_size: u32, uses_reg_api: bool) -> ToolFn {
+        ToolFn {
+            addr,
+            reg_count,
+            stack_size,
+            uses_reg_api,
+            body: None,
+            inlinable: false,
+            write_ceiling: None,
+        }
+    }
+
+    /// Builds the entry from the loaded body, running the leaf
+    /// classification. `isize` is the target's instruction size (for
+    /// validating that relative control flow stays inside the body).
+    pub fn with_body(
+        addr: u64,
+        reg_count: u32,
+        stack_size: u32,
+        uses_reg_api: bool,
+        body: Vec<Instruction>,
+        isize: u64,
+    ) -> ToolFn {
+        let (inlinable, write_ceiling) =
+            classify_leaf(&body, reg_count, stack_size, uses_reg_api, isize);
+        ToolFn {
+            addr,
+            reg_count,
+            stack_size,
+            uses_reg_api,
+            body: Some(Arc::new(body)),
+            inlinable,
+            write_ceiling,
+        }
+    }
+}
+
+/// Classifies a loaded tool body: is it an inlinable leaf, and what is its
+/// register write ceiling?
+fn classify_leaf(
+    body: &[Instruction],
+    reg_count: u32,
+    stack_size: u32,
+    uses_reg_api: bool,
+    isize: u64,
+) -> (bool, Option<u8>) {
+    // The write ceiling is only knowable for call-free bodies that leave
+    // the frame pointer alone; the register device API reaches the save
+    // area behind the analysis's back.
+    let call_free = !body.iter().any(|i| {
+        matches!(i.cf_class(), CfClass::AbsCall | CfClass::RelCall | CfClass::IndirectBranch)
+    });
+    let writes_sp = body.iter().any(|i| i.reg_writes().contains(&Reg::SP));
+    let write_ceiling = if call_free && !writes_sp && !uses_reg_api {
+        let max_written = body.iter().flat_map(Instruction::reg_writes).map(|r| r.0).max();
+        Some(max_written.map_or(0, |r| r.saturating_add(1)))
+    } else {
+        None
+    };
+
+    let inlinable = write_ceiling.is_some()
+        && stack_size == 0
+        && reg_count <= INLINE_MAX_REGS
+        && !body.is_empty()
+        && body.len() <= INLINE_MAX_INSTRS
+        && body.last().is_some_and(|i| i.op == Op::Ret && i.guard.is_always())
+        && body.iter().enumerate().all(|(i, ins)| {
+            // No Ret except the trailing one, no control flow that leaves
+            // the body or depends on its original address.
+            let class_ok = match ins.cf_class() {
+                CfClass::Ret => i == body.len() - 1,
+                CfClass::None | CfClass::Sync | CfClass::Ssy | CfClass::Bar => true,
+                CfClass::RelBranch => true, // target checked below
+                _ => false,
+            };
+            let target_ok = match ins.rel_target() {
+                Some(off) => {
+                    off % isize as i64 == 0 && {
+                        let t = i as i64 + 1 + off / isize as i64;
+                        (0..body.len() as i64).contains(&t)
+                    }
+                }
+                None => true,
+            };
+            class_ok && target_ok
+        });
+    (inlinable, write_ceiling)
 }
 
 /// How the code generator sizes each injection site's register save.
@@ -68,9 +182,26 @@ pub enum LivenessInput<'a> {
     Unavailable(&'a str),
 }
 
+/// Layout record for one emitted call within a site's trampoline, used by
+/// the plan-consistency checks of the pre-swap verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallMeta {
+    /// The tool function the call invokes (or splices).
+    pub func: String,
+    /// Sites the call represents (1 unless coalesced).
+    pub multiplicity: u32,
+    /// The original instruction indices it stands for, sorted.
+    pub group: Vec<usize>,
+    /// The call follows the multiplicity protocol.
+    pub coalesce: bool,
+    /// When inlined: `(offset, len)` of the spliced body within the site's
+    /// trampoline instructions (the final `RET` replaced by `NOP`).
+    pub inline: Option<(usize, usize)>,
+}
+
 /// Layout record for one injection site's trampoline, used by the
 /// pre-swap verifier and the save-reduction accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SiteMeta {
     /// Index of the instrumented instruction in the original body.
     pub instr_idx: usize,
@@ -85,6 +216,8 @@ pub struct SiteMeta {
     pub tier: u16,
     /// Number of injections at this site.
     pub injections: usize,
+    /// Per-call layout, in emission order.
+    pub calls: Vec<CallMeta>,
 }
 
 /// The output of code generation for one function.
@@ -114,6 +247,9 @@ pub struct InstrumentedImage {
     /// Why liveness-driven sizing was not applied, when it was not
     /// (`None` when every site was sized from the analysis).
     pub fallback: Option<String>,
+    /// What the plan passes did for this image (coalescing/inlining
+    /// accounting).
+    pub plan: PlanStats,
 }
 
 /// The register demand of reading one saved register: slot `r` must have
@@ -134,28 +270,31 @@ fn arg_demand(arg: &Arg) -> u32 {
     }
 }
 
-/// Runs code generation. `alloc` provides device memory for the trampoline
-/// region (the bulk allocation the paper mentions); `routines` must cover
-/// every tier. `liveness` and `policy` control per-site save sizing: under
+/// Runs code generation over a validated [`InstrumentationPlan`] (built by
+/// [`crate::plan::build`], which also runs the coalescing and inlining
+/// passes). `alloc` provides device memory for the trampoline region (the
+/// bulk allocation the paper mentions); `routines` must cover every tier.
+/// `liveness` and `policy` control per-site save sizing: under
 /// [`SavePolicy::Liveness`] with [`LivenessInput::Analysis`], each site
 /// saves only the registers that are both live across it and inside the
 /// trampoline's clobber window (frame pointer, ABI argument slots and the
-/// injected functions' registers), plus any saved value an argument reads
-/// back; otherwise every site uses the conservative whole-function tier.
+/// injected functions' registers — shrunk to the body's write ceiling when
+/// known), plus any saved value an argument reads back; otherwise every
+/// site uses the conservative whole-function tier.
 ///
 /// # Errors
 ///
-/// [`NvbitError::UnknownToolFunction`] for unregistered injections,
-/// [`NvbitError::BadRequest`] for argument-ABI violations or register
-/// demands beyond the register file, and [`NvbitError::Encode`] when the
-/// target family cannot encode the result.
+/// [`NvbitError::BadRequest`] for argument-ABI violations, register
+/// demands beyond the register file, or an inline-marked call without a
+/// retained body, and [`NvbitError::Encode`] when the target family cannot
+/// encode the result.
 #[allow(clippy::too_many_arguments)] // the paper's six codegen inputs + policy + allocator
 pub fn generate(
     hal: &Hal,
     info: &FunctionInfo,
     original: &[Instruction],
     original_code: &[u8],
-    spec: &FuncSpec,
+    plan: &InstrumentationPlan,
     tool_fns: &HashMap<String, ToolFn>,
     routines: &HashMap<u16, Routines>,
     liveness: &LivenessInput<'_>,
@@ -164,35 +303,18 @@ pub fn generate(
 ) -> Result<InstrumentedImage> {
     let isize = hal.instruction_size();
 
-    // Validate sites and resolve tool functions.
-    for (&idx, injections) in &spec.sites {
-        if idx >= original.len() {
-            return Err(NvbitError::BadInstrIndex { index: idx, len: original.len() });
-        }
-        for inj in injections {
-            if !tool_fns.contains_key(&inj.func) {
-                return Err(NvbitError::UnknownToolFunction(inj.func.clone()));
-            }
-        }
-    }
-    for &idx in &spec.removed {
-        if idx >= original.len() {
-            return Err(NvbitError::BadInstrIndex { index: idx, len: original.len() });
-        }
-    }
-
     // The conservative whole-function demand (§5.1 baseline): the
     // instrumented function's registers, every injected function's
     // registers, the ABI argument registers, and any register a tool asks
     // to read.
     let mut whole: u32 = info.reg_count.max(16);
     let mut tool_stack_max: u32 = 0;
-    for injections in spec.sites.values() {
-        for inj in injections {
-            let tf = &tool_fns[&inj.func];
+    for calls in plan.sites.values() {
+        for call in calls {
+            let tf = &tool_fns[&call.func];
             whole = whole.max(tf.reg_count);
             tool_stack_max = tool_stack_max.max(tf.stack_size);
-            for arg in &inj.args {
+            for arg in &call.args {
                 whole = whole.max(arg_demand(arg));
             }
         }
@@ -221,24 +343,27 @@ pub fn generate(
     let mut full_tier_slots = 0u64;
     let mut max_tier = 0u16;
     let mut max_frame = 0u32;
-    for (&idx, injections) in &spec.sites {
-        let uses_reg_api = injections.iter().any(|inj| tool_fns[&inj.func].uses_reg_api);
+    for (&idx, calls) in &plan.sites {
+        let uses_reg_api = calls.iter().any(|c| tool_fns[&c.func].uses_reg_api);
         let tier = match dataflow {
             // Register-device-API tools index save-area slots computed at
             // run time; only the whole-function tier is safe for them.
             Some(df) if !uses_reg_api => {
                 // The trampoline only clobbers R0 (the frame pointer), the
                 // ABI argument window from R4 up, and the injected
-                // functions' own registers. Registers at or above that
-                // ceiling survive the call untouched, so a save slot is
-                // needed only for (a) live registers *below* the ceiling
-                // and (b) saved values an argument reads back.
+                // functions' own registers — shrunk to the registers the
+                // body actually *writes* when its write ceiling is known.
+                // Registers at or above that ceiling survive the call
+                // untouched, so a save slot is needed only for (a) live
+                // registers *below* the ceiling and (b) saved values an
+                // argument reads back.
                 let mut clobber: u32 = 1;
                 let mut demand: u32 = 0;
-                for inj in injections {
-                    clobber = clobber.max(tool_fns[&inj.func].reg_count);
+                for call in calls {
+                    let tf = &tool_fns[&call.func];
+                    clobber = clobber.max(tf.write_ceiling.map_or(tf.reg_count, u32::from));
                     let mut slot: u32 = 4;
-                    for arg in &inj.args {
+                    for arg in &call.args {
                         slot += u32::from(arg.slots());
                         demand = demand.max(arg_demand(arg));
                     }
@@ -253,12 +378,12 @@ pub fn generate(
             _ => whole_tier,
         };
         site_tier.insert(idx, tier);
-        saved_slots += u64::from(tier) * injections.len() as u64;
-        full_tier_slots += u64::from(whole_tier) * injections.len() as u64;
+        saved_slots += u64::from(tier) * calls.len() as u64;
+        full_tier_slots += u64::from(whole_tier) * calls.len() as u64;
         max_tier = max_tier.max(tier);
         max_frame = max_frame.max(frame_bytes(tier, hal));
     }
-    if spec.sites.is_empty() {
+    if plan.sites.is_empty() {
         max_tier = whole_tier;
         max_frame = frame_bytes(whole_tier, hal);
     }
@@ -272,10 +397,11 @@ pub fn generate(
     // Phase 1: measure each trampoline with a placeholder base address.
     let mut lengths: Vec<(usize, u64)> = Vec::new(); // (site, instr count)
     let mut cursor = 0u64;
-    for &idx in spec.sites.keys() {
+    for &idx in plan.sites.keys() {
         let tier = site_tier[&idx];
         let routine = routine_for(tier)?;
-        let (instrs, _) = emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, 0)?;
+        let (instrs, _, _) =
+            emit_site(hal, info, original, plan, tool_fns, &routine, tier, idx, 0)?;
         lengths.push((idx, instrs.len() as u64));
         cursor += instrs.len() as u64;
     }
@@ -291,8 +417,8 @@ pub fn generate(
         site_addr.insert(idx, pc);
         let tier = site_tier[&idx];
         let routine = routine_for(tier)?;
-        let (instrs, orig_pos) =
-            emit_site(hal, info, original, spec, tool_fns, &routine, tier, idx, pc)?;
+        let (instrs, orig_pos, calls) =
+            emit_site(hal, info, original, plan, tool_fns, &routine, tier, idx, pc)?;
         debug_assert_eq!(instrs.len() as u64, len);
         sites.push(SiteMeta {
             instr_idx: idx,
@@ -300,7 +426,8 @@ pub fn generate(
             len: instrs.len(),
             orig_pos,
             tier,
-            injections: spec.sites[&idx].len(),
+            injections: plan.sites[&idx].len(),
+            calls,
         });
         tramp_instrs.extend(instrs);
         pc += len * isize;
@@ -311,11 +438,11 @@ pub fn generate(
     // unconditional jumps into the trampolines; removed-but-uninstrumented
     // sites become NOPs in place.
     let mut patched = original.to_vec();
-    for &idx in spec.sites.keys() {
+    for &idx in plan.sites.keys() {
         patched[idx] = Instruction::new(Op::Jmp, vec![Operand::Abs(site_addr[&idx])]);
     }
-    for &idx in &spec.removed {
-        if !spec.sites.contains_key(&idx) {
+    for &idx in &plan.removed {
+        if !plan.sites.contains_key(&idx) {
             patched[idx] = Instruction::nop();
         }
     }
@@ -333,37 +460,40 @@ pub fn generate(
         saved_slots,
         full_tier_slots,
         fallback,
+        plan: plan.stats,
     })
 }
 
 /// The assembled trampoline bytes (phase-2 output) are written by the
 /// caller; this emits one site's trampoline instruction sequence and
-/// reports the position of the relocated original instruction within it.
+/// reports the position of the relocated original instruction within it
+/// plus the per-call layout records.
 #[allow(clippy::too_many_arguments)]
 fn emit_site(
     hal: &Hal,
     info: &FunctionInfo,
     original: &[Instruction],
-    spec: &FuncSpec,
+    plan: &InstrumentationPlan,
     tool_fns: &HashMap<String, ToolFn>,
     routine: &Routines,
     tier: u16,
     idx: usize,
     tramp_pc: u64,
-) -> Result<(Vec<Instruction>, usize)> {
+) -> Result<(Vec<Instruction>, usize, Vec<CallMeta>)> {
     let isize = hal.instruction_size();
     let next_pc = info.addr + (idx as u64 + 1) * isize;
-    let injections = &spec.sites[&idx];
+    let calls = &plan.sites[&idx];
     let mut out: Vec<Instruction> = Vec::new();
+    let mut metas: Vec<CallMeta> = Vec::new();
 
-    for inj in injections.iter().filter(|i| i.ipoint == IPoint::Before) {
-        emit_injection(hal, original, routine, tier, idx, inj, &tool_fns[&inj.func], &mut out)?;
+    for call in calls.iter().filter(|c| c.ipoint == IPoint::Before) {
+        metas.push(emit_call(hal, original, routine, tier, idx, call, tool_fns, &mut out)?);
     }
 
     // The relocated original instruction (Figure 4, step 5) — a NOP when
     // removed (the PROXY-emulation path of §6.3).
     let orig_pos = out.len();
-    if spec.removed.contains(&idx) {
+    if plan.removed.contains(&idx) {
         out.push(Instruction::nop());
     } else {
         let mut orig = original[idx].clone();
@@ -385,27 +515,29 @@ fn emit_site(
     let no_fall_through = out[orig_pos].guard.is_always()
         && matches!(
             out[orig_pos].cf_class(),
-            sass::op::CfClass::Exit
-                | sass::op::CfClass::Ret
-                | sass::op::CfClass::Trap
-                | sass::op::CfClass::Sync
-                | sass::op::CfClass::RelBranch
-                | sass::op::CfClass::AbsJump
+            CfClass::Exit
+                | CfClass::Ret
+                | CfClass::Trap
+                | CfClass::Sync
+                | CfClass::RelBranch
+                | CfClass::AbsJump
         );
     if no_fall_through {
-        return Ok((out, orig_pos));
+        return Ok((out, orig_pos, metas));
     }
 
-    for inj in injections.iter().filter(|i| i.ipoint == IPoint::After) {
-        emit_injection(hal, original, routine, tier, idx, inj, &tool_fns[&inj.func], &mut out)?;
+    for call in calls.iter().filter(|c| c.ipoint == IPoint::After) {
+        metas.push(emit_call(hal, original, routine, tier, idx, call, tool_fns, &mut out)?);
     }
 
     // Back to the instruction after the instrumented one (Figure 4, step 6).
     out.push(Instruction::new(Op::Jmp, vec![Operand::Abs(next_pc)]));
-    Ok((out, orig_pos))
+    Ok((out, orig_pos, metas))
 }
 
-/// Emits one injection: save, frame pointer, arguments, call, restore.
+/// Emits one planned call: save, frame pointer, arguments, tool call (or
+/// the inline-spliced body), restore. Returns the call's layout record,
+/// with inline spans relative to the start of `out`'s site.
 ///
 /// With `pred_filter` set on a guarded site, the whole sequence is wrapped
 /// in an `SSY`-bracketed diamond so that guard-false lanes never enter the
@@ -420,25 +552,27 @@ fn emit_site(
 /// L_skip:  ...
 /// ```
 #[allow(clippy::too_many_arguments)]
-fn emit_injection(
+fn emit_call(
     hal: &Hal,
     original: &[Instruction],
     routine: &Routines,
     tier: u16,
     idx: usize,
-    inj: &Injection,
-    tool: &ToolFn,
+    call: &PlannedCall,
+    tool_fns: &HashMap<String, ToolFn>,
     out: &mut Vec<Instruction>,
-) -> Result<()> {
+) -> Result<CallMeta> {
+    let tool = &tool_fns[&call.func];
     let guard = original[idx].guard;
-    if inj.pred_filter && !guard.is_always() {
+    if call.pred_filter && !guard.is_always() {
         let isize = hal.instruction_size() as i64;
         let barrier = if hal.saves_barrier_state() { 1 } else { 0 };
         let mods = Mods { barrier, ..Mods::default() };
         // Emit the body first to learn its length, then splice the wrapper.
+        let wrapper_base = out.len();
         let mut body = Vec::new();
-        let plain = Injection { pred_filter: false, ..inj.clone() };
-        emit_injection(hal, original, routine, tier, idx, &plain, tool, &mut body)?;
+        let plain = PlannedCall { pred_filter: false, ..call.clone() };
+        let mut meta = emit_call(hal, original, routine, tier, idx, &plain, tool_fns, &mut body)?;
         let n = body.len() as i64;
         out.push(Instruction::new(Op::Ssy, vec![Operand::Rel((n + 3) * isize)]).with_mods(mods));
         out.push(
@@ -448,7 +582,12 @@ fn emit_injection(
         out.extend(body);
         out.push(Instruction::new(Op::Sync, vec![]).with_mods(mods));
         out.push(Instruction::new(Op::Sync, vec![]).with_mods(mods));
-        return Ok(());
+        // The recursion recorded offsets relative to its own body; shift
+        // them past the SSY/BRA prefix into site coordinates.
+        if let Some((off, len)) = meta.inline {
+            meta.inline = Some((wrapper_base + 2 + off, len));
+        }
+        return Ok(meta);
     }
 
     let frame = frame_bytes(tier, hal);
@@ -502,14 +641,14 @@ fn emit_injection(
         out.push(Instruction::new(Op::Mov, vec![Operand::Reg(Reg(slot)), Operand::Reg(scratch)]));
     };
 
-    for arg in &inj.args {
+    for arg in &call.args {
         if arg.slots() == 2 && slot % 2 == 1 {
             slot += 1;
         }
         if slot as u32 + arg.slots() as u32 > 16 {
             return Err(NvbitError::BadRequest(format!(
                 "arguments of `{}` exceed the ABI register window (R4..R15)",
-                inj.func
+                call.func
             )));
         }
         match arg {
@@ -555,10 +694,38 @@ fn emit_injection(
         slot += arg.slots();
     }
 
-    // 4. Call the tool function; 5. restore the thread state.
-    out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(tool.addr)]));
+    // 4. Call the tool function — or splice its body in place of the
+    //    CALL/RET pair when the plan inlined it; 5. restore the thread
+    //    state.
+    let inline_span = if call.inline {
+        let body = tool.body.as_ref().ok_or_else(|| {
+            NvbitError::BadRequest(format!(
+                "call to `{}` marked inline but no body was retained",
+                call.func
+            ))
+        })?;
+        let at = out.len();
+        // The compiler pipeline guarantees a single trailing RET
+        // (`ptx::lower::merge_returns`); replace it with a NOP so early
+        // returns branch onto it and fall through to the restore call.
+        // Relative distances inside the body are preserved verbatim.
+        out.extend(body.iter().cloned());
+        let last = out.last_mut().expect("inlinable body is non-empty");
+        debug_assert_eq!(last.op, Op::Ret);
+        *last = Instruction::nop();
+        Some((at, body.len()))
+    } else {
+        out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(tool.addr)]));
+        None
+    };
     out.push(Instruction::new(Op::Jcal, vec![Operand::Abs(routine.restore_addr)]));
-    Ok(())
+    Ok(CallMeta {
+        func: call.func.clone(),
+        multiplicity: call.multiplicity,
+        group: call.group.clone(),
+        coalesce: call.coalesce,
+        inline: inline_span,
+    })
 }
 
 /// Loads saved register `r` into ABI slot register `slot`.
@@ -584,9 +751,20 @@ fn emit_regval(r: u8, slot: u8, frame: u32, out: &mut Vec<Instruction>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{self, PlanOpts};
     use crate::saverestore::TIERS;
+    use crate::spec::FuncSpec;
     use cuda::{CuFunction, CuModule};
     use sass::Arch;
+
+    /// Naive (pass-free) plan over the spec — the pre-plan pipeline shape.
+    fn plan_of(
+        spec: &FuncSpec,
+        body_len: usize,
+        fns: &HashMap<String, ToolFn>,
+    ) -> InstrumentationPlan {
+        plan::build(spec, body_len, None, fns, PlanOpts::naive()).unwrap()
+    }
 
     fn fake_info(addr: u64, reg_count: u32, arch: Arch) -> FunctionInfo {
         FunctionInfo {
@@ -635,10 +813,7 @@ mod tests {
 
     fn tool_fns() -> HashMap<String, ToolFn> {
         let mut m = HashMap::new();
-        m.insert(
-            "ifunc".to_string(),
-            ToolFn { addr: 0x8000, reg_count: 8, stack_size: 16, uses_reg_api: false },
-        );
+        m.insert("ifunc".to_string(), ToolFn::opaque(0x8000, 8, 16, false));
         m
     }
 
@@ -664,7 +839,7 @@ mod tests {
                 &info,
                 &instrs,
                 &code,
-                &spec,
+                &plan_of(&spec, instrs.len(), &tool_fns()),
                 &tool_fns(),
                 &fake_routines(),
                 &NO_LIVENESS,
@@ -728,8 +903,9 @@ mod tests {
         // Re-run emit_site directly to inspect the relocated branch.
         let routines = fake_routines();
         let routine = routines[&16];
-        let (out, _) =
-            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routine, 16, 1, tramp_base)
+        let plan = plan_of(&spec, instrs.len(), &tool_fns());
+        let (out, _, _) =
+            emit_site(&hal, &info, &instrs, &plan, &tool_fns(), &routine, 16, 1, tramp_base)
                 .unwrap();
         let _ = code;
         let isize = hal.instruction_size();
@@ -759,8 +935,9 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::Before);
         spec.remove_orig(0);
         let routines = fake_routines();
-        let (out, orig_pos) =
-            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
+        let plan = plan_of(&spec, instrs.len(), &tool_fns());
+        let (out, orig_pos, _) =
+            emit_site(&hal, &info, &instrs, &plan, &tool_fns(), &routines[&16], 16, 0, 0x9000)
                 .unwrap();
         assert!(out.iter().all(|i| i.op != Op::Proxy));
         assert_eq!(out[orig_pos].op, Op::Nop);
@@ -777,7 +954,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &NO_LIVENESS,
@@ -797,9 +974,11 @@ mod tests {
         spec.insert_call(0, "ifunc", IPoint::After);
         spec.insert_call(0, "ifunc", IPoint::Before);
         let routines = fake_routines();
-        let (out, orig_pos) =
-            emit_site(&hal, &info, &instrs, &spec, &tool_fns(), &routines[&16], 16, 0, 0x9000)
+        let plan = plan_of(&spec, instrs.len(), &tool_fns());
+        let (out, orig_pos, metas) =
+            emit_site(&hal, &info, &instrs, &plan, &tool_fns(), &routines[&16], 16, 0, 0x9000)
                 .unwrap();
+        assert_eq!(metas.len(), 2);
         let iadd_pos = out.iter().position(|i| i.op == Op::Iadd).unwrap();
         assert_eq!(iadd_pos, orig_pos);
         let jcal_positions: Vec<usize> =
@@ -811,41 +990,20 @@ mod tests {
 
     #[test]
     fn unknown_tool_function_is_rejected() {
-        let (hal, info, instrs, code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
+        // Validation moved into the planner, which codegen consumes.
+        let (_hal, _info, instrs, _code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "missing", IPoint::Before);
-        let e = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            &NO_LIVENESS,
-            SavePolicy::Liveness,
-            |_| Ok(0x9000),
-        );
+        let e = plan::build(&spec, instrs.len(), None, &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
     }
 
     #[test]
     fn out_of_range_site_is_rejected() {
-        let (hal, info, instrs, code) = setup(Arch::Volta, "EXIT ;");
+        let (_hal, _info, instrs, _code) = setup(Arch::Volta, "EXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(5, "ifunc", IPoint::Before);
-        let e = generate(
-            &hal,
-            &info,
-            &instrs,
-            &code,
-            &spec,
-            &tool_fns(),
-            &fake_routines(),
-            &NO_LIVENESS,
-            SavePolicy::Liveness,
-            |_| Ok(0x9000),
-        );
+        let e = plan::build(&spec, instrs.len(), None, &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
     }
 
@@ -861,7 +1019,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &NO_LIVENESS,
@@ -895,7 +1053,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -940,7 +1098,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -962,7 +1120,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec2,
+            &plan_of(&spec2, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -985,7 +1143,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -1004,10 +1162,7 @@ mod tests {
         info.reg_count = 40;
         let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
         let mut fns = tool_fns();
-        fns.insert(
-            "regapi".to_string(),
-            ToolFn { addr: 0x8800, reg_count: 8, stack_size: 0, uses_reg_api: true },
-        );
+        fns.insert("regapi".to_string(), ToolFn::opaque(0x8800, 8, 0, true));
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "regapi", IPoint::Before);
         let img = generate(
@@ -1015,7 +1170,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &fns),
             &fns,
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -1042,7 +1197,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -1070,7 +1225,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &LivenessInput::Analysis(&df),
@@ -1101,7 +1256,7 @@ mod tests {
             &info,
             &instrs,
             &code,
-            &spec,
+            &plan_of(&spec, instrs.len(), &tool_fns()),
             &tool_fns(),
             &fake_routines(),
             &NO_LIVENESS,
@@ -1109,5 +1264,233 @@ mod tests {
             |_| Ok(0x9000),
         );
         assert!(matches!(e, Err(NvbitError::BadRequest(_))));
+    }
+
+    /// A leaf tool body: bump the first argument register and return.
+    fn leaf_fns(hal: &Hal, reg_count: u32) -> HashMap<String, ToolFn> {
+        let code = hal.assemble_text("IADD R4, R4, 0x1 ;\nRET ;").unwrap();
+        let body = hal.disassemble(&code).unwrap();
+        let mut m = HashMap::new();
+        m.insert(
+            "leaf".to_string(),
+            ToolFn::with_body(0x8000, reg_count, 0, false, body, hal.instruction_size()),
+        );
+        m
+    }
+
+    #[test]
+    fn leaf_classification() {
+        let hal = Hal::new(Arch::Volta);
+        let isize = hal.instruction_size();
+        let dis = |t: &str| hal.disassemble(&hal.assemble_text(t).unwrap()).unwrap();
+
+        let leaf = dis("IADD R4, R4, 0x1 ;\nRET ;");
+        assert_eq!(classify_leaf(&leaf, 8, 0, false, isize), (true, Some(5)));
+
+        // Calls, guarded trailing RET, the register device API, stack use
+        // and oversized bodies all disqualify.
+        let calls = dis("JCAL `0x100 ;\nRET ;");
+        assert_eq!(classify_leaf(&calls, 8, 0, false, isize), (false, None));
+        let guarded = dis("ISETP.EQ.S32 P1, R4, RZ ;\n@P1 RET ;");
+        assert!(!classify_leaf(&guarded, 8, 0, false, isize).0);
+        assert!(!classify_leaf(&leaf, 8, 0, true, isize).0, "reg-api");
+        assert!(!classify_leaf(&leaf, 8, 64, false, isize).0, "stack");
+        assert!(!classify_leaf(&leaf, INLINE_MAX_REGS + 1, 0, false, isize).0, "regs");
+        let long: Vec<Instruction> = std::iter::repeat_with(Instruction::nop)
+            .take(INLINE_MAX_INSTRS)
+            .chain(dis("RET ;"))
+            .collect();
+        assert!(!classify_leaf(&long, 8, 0, false, isize).0, "size");
+
+        // An early guarded RET branching to a merge label stays inlinable
+        // only in merged form (single trailing RET) — which is what the
+        // PTX pipeline produces.
+        let merged = dis("ISETP.EQ.S32 P1, R4, RZ ;\n\
+             @P1 BRA done ;\n\
+             IADD R5, R4, 0x1 ;\n\
+             done:\n\
+             RET ;");
+        let (ok, ceiling) = classify_leaf(&merged, 8, 0, false, isize);
+        assert!(ok);
+        assert_eq!(ceiling, Some(6));
+    }
+
+    #[test]
+    fn inline_call_splices_the_body_and_drops_the_call_ret_pair() {
+        let (hal, info, instrs, code) = setup(Arch::Volta, "IADD R7, R7, 0x1 ;\nEXIT ;");
+        let fns = leaf_fns(&hal, 8);
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "leaf", IPoint::Before);
+        let plan = plan::build(
+            &spec,
+            instrs.len(),
+            None,
+            &fns,
+            PlanOpts { coalesce: false, inline: true },
+        )
+        .unwrap();
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &plan,
+            &fns,
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        let tramp = hal.disassemble(&img.tramp_code).unwrap();
+        let ops: Vec<Op> = tramp.iter().map(|i| i.op).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Jcal, // save
+                Op::Mov,  // R0 = frame
+                Op::Iadd, // spliced body
+                Op::Nop,  //   (its RET)
+                Op::Jcal, // restore
+                Op::Iadd, // relocated original
+                Op::Jmp,  // back
+            ],
+            "{}",
+            sass::asm::disassemble(&tramp)
+        );
+        // No call to the tool's address anywhere.
+        assert!(tramp.iter().all(|i| i.operands.first() != Some(&Operand::Abs(0x8000))));
+        // The site meta records the splice span.
+        assert_eq!(img.sites[0].calls.len(), 1);
+        assert_eq!(img.sites[0].calls[0].inline, Some((2, 2)));
+        assert_eq!(img.plan.inlined_calls, 1);
+    }
+
+    #[test]
+    fn inline_span_shifts_inside_the_pred_filter_diamond() {
+        let (hal, info, instrs, _code) = setup(
+            Arch::Volta,
+            "ISETP.EQ.S32 P0, R4, RZ ;\n\
+             @P0 IADD R7, R7, 0x1 ;\n\
+             EXIT ;",
+        );
+        let fns = leaf_fns(&hal, 8);
+        let mut spec = FuncSpec::default();
+        spec.insert_call(1, "leaf", IPoint::Before);
+        spec.set_pred_filter(1);
+        let plan = plan::build(
+            &spec,
+            instrs.len(),
+            None,
+            &fns,
+            PlanOpts { coalesce: false, inline: true },
+        )
+        .unwrap();
+        let routines = fake_routines();
+        let (out, _, metas) =
+            emit_site(&hal, &info, &instrs, &plan, &fns, &routines[&16], 16, 1, 0x9000).unwrap();
+        let (off, len) = metas[0].inline.expect("inlined");
+        assert_eq!(len, 2);
+        assert_eq!(out[off].op, Op::Iadd, "{}", sass::asm::disassemble(&out));
+        assert_eq!(out[off + 1].op, Op::Nop);
+        assert_eq!(out[0].op, Op::Ssy);
+        assert_eq!(out[1].op, Op::Bra);
+    }
+
+    #[test]
+    fn coalesced_site_materializes_the_multiplicity_argument() {
+        let (hal, info, instrs, code) = setup(
+            Arch::Volta,
+            "IADD R4, R4, 0x1 ;\n\
+             IADD R5, R5, 0x1 ;\n\
+             IADD R6, R6, 0x1 ;\n\
+             EXIT ;",
+        );
+        let blocks = sass::cfg::basic_blocks(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        for idx in 0..instrs.len() {
+            spec.insert_call(idx, "ifunc", IPoint::Before);
+            spec.add_arg(idx, Arg::Imm64(0xbeef));
+            spec.set_coalesce(idx);
+        }
+        let plan = plan::build(
+            &spec,
+            instrs.len(),
+            Some(&blocks),
+            &tool_fns(),
+            PlanOpts { coalesce: true, inline: false },
+        )
+        .unwrap();
+        let img = generate(
+            &hal,
+            &info,
+            &instrs,
+            &code,
+            &plan,
+            &tool_fns(),
+            &fake_routines(),
+            &NO_LIVENESS,
+            SavePolicy::Liveness,
+            |_| Ok(0x9000),
+        )
+        .unwrap();
+        // One block → one trampoline site, at the block head.
+        assert_eq!(img.sites.len(), 1);
+        assert_eq!(img.sites[0].instr_idx, 0);
+        assert_eq!(img.sites[0].calls[0].multiplicity, 4);
+        assert_eq!(img.sites[0].calls[0].group, vec![0, 1, 2, 3]);
+        // Only site 0 is patched; the merged-away sites run in place.
+        let patched = hal.disassemble(&img.instrumented).unwrap();
+        assert_eq!(patched[0].op, Op::Jmp);
+        assert_eq!(patched[1], instrs[1]);
+        assert_eq!(patched[2], instrs[2]);
+        // The trailing Imm32 argument lands in the slot after the Imm64
+        // pair (R6) with the multiplicity value.
+        let tramp = hal.disassemble(&img.tramp_code).unwrap();
+        let mult = tramp
+            .iter()
+            .find(|i| i.op == Op::Mov32i && i.operands.first() == Some(&Operand::Reg(Reg(6))))
+            .expect("multiplicity materialization");
+        assert_eq!(mult.operands[1], Operand::Imm(4));
+        assert_eq!(img.plan.coalesced_away, 3);
+    }
+
+    #[test]
+    fn write_ceiling_shrinks_the_clobber_window() {
+        // The leaf body only writes R4; a high-register value live across
+        // the site needs no save slot even though the tool *uses* 100
+        // registers by its own accounting.
+        let (hal, mut info, instrs, code) = setup(
+            Arch::Volta,
+            "IADD R5, R4, 0x1 ;\n\
+             STG [R6], R90 ;\n\
+             EXIT ;",
+        );
+        info.reg_count = 91;
+        let df = sass::Dataflow::analyze(&instrs, Arch::Volta).unwrap();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "leaf", IPoint::Before);
+        let run = |fns: &HashMap<String, ToolFn>| {
+            let plan = plan::build(&spec, instrs.len(), None, fns, PlanOpts::naive()).unwrap();
+            generate(
+                &hal,
+                &info,
+                &instrs,
+                &code,
+                &plan,
+                fns,
+                &fake_routines(),
+                &LivenessInput::Analysis(&df),
+                SavePolicy::Liveness,
+                |_| Ok(0x9000),
+            )
+            .unwrap()
+        };
+        let with_body = run(&leaf_fns(&hal, 100));
+        assert_eq!(with_body.sites[0].tier, 16);
+        let mut opaque = HashMap::new();
+        opaque.insert("leaf".to_string(), ToolFn::opaque(0x8000, 100, 0, false));
+        let without = run(&opaque);
+        assert_eq!(without.sites[0].tier, 128, "R90 inside the 100-register clobber window");
     }
 }

@@ -29,6 +29,7 @@ use crate::hal::Hal;
 use crate::instr::Instr;
 use crate::lift::{lift, Lifted};
 use crate::overhead::{JitComponent, OverheadReport};
+use crate::plan::{self, PlanOpts, PlanStats};
 use crate::saverestore::{restore_text, save_text, Routines, TIERS};
 use crate::spec::{Arg, FuncSpec, IPoint};
 use crate::verify::{self, Diagnostic, ExternalCode};
@@ -82,12 +83,14 @@ enum Version {
     Instrumented,
 }
 
-/// Key of one cached instrumented image: what was asked for (the spec) and
-/// how saves were sized (the policy). Same key ⇒ bit-identical image.
+/// Key of one cached instrumented image: what was asked for (the spec),
+/// how saves were sized (the policy) and which plan passes ran (the
+/// options). Same key ⇒ bit-identical image.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ImageKey {
     spec_hash: u64,
     policy: SavePolicy,
+    opts: PlanOpts,
 }
 
 /// Per-function code-cache entry.
@@ -121,13 +124,13 @@ impl FuncEntry {
         }
     }
 
-    /// The image key of the entry's present spec under `policy`.
-    fn key(&mut self, policy: SavePolicy) -> ImageKey {
+    /// The image key of the entry's present spec under `policy`/`opts`.
+    fn key(&mut self, policy: SavePolicy, opts: PlanOpts) -> ImageKey {
         if self.spec.dirty || self.spec_hash.is_none() {
             self.spec_hash = Some(self.spec.content_hash());
             self.spec.dirty = false;
         }
-        ImageKey { spec_hash: self.spec_hash.expect("just refreshed"), policy }
+        ImageKey { spec_hash: self.spec_hash.expect("just refreshed"), policy, opts }
     }
 }
 
@@ -210,6 +213,16 @@ fn build_one(
             (None, None) => LivenessInput::Unavailable("dataflow analysis unavailable"),
         };
         let t0 = Instant::now();
+        // Lower the spec into the plan IR, running the coalescing and
+        // inlining passes the image key's options select.
+        let plan = {
+            let _pspan = common::obs::span("plan");
+            let blocks = l.basic_blocks.as_ref().ok().map(Vec::as_slice);
+            let plan = plan::build(&input.spec, original.len(), blocks, tool_fns, input.key.opts)?;
+            common::obs::counter("plan.coalesced_away", plan.stats.coalesced_away);
+            common::obs::counter("plan.inlined_calls", plan.stats.inlined_calls);
+            plan
+        };
         let image = {
             let _cspan = common::obs::span("codegen");
             generate(
@@ -217,7 +230,7 @@ fn build_one(
                 &input.info,
                 &original,
                 &input.code,
-                &input.spec,
+                &plan,
                 tool_fns,
                 routines,
                 &liveness,
@@ -245,6 +258,7 @@ pub(crate) struct CoreState {
     shards: Vec<Mutex<HashMap<u32, FuncEntry>>>,
     overhead: Mutex<OverheadReport>,
     save_policy: Mutex<SavePolicy>,
+    plan_opts: Mutex<PlanOpts>,
     /// Worker threads for batch instrumentation; 0 = one per hardware
     /// thread.
     jit_workers: AtomicUsize,
@@ -261,6 +275,7 @@ impl CoreState {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             overhead: Mutex::new(OverheadReport::default()),
             save_policy: Mutex::new(SavePolicy::default()),
+            plan_opts: Mutex::new(PlanOpts::default()),
             jit_workers: AtomicUsize::new(workers),
         }
     }
@@ -291,8 +306,11 @@ impl CoreState {
             ext.save_addrs.push(r.save_addr);
             ext.restore_addrs.push(r.restore_addr);
         }
-        for t in self.tool_fns.read().unwrap().values() {
+        for (name, t) in self.tool_fns.read().unwrap().iter() {
             ext.tool_addrs.push(t.addr);
+            if let Some(body) = &t.body {
+                ext.tool_bodies.push((name.clone(), body.clone()));
+            }
         }
         for f in &info.related {
             if let Ok(ri) = drv.function_info(*f) {
@@ -318,8 +336,10 @@ impl CoreState {
             let (save_addr, restore_addr) = drv.with_device(|d| -> gpu::Result<(u64, u64)> {
                 let sa = d.alloc(save.len() as u64)?;
                 d.write(sa, &save)?;
+                d.label_code(sa, save.len() as u64, &format!("nvbit$save{tier}"));
                 let ra = d.alloc(restore.len() as u64)?;
                 d.write(ra, &restore)?;
+                d.label_code(ra, restore.len() as u64, &format!("nvbit$restore{tier}"));
                 Ok((sa, ra))
             })?;
             built.insert(
@@ -369,14 +389,15 @@ impl CoreState {
         Ok(lifted)
     }
 
-    /// Functions whose present (spec, policy) key has no cached image yet.
-    fn pending(&self, policy: SavePolicy) -> Vec<CuFunction> {
+    /// Functions whose present (spec, policy, opts) key has no cached
+    /// image yet.
+    fn pending(&self, policy: SavePolicy, opts: PlanOpts) -> Vec<CuFunction> {
         let mut v = Vec::new();
         for shard in &self.shards {
             let mut g = shard.lock().unwrap();
             for e in g.values_mut() {
                 if !e.spec.is_empty() {
-                    let k = e.key(policy);
+                    let k = e.key(policy, opts);
                     if !e.images.contains_key(&k) {
                         v.push(e.func);
                     }
@@ -393,6 +414,7 @@ impl CoreState {
     /// per distinct function.
     fn apply_batch(&self, drv: &Driver, funcs: &[CuFunction]) -> Vec<(CuFunction, Result<()>)> {
         let policy = *self.save_policy.lock().unwrap();
+        let opts = *self.plan_opts.lock().unwrap();
         let mut seen = std::collections::HashSet::new();
         let funcs: Vec<CuFunction> =
             funcs.iter().copied().filter(|f| seen.insert(f.raw())).collect();
@@ -409,7 +431,7 @@ impl CoreState {
                 if entry.spec.is_empty() {
                     continue;
                 }
-                let key = entry.key(policy);
+                let key = entry.key(policy, opts);
                 if entry.images.contains_key(&key) {
                     // The code-cache reuse the paper's Figure 5
                     // amortization depends on.
@@ -477,9 +499,15 @@ impl CoreState {
                             common::obs::counter("tramp.free_fail", 1);
                         }
                         errors.insert(raw, NvbitError::VerifyFailed(diags));
-                    } else if let Err(e) =
-                        drv.with_device(|d| d.write(image.tramp_addr, &image.tramp_code))
-                    {
+                    } else if let Err(e) = drv.with_device(|d| -> gpu::Result<()> {
+                        d.write(image.tramp_addr, &image.tramp_code)?;
+                        d.label_code(
+                            image.tramp_addr,
+                            image.tramp_code.len() as u64,
+                            &format!("{}$tramp", input.info.name),
+                        );
+                        Ok(())
+                    }) {
                         errors.insert(raw, e.into());
                     } else {
                         let mut shard = self.shard(raw).lock().unwrap();
@@ -510,7 +538,7 @@ impl CoreState {
             .map(|func| {
                 let res = match errors.remove(&func.raw()) {
                     Some(e) => Err(e),
-                    None => self.reconcile(drv, func, policy),
+                    None => self.reconcile(drv, func, policy, opts),
                 };
                 (func, res)
             })
@@ -599,12 +627,18 @@ impl CoreState {
     /// Installs the version the tool asked for, when it differs from what
     /// is at the function's code address: one memcpy plus the local-memory
     /// override (paper §6.2).
-    fn reconcile(&self, drv: &Driver, func: CuFunction, policy: SavePolicy) -> Result<()> {
+    fn reconcile(
+        &self,
+        drv: &Driver,
+        func: CuFunction,
+        policy: SavePolicy,
+        opts: PlanOpts,
+    ) -> Result<()> {
         let raw = func.raw();
         let mut shard = self.shard(raw).lock().unwrap();
         let Some(entry) = shard.get_mut(&raw) else { return Ok(()) };
         let target = if entry.desired == Version::Instrumented {
-            let k = entry.key(policy);
+            let k = entry.key(policy, opts);
             entry.images.contains_key(&k).then_some(k)
         } else {
             None
@@ -717,7 +751,8 @@ impl CoreState {
             }
         }
         let policy = *self.save_policy.lock().unwrap();
-        let mut batch = self.pending(policy);
+        let opts = *self.plan_opts.lock().unwrap();
+        let mut batch = self.pending(policy, opts);
         if tracked && !batch.iter().any(|f| f.raw() == raw) {
             batch.push(func);
             batch.sort_by_key(|f| f.raw());
@@ -866,16 +901,23 @@ impl<'a> NvbitApi<'a> {
             let addr = self.drv.with_device(|d| -> gpu::Result<u64> {
                 let a = d.alloc(f.code.len().max(1) as u64)?;
                 d.write(a, &f.code)?;
+                d.label_code(a, f.code.len() as u64, &f.name);
                 Ok(a)
             })?;
+            // Retain the decoded body so the planner can classify leaves
+            // (precise clobber ceilings, inline candidates) and the verifier
+            // can compare inlined splices against the loaded function.
+            let body = hal.disassemble(&f.code)?;
             self.state.tool_fns.write().unwrap().insert(
                 f.name.clone(),
-                ToolFn {
+                ToolFn::with_body(
                     addr,
-                    reg_count: f.reg_count,
-                    stack_size: f.stack_size,
-                    uses_reg_api: f.uses_reg_api,
-                },
+                    f.reg_count,
+                    f.stack_size,
+                    f.uses_reg_api,
+                    body,
+                    hal.instruction_size(),
+                ),
             );
         }
         Ok(())
@@ -1085,6 +1127,32 @@ impl<'a> NvbitApi<'a> {
         }
     }
 
+    /// Marks the most recent injection at the site as coalescible: the
+    /// planner may merge identical such injections within a basic block
+    /// into a single call carrying a multiplicity argument. The injection
+    /// enters the *multiplicity protocol* — the tool function receives one
+    /// extra trailing `u32` argument (1 when unmerged, N when the call
+    /// stands for N sites), whether or not merging actually happens, so
+    /// plans built with coalescing on and off stay behaviourally identical.
+    /// Only injections whose explicit arguments are all block-invariant
+    /// (immediates and constant-bank reads) and that carry no predicate
+    /// filter are eligible for merging.
+    ///
+    /// # Errors
+    ///
+    /// [`NvbitError::BadRequest`] when no call was inserted at the site.
+    pub fn set_coalesce(&self, func: CuFunction, idx: usize) -> Result<()> {
+        let raw = func.raw();
+        let mut shard = self.state.shard(raw).lock().unwrap();
+        if shard.get_mut(&raw).is_some_and(|entry| entry.spec.set_coalesce(idx)) {
+            Ok(())
+        } else {
+            Err(NvbitError::BadRequest(format!(
+                "set_coalesce before insert_call at instruction {idx}"
+            )))
+        }
+    }
+
     /// Removes the original instruction at the site (`nvbit_remove_orig`) —
     /// the relocated original becomes a `NOP`, enabling instruction
     /// emulation (paper §6.3).
@@ -1184,6 +1252,20 @@ impl<'a> NvbitApi<'a> {
         *self.state.save_policy.lock().unwrap() = policy;
     }
 
+    /// Selects which plan-level optimization passes subsequent image builds
+    /// run (basic-block call coalescing and leaf-tool inlining; both on by
+    /// default). Images are cached per (spec, policy, plan options) version,
+    /// so flipping options swaps between already-built images without
+    /// re-running code generation.
+    pub fn set_plan_opts(&self, opts: PlanOpts) {
+        *self.state.plan_opts.lock().unwrap() = opts;
+    }
+
+    /// The plan-pass options currently in force.
+    pub fn plan_opts(&self) -> PlanOpts {
+        *self.state.plan_opts.lock().unwrap()
+    }
+
     /// Sets the number of worker threads batch instrumentation may use
     /// (0 = one per available hardware thread, the default; also
     /// configurable with the `NVBIT_JIT_WORKERS` environment variable).
@@ -1210,11 +1292,12 @@ impl<'a> NvbitApi<'a> {
             Err(e) => return Err(e),
         }
         let policy = *self.state.save_policy.lock().unwrap();
+        let opts = *self.state.plan_opts.lock().unwrap();
         let raw = func.raw();
         let image = {
             let mut shard = self.state.shard(raw).lock().unwrap();
             let Some(entry) = shard.get_mut(&raw) else { return Ok(Vec::new()) };
-            let key = entry.key(policy);
+            let key = entry.key(policy, opts);
             match entry.images.get(&key) {
                 Some(img) => img.clone(),
                 None => return Ok(Vec::new()),
@@ -1236,10 +1319,11 @@ impl<'a> NvbitApi<'a> {
     pub fn save_stats(&self, func: CuFunction) -> Result<Option<SaveStats>> {
         self.state.apply_one(self.drv, func)?;
         let policy = *self.state.save_policy.lock().unwrap();
+        let opts = *self.state.plan_opts.lock().unwrap();
         let raw = func.raw();
         let mut shard = self.state.shard(raw).lock().unwrap();
         let Some(entry) = shard.get_mut(&raw) else { return Ok(None) };
-        let key = entry.key(policy);
+        let key = entry.key(policy, opts);
         Ok(entry.images.get(&key).map(|img| SaveStats {
             saved_slots: img.saved_slots,
             full_tier_slots: img.full_tier_slots,
@@ -1247,6 +1331,26 @@ impl<'a> NvbitApi<'a> {
             sites: img.sites.len(),
             fallback: img.fallback.clone(),
         }))
+    }
+
+    /// Plan-pass accounting for the instrumented image of `func`
+    /// (generated first if none is cached for the present spec, policy and
+    /// plan options): how many requested calls the coalescing pass merged
+    /// away and how many emitted calls were inlined. `None` when the
+    /// function has no instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Driver/codegen/verification failures during generation.
+    pub fn plan_stats(&self, func: CuFunction) -> Result<Option<PlanStats>> {
+        self.state.apply_one(self.drv, func)?;
+        let policy = *self.state.save_policy.lock().unwrap();
+        let opts = *self.state.plan_opts.lock().unwrap();
+        let raw = func.raw();
+        let mut shard = self.state.shard(raw).lock().unwrap();
+        let Some(entry) = shard.get_mut(&raw) else { return Ok(None) };
+        let key = entry.key(policy, opts);
+        Ok(entry.images.get(&key).map(|img| img.plan))
     }
 
     /// True if the function currently has a generated instrumented image

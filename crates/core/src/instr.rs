@@ -16,6 +16,10 @@ pub struct Instr {
     /// (`Instr::getLineInfo`).
     pub line_info: Option<(String, u32)>,
     pub(crate) inner: Instruction,
+    /// Rendered once at lift time: `opcode()` is on the hot path of every
+    /// opcode-keyed tool (histograms walk it per instruction), so it must
+    /// not re-render the string per call.
+    opcode: String,
 }
 
 impl Instr {
@@ -25,13 +29,15 @@ impl Instr {
         inner: Instruction,
         line_info: Option<(String, u32)>,
     ) -> Instr {
-        Instr { idx, offset, line_info, inner }
+        let opcode = inner.opcode_string();
+        Instr { idx, offset, line_info, inner, opcode }
     }
 
     /// The full opcode string including modifiers, e.g. `"LDG.64"` or
-    /// `"ISETP.LT.S32"` (`Instr::getOpcode`).
-    pub fn opcode(&self) -> String {
-        self.inner.opcode_string()
+    /// `"ISETP.LT.S32"` (`Instr::getOpcode`). Rendered once when the
+    /// instruction was lifted; calling this is allocation-free.
+    pub fn opcode(&self) -> &str {
+        &self.opcode
     }
 
     /// The base machine opcode.

@@ -126,6 +126,7 @@ pub mod hal;
 pub mod instr;
 pub mod lift;
 pub mod overhead;
+pub mod plan;
 pub mod saverestore;
 pub mod spec;
 pub mod verify;
@@ -135,6 +136,7 @@ pub use codegen::SavePolicy;
 pub use hal::Hal;
 pub use instr::Instr;
 pub use overhead::{JitComponent, JitOverhead, OverheadReport};
+pub use plan::{PlanOpts, PlanStats};
 pub use spec::{Arg, IPoint};
 pub use verify::{DiagKind, Diagnostic};
 

@@ -1,0 +1,462 @@
+//! The instrumentation plan IR: the typed middle layer between the raw
+//! injection list a tool records ([`FuncSpec`]) and the code generator.
+//!
+//! The spec is *what the tool asked for*; the plan is *what will be
+//! emitted*. [`build`] validates the request, groups injection sites by
+//! `sass::cfg` basic block, and runs two optimization passes over the
+//! result — the callback-coalescing and inlining levers every mature DBI
+//! framework applies (Pin, DynamoRIO; see the DBI survey), mapped onto the
+//! paper's Fig. 9 overhead breakdown:
+//!
+//! 1. **Block coalescing** (opt-in per injection via
+//!    [`crate::spec::Injection::coalesce`]): injections of the same tool
+//!    function with identical *block-invariant* arguments (immediates,
+//!    constant-bank reads) and no predicate filter are merged into a single
+//!    call per basic block carrying a multiplicity argument. This is exact,
+//!    not approximate: the warp's active mask cannot change inside a basic
+//!    block (control flow only occurs at block ends, and predication does
+//!    not alter the mask), so one call with multiplicity *N* observes the
+//!    same active lanes as *N* calls with multiplicity 1.
+//! 2. **Leaf inlining**: tool functions classified as inlinable leaves
+//!    (small, call-free, no `nvbit.readreg`/`writereg` use — see
+//!    [`crate::codegen::ToolFn::inlinable`]) have their bodies spliced
+//!    directly into the trampoline, eliminating the CALL/RET pair.
+//!
+//! Every coalesce-marked injection follows the **multiplicity protocol**:
+//! the plan appends one trailing `Imm32` argument — 1 when the call stands
+//! alone, *N* when it represents *N* merged sites — so the tool function's
+//! signature (and its output) is identical whether or not the pass runs.
+
+use crate::codegen::ToolFn;
+use crate::spec::{Arg, FuncSpec, IPoint, Injection};
+use crate::{NvbitError, Result};
+use sass::cfg::{block_of, BasicBlock};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Which optimization passes [`build`] runs. Part of the image-cache key:
+/// different options produce different trampolines for the same spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanOpts {
+    /// Run the basic-block coalescing pass over coalesce-marked injections.
+    pub coalesce: bool,
+    /// Splice inlinable leaf tool functions into the trampoline instead of
+    /// calling them.
+    pub inline: bool,
+}
+
+impl Default for PlanOpts {
+    fn default() -> Self {
+        PlanOpts { coalesce: true, inline: true }
+    }
+}
+
+impl PlanOpts {
+    /// Both passes disabled — the naive one-call-per-site pipeline.
+    pub fn naive() -> Self {
+        PlanOpts { coalesce: false, inline: false }
+    }
+}
+
+/// One call the code generator will emit at a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedCall {
+    /// Tool device function to invoke.
+    pub func: String,
+    /// Before or after the original instruction.
+    pub ipoint: IPoint,
+    /// Finalized positional arguments. For coalesce-marked calls this
+    /// already includes the trailing `Imm32` multiplicity argument.
+    pub args: Vec<Arg>,
+    /// Wrap the call in the guard-predicate diamond.
+    pub pred_filter: bool,
+    /// The call follows the multiplicity protocol.
+    pub coalesce: bool,
+    /// Number of original injection sites this call represents (≥ 1; > 1
+    /// only after the coalescing pass merged a group).
+    pub multiplicity: u32,
+    /// The original instruction indices this call stands for, sorted. A
+    /// lone call's group is just its own site.
+    pub group: Vec<usize>,
+    /// Splice the tool function's body instead of emitting a `JCAL`.
+    pub inline: bool,
+}
+
+/// Per-pass accounting reported through [`crate::codegen::InstrumentedImage`] and
+/// the obs counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Injections the tool requested.
+    pub requested_calls: u64,
+    /// Calls the plan actually emits after coalescing.
+    pub emitted_calls: u64,
+    /// Requested calls eliminated by the coalescing pass
+    /// (`requested_calls − emitted_calls`).
+    pub coalesced_away: u64,
+    /// Merged groups with more than one member.
+    pub coalesced_groups: u64,
+    /// Instrumentation sites left with no calls and dropped entirely (the
+    /// original instruction runs in place, unpatched).
+    pub sites_dropped: u64,
+    /// Emitted calls marked for inline splicing.
+    pub inlined_calls: u64,
+    /// Whether a basic-block partition was available (coalescing needs
+    /// one; indirect control flow defeats it — the ICF exception).
+    pub cfg_available: bool,
+}
+
+/// The validated, optimized instrumentation plan for one function.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentationPlan {
+    /// Planned calls per instruction index. Sites merged away by
+    /// coalescing are absent: their original instructions run in place.
+    pub sites: BTreeMap<usize, Vec<PlannedCall>>,
+    /// Instructions whose original operation is removed.
+    pub removed: HashSet<usize>,
+    /// What the passes did.
+    pub stats: PlanStats,
+    /// The options the plan was built with.
+    pub opts: PlanOpts,
+}
+
+/// True if the argument has the same value at every site of a basic block
+/// (it depends on nothing per-dynamic-instance: no guard predicate, no
+/// register or predicate value).
+fn block_invariant(arg: &Arg) -> bool {
+    matches!(arg, Arg::Imm32(_) | Arg::Imm64(_) | Arg::CBank { .. })
+}
+
+/// True if the injection is eligible for the coalescing pass.
+fn coalescible(inj: &Injection) -> bool {
+    inj.coalesce
+        && !inj.pred_filter
+        && inj.ipoint == IPoint::Before
+        && inj.args.iter().all(block_invariant)
+}
+
+/// Builds the plan: validates the spec against the function body and the
+/// loaded tool functions, then runs the passes enabled in `opts`.
+///
+/// `blocks` is the function's basic-block partition when static CFG
+/// recovery succeeded (`None` under the ICF exception — coalescing is then
+/// skipped and [`PlanStats::cfg_available`] records it).
+///
+/// # Errors
+///
+/// [`NvbitError::BadInstrIndex`] for sites or removals outside the body,
+/// [`NvbitError::UnknownToolFunction`] for unregistered injections.
+pub fn build(
+    spec: &FuncSpec,
+    body_len: usize,
+    blocks: Option<&[BasicBlock]>,
+    tool_fns: &HashMap<String, ToolFn>,
+    opts: PlanOpts,
+) -> Result<InstrumentationPlan> {
+    // Validation — lifted here from the code generator, which now consumes
+    // an already-validated plan.
+    for (&idx, injections) in &spec.sites {
+        if idx >= body_len {
+            return Err(NvbitError::BadInstrIndex { index: idx, len: body_len });
+        }
+        for inj in injections {
+            if !tool_fns.contains_key(&inj.func) {
+                return Err(NvbitError::UnknownToolFunction(inj.func.clone()));
+            }
+        }
+    }
+    for &idx in &spec.removed {
+        if idx >= body_len {
+            return Err(NvbitError::BadInstrIndex { index: idx, len: body_len });
+        }
+    }
+
+    let mut stats = PlanStats { cfg_available: blocks.is_some(), ..PlanStats::default() };
+
+    // Lower every injection to a planned call (multiplicity 1). The
+    // multiplicity protocol appends the trailing argument *now*, so naive
+    // and coalesced plans present identical tool signatures.
+    let mut sites: BTreeMap<usize, Vec<PlannedCall>> = BTreeMap::new();
+    for (&idx, injections) in &spec.sites {
+        let calls = sites.entry(idx).or_default();
+        for inj in injections {
+            stats.requested_calls += 1;
+            let mut args = inj.args.clone();
+            if inj.coalesce {
+                args.push(Arg::Imm32(1));
+            }
+            calls.push(PlannedCall {
+                func: inj.func.clone(),
+                ipoint: inj.ipoint,
+                args,
+                pred_filter: inj.pred_filter,
+                coalesce: inj.coalesce,
+                multiplicity: 1,
+                group: vec![idx],
+                inline: false,
+            });
+        }
+    }
+
+    // Pass 1: block coalescing.
+    if opts.coalesce {
+        if let Some(blocks) = blocks {
+            coalesce_pass(&mut sites, blocks, spec, &mut stats);
+        }
+    }
+
+    // Pass 2: leaf inlining.
+    for calls in sites.values_mut() {
+        for call in calls.iter_mut() {
+            stats.emitted_calls += 1;
+            if opts.inline && tool_fns[&call.func].inlinable {
+                call.inline = true;
+                stats.inlined_calls += 1;
+            }
+        }
+    }
+    stats.coalesced_away = stats.requested_calls - stats.emitted_calls;
+
+    Ok(InstrumentationPlan { sites, removed: spec.removed.clone(), stats, opts })
+}
+
+/// Merges coalescible calls within each basic block. The representative
+/// call lives at the group's lowest site (position within the block is
+/// irrelevant: the active mask is block-constant); sites left with no
+/// calls are dropped from the plan.
+fn coalesce_pass(
+    sites: &mut BTreeMap<usize, Vec<PlannedCall>>,
+    blocks: &[BasicBlock],
+    spec: &FuncSpec,
+    stats: &mut PlanStats,
+) {
+    // (block, func, explicit args) → sorted member sites. BTreeMap keeps
+    // the grouping deterministic, and the spec's injection order within a
+    // site is irrelevant for coalescible calls (no side ordering between
+    // identical block-invariant calls).
+    type GroupKey = (usize, String, Vec<Arg>);
+    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+    for (&idx, injections) in &spec.sites {
+        let Some(block) = block_of(blocks, idx) else { continue };
+        for inj in injections {
+            if coalescible(inj) {
+                groups.entry((block, inj.func.clone(), inj.args.clone())).or_default().push(idx);
+            }
+        }
+    }
+
+    for ((_, func, explicit_args), members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let mult = members.len() as u32;
+        // Rewrite the representative (lowest-site) call in place; drop the
+        // others.
+        for (pos, &site) in members.iter().enumerate() {
+            let calls = sites.get_mut(&site).expect("grouped site exists");
+            let at = calls
+                .iter()
+                .position(|c| {
+                    c.coalesce
+                        && c.multiplicity == 1
+                        && c.func == func
+                        && c.args[..c.args.len() - 1] == explicit_args[..]
+                        && !c.pred_filter
+                })
+                .expect("grouped call exists");
+            if pos == 0 {
+                let call = &mut calls[at];
+                call.multiplicity = mult;
+                *call.args.last_mut().expect("multiplicity arg present") = Arg::Imm32(mult as i32);
+                call.group = members.clone();
+            } else {
+                calls.remove(at);
+            }
+        }
+        stats.coalesced_groups += 1;
+    }
+
+    // Drop sites whose calls were all merged away. This is safe even for
+    // sites also marked removed: the generator NOPs removed-but-callless
+    // instructions in place, with no trampoline needed.
+    let empty: Vec<usize> =
+        sites.iter().filter(|(_, calls)| calls.is_empty()).map(|(&idx, _)| idx).collect();
+    stats.sites_dropped += empty.len() as u64;
+    for idx in empty {
+        sites.remove(&idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sass::{asm::assemble_arch, Arch};
+
+    const BODY: &str = "\
+    S2R R0, SR_TID.X ;
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA skip ;
+    IADD R1, R0, 0x1 ;
+    STG [R2], R1 ;
+skip:
+    EXIT ;
+";
+
+    fn body_blocks() -> (usize, Vec<BasicBlock>) {
+        let prog = assemble_arch(BODY, Arch::Volta).unwrap();
+        let blocks = sass::cfg::basic_blocks(&prog, Arch::Volta).unwrap();
+        (prog.len(), blocks)
+    }
+
+    fn fns(inlinable: bool) -> HashMap<String, ToolFn> {
+        let mut m = HashMap::new();
+        let mut f = ToolFn::opaque(0x8000, 8, 0, false);
+        f.inlinable = inlinable;
+        m.insert("f".to_string(), f);
+        m
+    }
+
+    fn count_spec(n: usize, ctr: u64) -> FuncSpec {
+        let mut s = FuncSpec::default();
+        for idx in 0..n {
+            s.insert_call(idx, "f", IPoint::Before);
+            s.add_arg(idx, Arg::Imm64(ctr));
+            s.set_coalesce(idx);
+        }
+        s
+    }
+
+    #[test]
+    fn coalescing_merges_per_block_and_appends_multiplicity() {
+        let (n, blocks) = body_blocks();
+        let spec = count_spec(n, 0xdead);
+        let plan =
+            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
+                .unwrap();
+        // Blocks are 0..3, 3..5, 5..6 → one call each, at the block heads.
+        let idxs: Vec<usize> = plan.sites.keys().copied().collect();
+        assert_eq!(idxs, vec![0, 3, 5]);
+        let c0 = &plan.sites[&0][0];
+        assert_eq!(c0.multiplicity, 3);
+        assert_eq!(c0.group, vec![0, 1, 2]);
+        assert_eq!(c0.args, vec![Arg::Imm64(0xdead), Arg::Imm32(3)]);
+        assert_eq!(plan.sites[&5][0].multiplicity, 1);
+        assert_eq!(plan.stats.requested_calls, 6);
+        assert_eq!(plan.stats.emitted_calls, 3);
+        assert_eq!(plan.stats.coalesced_away, 3);
+        assert_eq!(plan.stats.coalesced_groups, 2);
+        assert_eq!(plan.stats.sites_dropped, 3);
+        assert!(plan.stats.cfg_available);
+    }
+
+    #[test]
+    fn naive_plan_still_appends_multiplicity_one() {
+        let (n, _) = body_blocks();
+        let spec = count_spec(n, 1);
+        let plan = build(&spec, n, None, &fns(false), PlanOpts::naive()).unwrap();
+        assert_eq!(plan.sites.len(), n);
+        for calls in plan.sites.values() {
+            assert_eq!(calls[0].args.last(), Some(&Arg::Imm32(1)));
+            assert_eq!(calls[0].multiplicity, 1);
+        }
+        assert!(!plan.stats.cfg_available);
+        assert_eq!(plan.stats.coalesced_away, 0);
+    }
+
+    #[test]
+    fn per_instance_args_and_pred_filter_block_coalescing() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        // Guard-pred argument is per-dynamic-instance.
+        spec.insert_call(0, "f", IPoint::Before);
+        spec.add_arg(0, Arg::GuardPred);
+        spec.set_coalesce(0);
+        spec.insert_call(1, "f", IPoint::Before);
+        spec.add_arg(1, Arg::GuardPred);
+        spec.set_coalesce(1);
+        // Pred-filtered call never merges.
+        spec.insert_call(2, "f", IPoint::Before);
+        spec.set_coalesce(2);
+        spec.set_pred_filter(2);
+        let plan =
+            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
+                .unwrap();
+        assert_eq!(plan.sites.len(), 3, "nothing merged");
+        assert_eq!(plan.stats.coalesced_groups, 0);
+    }
+
+    #[test]
+    fn different_args_split_groups() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        for (idx, ctr) in [(0usize, 0x10u64), (1, 0x10), (2, 0x20)] {
+            spec.insert_call(idx, "f", IPoint::Before);
+            spec.add_arg(idx, Arg::Imm64(ctr));
+            spec.set_coalesce(idx);
+        }
+        let plan =
+            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
+                .unwrap();
+        // Sites 0 and 1 merge (same counter); site 2 stands alone.
+        assert_eq!(plan.sites[&0][0].multiplicity, 2);
+        assert_eq!(plan.sites[&2][0].multiplicity, 1);
+        assert_eq!(plan.stats.coalesced_groups, 1);
+    }
+
+    #[test]
+    fn non_coalesce_calls_never_gain_the_multiplicity_arg() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "f", IPoint::Before);
+        spec.add_arg(0, Arg::Imm64(7));
+        let plan = build(&spec, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        assert_eq!(plan.sites[&0][0].args, vec![Arg::Imm64(7)]);
+    }
+
+    #[test]
+    fn inline_pass_marks_inlinable_leaves_only_when_enabled() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "f", IPoint::Before);
+        let on =
+            build(&spec, n, Some(&blocks), &fns(true), PlanOpts { coalesce: false, inline: true })
+                .unwrap();
+        assert!(on.sites[&0][0].inline);
+        assert_eq!(on.stats.inlined_calls, 1);
+        let off = build(&spec, n, Some(&blocks), &fns(true), PlanOpts::naive()).unwrap();
+        assert!(!off.sites[&0][0].inline);
+        let opaque = build(&spec, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        assert!(!opaque.sites[&0][0].inline, "non-leaf tools are never inlined");
+    }
+
+    #[test]
+    fn validation_matches_the_old_codegen_errors() {
+        let (n, blocks) = body_blocks();
+        let mut s = FuncSpec::default();
+        s.insert_call(99, "f", IPoint::Before);
+        assert!(matches!(
+            build(&s, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            Err(NvbitError::BadInstrIndex { index: 99, .. })
+        ));
+        let mut s2 = FuncSpec::default();
+        s2.insert_call(0, "missing", IPoint::Before);
+        assert!(matches!(
+            build(&s2, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            Err(NvbitError::UnknownToolFunction(_))
+        ));
+        let mut s3 = FuncSpec::default();
+        s3.remove_orig(99);
+        assert!(matches!(
+            build(&s3, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            Err(NvbitError::BadInstrIndex { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn removed_only_sites_survive_in_the_plan() {
+        let (n, blocks) = body_blocks();
+        let mut s = FuncSpec::default();
+        s.remove_orig(3);
+        let plan = build(&s, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        assert!(plan.sites.is_empty());
+        assert!(plan.removed.contains(&3));
+    }
+}

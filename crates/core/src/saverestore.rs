@@ -39,10 +39,18 @@ pub struct Routines {
     pub frame_bytes: u32,
 }
 
+/// 32-bit save-area slots a given tier addresses: one per saved register,
+/// the packed-predicate slot, and the barrier-state slot on ABIs that save
+/// it. Trampoline code must keep every `[R1+4·slot]` access strictly below
+/// this bound — the plan verifier's tier check
+/// ([`crate::verify::DiagKind::TierExceeded`]) enforces it.
+pub fn frame_slots(tier: u16, hal: &Hal) -> u32 {
+    tier as u32 + 1 + u32::from(hal.saves_barrier_state())
+}
+
 /// Bytes of stack frame a given tier claims on a given ABI.
 pub fn frame_bytes(tier: u16, hal: &Hal) -> u32 {
-    let slots = tier as u32 + 1 + u32::from(hal.saves_barrier_state());
-    (slots * 4).div_ceil(8) * 8
+    (frame_slots(tier, hal) * 4).div_ceil(8) * 8
 }
 
 /// The smallest tier covering `regs` registers.

@@ -16,8 +16,9 @@ pub enum IPoint {
 
 /// An argument passed to an injected device function (the paper's
 /// `nvbit_add_call_arg_*` family). Argument passing is positional and must
-/// match the injected function's signature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// match the injected function's signature. The ordering is arbitrary but
+/// total — the planner's coalescing pass keys groups on argument lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Arg {
     /// The evaluated guard predicate of the instrumented instruction
     /// (1 = the instruction actually executes on this thread).
@@ -65,6 +66,16 @@ pub struct Injection {
     /// §7 sketches as future work). Warp-level intrinsics inside the tool
     /// function then see only the guard-true lanes.
     pub pred_filter: bool,
+    /// Opt-in to basic-block call coalescing: the injection follows the
+    /// *multiplicity protocol* — the code generator always appends one
+    /// trailing `Imm32` multiplicity argument, and the planner may merge
+    /// identical coalescible injections within a basic block into a single
+    /// call whose multiplicity is the number of sites it represents. Only
+    /// injections whose explicit arguments are all block-invariant
+    /// (immediates, constant-bank reads) and that carry no predicate
+    /// filter are merged; the tool function must accept the extra final
+    /// `u32` argument.
+    pub coalesce: bool,
 }
 
 /// The accumulated instrumentation specification of one function.
@@ -94,6 +105,7 @@ impl FuncSpec {
             ipoint,
             args: Vec::new(),
             pred_filter: false,
+            coalesce: false,
         });
         self.dirty = true;
     }
@@ -119,6 +131,22 @@ impl FuncSpec {
         match self.sites.get_mut(&idx).and_then(|v| v.last_mut()) {
             Some(inj) => {
                 inj.pred_filter = true;
+                self.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks the most recent injection at `idx` as coalescible (opt-in to
+    /// the planner's basic-block coalescing pass and its multiplicity
+    /// protocol — see [`Injection::coalesce`]).
+    ///
+    /// Returns `false` if no call was inserted there yet.
+    pub fn set_coalesce(&mut self, idx: usize) -> bool {
+        match self.sites.get_mut(&idx).and_then(|v| v.last_mut()) {
+            Some(inj) => {
+                inj.coalesce = true;
                 self.dirty = true;
                 true
             }
@@ -175,6 +203,18 @@ mod tests {
         assert!(s.add_arg(0, Arg::RegVal(7)));
         assert_eq!(s.sites[&0][0].args.len(), 2);
         assert_eq!(s.sites[&0][1].args, vec![Arg::RegVal(7)]);
+    }
+
+    #[test]
+    fn coalesce_attaches_to_the_latest_injection_and_hashes() {
+        let mut s = FuncSpec::default();
+        assert!(!s.set_coalesce(0), "no call inserted yet");
+        s.insert_call(0, "f", IPoint::Before);
+        let before = s.content_hash();
+        assert!(s.set_coalesce(0));
+        assert!(s.sites[&0][0].coalesce);
+        assert!(s.dirty);
+        assert_ne!(s.content_hash(), before, "coalesce participates in the image-cache key");
     }
 
     #[test]

@@ -22,8 +22,11 @@
 
 use crate::codegen::SiteMeta;
 use crate::hal::Hal;
+use crate::saverestore::frame_slots;
+use sass::cfg::block_of;
 use sass::op::{CfClass, OKind};
 use sass::{Instruction, MemSpace, Op, Operand, Reg};
+use std::sync::Arc;
 
 /// Which code region a diagnostic points into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +69,16 @@ pub enum DiagKind {
     RestoreWithoutSave,
     /// A trampoline site ends with an open save frame.
     UnbalancedFrame,
+    /// A coalesced call's bookkeeping is inconsistent: its multiplicity does
+    /// not match its group size, its group is not anchored at the site, or
+    /// the group spans more than one basic block of the original body.
+    CoalesceMismatch,
+    /// An inline-spliced call does not reproduce the loaded tool function's
+    /// body (with the trailing `RET` turned into a `NOP`).
+    InlineMismatch,
+    /// A save-area access addresses a slot beyond what the site's save tier
+    /// writes.
+    TierExceeded,
 }
 
 /// One verification failure.
@@ -101,6 +114,9 @@ pub struct ExternalCode {
     /// `[start, end)` byte ranges of other known device code (related
     /// functions the original body may call).
     pub code_regions: Vec<(u64, u64)>,
+    /// Decoded bodies of loaded tool functions, for checking inline
+    /// splices against the code they claim to reproduce.
+    pub tool_bodies: Vec<(String, Arc<Vec<Instruction>>)>,
 }
 
 impl ExternalCode {
@@ -408,12 +424,123 @@ pub fn verify_instrs(
     diags
 }
 
-/// Disassembles and verifies a generated image.
+/// Plan-consistency checks: the coalescing and inlining bookkeeping the
+/// code generator recorded per site must agree with the trampoline it
+/// actually emitted and with the original body's basic-block structure.
+/// Complements [`verify_instrs`] (which checks structural safety); run
+/// both before a swap.
+///
+/// `original` is the *original* function body — coalesced groups must lie
+/// within one of its basic blocks, since the merged call's exactness
+/// argument (a block-constant active mask) holds only there. When static
+/// CFG recovery fails on the body, any coalesced group is itself a defect:
+/// the planner may not merge under the ICF exception.
+pub fn verify_plan_instrs(
+    hal: &Hal,
+    original: &[Instruction],
+    tramp: &[Instruction],
+    sites: &[SiteMeta],
+    ext: &ExternalCode,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let blocks = sass::cfg::basic_blocks(original, hal.arch()).ok();
+
+    for site in sites {
+        let end = site.start + site.len;
+        if end > tramp.len() || site.len == 0 {
+            continue; // verify_instrs reports the structural defect
+        }
+        let body = &tramp[site.start..end];
+        let slots = frame_slots(site.tier, hal);
+
+        // Save-area accesses must stay inside the tier's frame. The
+        // relocated original may use the application's own stack.
+        for (pos, ins) in body.iter().enumerate() {
+            if pos == site.orig_pos || !touches_save_area(ins) {
+                continue;
+            }
+            for o in &ins.operands {
+                let Operand::MRef { base, offset } = o else { continue };
+                if *base != Reg::SP {
+                    continue;
+                }
+                if *offset < 0 || *offset as u32 / 4 >= slots {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::TierExceeded,
+                        region: Region::Trampoline,
+                        index: site.start + pos,
+                        message: format!(
+                            "save-area access at [R1+{offset:#x}] exceeds the {} slots tier {} saves",
+                            slots, site.tier
+                        ),
+                    });
+                }
+            }
+        }
+
+        for call in &site.calls {
+            // Coalescing bookkeeping.
+            let mut bad_group = call.multiplicity as usize != call.group.len()
+                || call.group.first() != Some(&site.instr_idx)
+                || call.group.windows(2).any(|w| w[0] >= w[1]);
+            if !bad_group && call.multiplicity > 1 {
+                match &blocks {
+                    Some(blocks) => {
+                        let home = block_of(blocks, site.instr_idx);
+                        bad_group = home.is_none()
+                            || call.group.iter().any(|&i| block_of(blocks, i) != home);
+                    }
+                    // Merging without a CFG is never legitimate.
+                    None => bad_group = true,
+                }
+            }
+            if bad_group {
+                diags.push(Diagnostic {
+                    kind: DiagKind::CoalesceMismatch,
+                    region: Region::Trampoline,
+                    index: site.start,
+                    message: format!(
+                        "call to `{}` at instruction {} has multiplicity {} but group {:?}",
+                        call.func, site.instr_idx, call.multiplicity, call.group
+                    ),
+                });
+            }
+
+            // Inline splices must reproduce the loaded tool body.
+            let Some((off, len)) = call.inline else { continue };
+            let splice_ok = off + len <= site.len
+                && len > 0
+                && ext.tool_bodies.iter().any(|(name, fn_body)| {
+                    name == &call.func
+                        && fn_body.len() == len
+                        && fn_body.last().is_some_and(|i| i.op == Op::Ret)
+                        && body[off + len - 1].op == Op::Nop
+                        && fn_body[..len - 1] == body[off..off + len - 1]
+                });
+            if !splice_ok {
+                diags.push(Diagnostic {
+                    kind: DiagKind::InlineMismatch,
+                    region: Region::Trampoline,
+                    index: site.start + off.min(site.len - 1),
+                    message: format!(
+                        "inline splice of `{}` at instruction {} does not match the loaded body",
+                        call.func, site.instr_idx
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Disassembles and verifies a generated image: structural checks
+/// ([`verify_instrs`]) plus plan-consistency checks
+/// ([`verify_plan_instrs`]).
 ///
 /// # Errors
 ///
-/// Decode failures on the image or trampoline bytes (anything else is
-/// reported as diagnostics, not errors).
+/// Decode failures on the image, trampoline or original bytes (anything
+/// else is reported as diagnostics, not errors).
 pub fn verify(
     hal: &Hal,
     image_addr: u64,
@@ -422,7 +549,10 @@ pub fn verify(
 ) -> crate::Result<Vec<Diagnostic>> {
     let image = hal.disassemble(&img.instrumented)?;
     let tramp = hal.disassemble(&img.tramp_code)?;
-    Ok(verify_instrs(hal, image_addr, &image, img.tramp_addr, &tramp, &img.sites, ext))
+    let original = hal.disassemble(&img.original)?;
+    let mut diags = verify_instrs(hal, image_addr, &image, img.tramp_addr, &tramp, &img.sites, ext);
+    diags.extend(verify_plan_instrs(hal, &original, &tramp, &img.sites, ext));
+    Ok(diags)
 }
 
 #[cfg(test)]
@@ -442,6 +572,7 @@ mod tests {
             restore_addrs: vec![RESTORE],
             tool_addrs: vec![TOOL],
             code_regions: vec![],
+            tool_bodies: vec![],
         }
     }
 
@@ -487,6 +618,7 @@ mod tests {
             orig_pos: 4,
             tier: 16,
             injections: 1,
+            calls: vec![],
         }];
         (image, tramp, sites)
     }
@@ -614,6 +746,159 @@ mod tests {
         assert!(d
             .iter()
             .any(|d| d.kind == DiagKind::FallThrough && d.region == Region::Trampoline));
+    }
+
+    // ----- Plan-consistency checks ------------------------------------
+
+    use crate::codegen::CallMeta;
+
+    /// A two-block original body (`IADD; BRA +0; IADD; EXIT` → blocks
+    /// 0..2 and 2..4) for exercising the group-per-block rule.
+    fn original() -> Vec<Instruction> {
+        vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(4)), Operand::Reg(Reg(4)), Operand::Imm(1)],
+            ),
+            Instruction::new(Op::Bra, vec![Operand::Rel(0)]),
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(1)],
+            ),
+            Instruction::new(Op::Exit, vec![]),
+        ]
+    }
+
+    fn call_meta(multiplicity: u32, group: Vec<usize>) -> CallMeta {
+        CallMeta { func: "f".into(), multiplicity, group, coalesce: true, inline: None }
+    }
+
+    fn run_plan(
+        original: &[Instruction],
+        tramp: &[Instruction],
+        sites: &[SiteMeta],
+        ext: &ExternalCode,
+    ) -> Vec<Diagnostic> {
+        verify_plan_instrs(&hal(), original, tramp, sites, ext)
+    }
+
+    #[test]
+    fn consistent_plan_metadata_passes() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![call_meta(2, vec![0, 1])]; // both in block 0..2
+        assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
+    }
+
+    #[test]
+    fn multiplicity_must_match_the_group_size() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![call_meta(3, vec![0, 1])];
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
+    }
+
+    #[test]
+    fn group_must_be_anchored_at_the_site_and_sorted() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![call_meta(2, vec![1, 0])]; // not sorted / not anchored
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
+    }
+
+    #[test]
+    fn coalesced_group_may_not_span_basic_blocks() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        // Sites 0 and 2 sit on opposite sides of the branch.
+        sites[0].calls = vec![call_meta(2, vec![0, 2])];
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
+        // The same group within one block is fine (blocks 2..4).
+        sites[0].instr_idx = 2;
+        sites[0].calls = vec![call_meta(2, vec![2, 3])];
+        assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
+    }
+
+    #[test]
+    fn merging_without_a_cfg_is_rejected() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![call_meta(2, vec![0, 1])];
+        // BRX defeats static partitioning — merged groups are then illegal.
+        let icf = vec![
+            Instruction::new(Op::Brx, vec![Operand::Reg(Reg(4))]),
+            Instruction::new(Op::Exit, vec![]),
+        ];
+        let d = run_plan(&icf, &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
+    }
+
+    #[test]
+    fn inline_splice_must_match_the_loaded_body() {
+        let (_, mut tramp, mut sites) = good();
+        let fn_body = vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(2)],
+            ),
+            Instruction::new(Op::Ret, vec![]),
+        ];
+        let mut e = ext();
+        e.tool_bodies.push(("f".into(), Arc::new(fn_body)));
+        // Splice the body over the tool call: IADD at 2, NOP at 3 (the
+        // restore moves to where good() had it — reuse slot 4's IADD as the
+        // body head and the old tool-call slot for the NOP).
+        tramp[2] = Instruction::new(
+            Op::Iadd,
+            vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(2)],
+        );
+        tramp[3] = Instruction::nop();
+        tramp[4] = jcal(RESTORE);
+        sites[0].orig_pos = 4; // the restore call is not the original; irrelevant here
+        sites[0].calls =
+            vec![CallMeta { inline: Some((2, 2)), ..call_meta(1, vec![sites[0].instr_idx]) }];
+        assert_eq!(run_plan(&original(), &tramp, &sites, &e), vec![]);
+
+        // A drifted splice (wrong immediate) is flagged.
+        tramp[2] = Instruction::new(
+            Op::Iadd,
+            vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(3)],
+        );
+        let d = run_plan(&original(), &tramp, &sites, &e);
+        assert!(d.iter().any(|d| d.kind == DiagKind::InlineMismatch));
+
+        // So is a splice whose tool body was never retained.
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::InlineMismatch));
+    }
+
+    #[test]
+    fn save_area_access_beyond_the_tier_is_rejected() {
+        let (_, mut tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        // Tier 16 on Volta addresses slots 0..=17 (16 regs + preds +
+        // barrier state); slot 18 is out of frame.
+        let slots = frame_slots(16, &hal());
+        assert_eq!(slots, 18);
+        tramp[4] = Instruction::new(
+            Op::Ldl,
+            vec![Operand::Reg(Reg(4)), Operand::MRef { base: Reg::SP, offset: 4 * slots as i32 }],
+        );
+        sites[0].orig_pos = 1; // the offending LDL is not the relocated original
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::TierExceeded));
+        // The slot just below the bound is fine.
+        tramp[4] = Instruction::new(
+            Op::Ldl,
+            vec![
+                Operand::Reg(Reg(4)),
+                Operand::MRef { base: Reg::SP, offset: 4 * (slots as i32 - 1) },
+            ],
+        );
+        assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
     }
 
     #[test]

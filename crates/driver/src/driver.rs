@@ -324,10 +324,13 @@ impl Driver {
         {
             let mut st = self.state.borrow_mut();
 
-            // Pass 1: allocate code space for every function.
+            // Pass 1: allocate code space for every function. Labels give
+            // execution faults a function name and instruction index; the
+            // device drops them when the code is freed.
             let mut addrs: HashMap<String, u64> = HashMap::new();
             for f in &image.functions {
                 let addr = st.device.alloc(f.code.len().max(1) as u64)?;
+                st.device.label_code(addr, f.code.len() as u64, &f.name);
                 addrs.insert(f.name.clone(), addr);
             }
             // Pass 2: patch call relocations and upload.

@@ -5,8 +5,14 @@ use crate::mem::{Memory, SharedMem};
 use crate::spec::{DeviceSpec, Dim3};
 use crate::stats::ExecStats;
 use crate::{GpuError, Result};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Code-region labels: start address → (end address, name). Purely
+/// diagnostic — the executor uses them to say *which function* a fault
+/// landed in instead of reporting a bare pc.
+pub(crate) type CodeLabels = BTreeMap<u64, (u64, String)>;
 
 /// Offset of the kernel parameter area in constant bank 0 (matching the
 /// real ABI's `c[0x0][0x160]`).
@@ -153,6 +159,7 @@ pub struct Device {
     /// determinism contract.
     pub scheduler: Scheduler,
     launches: u64,
+    labels: CodeLabels,
 }
 
 impl Device {
@@ -166,7 +173,24 @@ impl Device {
             decode_cache_enabled: true,
             scheduler: Scheduler::default(),
             launches: 0,
+            labels: CodeLabels::new(),
         }
+    }
+
+    /// Names the code region `[addr, addr + len)` for fault diagnostics:
+    /// an execution fault whose pc falls inside a labelled region reports
+    /// the label and the instruction index within it. Re-labelling an
+    /// address replaces the previous label; a zero-length label is ignored.
+    pub fn label_code(&mut self, addr: u64, len: u64, name: &str) {
+        if len > 0 {
+            self.labels.insert(addr, (addr + len, name.to_string()));
+        }
+    }
+
+    /// Drops the label starting at exactly `addr`, if any ([`Device::free`]
+    /// does this implicitly for freed allocations).
+    pub fn unlabel_code(&mut self, addr: u64) {
+        self.labels.remove(&addr);
     }
 
     /// The device specification.
@@ -199,6 +223,7 @@ impl Device {
     ///
     /// [`GpuError::BadAddress`] for an unknown allocation.
     pub fn free(&mut self, addr: u64) -> Result<()> {
+        self.labels.remove(&addr);
         self.mem.free(addr)
     }
 
@@ -287,6 +312,7 @@ impl Device {
         let exec_span = common::obs::span("execute");
         let exec_t0 = if obs_on { common::obs::now_ns() } else { 0 };
 
+        let labels = &self.labels;
         let run_one = |cta_linear: u64| -> CtaResult {
             if obs_on {
                 common::obs::counter(
@@ -302,6 +328,7 @@ impl Device {
                 self.decode_cache_enabled,
                 cfg,
                 &cbanks,
+                labels,
                 launch_id,
                 cta_linear,
                 block_threads as u32,
@@ -393,6 +420,7 @@ fn run_cta(
     decode_cache_enabled: bool,
     cfg: &LaunchConfig,
     cbanks: &[Vec<u8>; 4],
+    labels: &CodeLabels,
     launch_id: u64,
     cta_linear: u64,
     block_threads: u32,
@@ -414,6 +442,7 @@ fn run_cta(
         grid: cfg.grid,
         block: cfg.block,
         cbanks,
+        labels,
         launch_id,
         steps: 0,
     };
@@ -670,6 +699,34 @@ mod tests {
         let cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
         match dev.launch(&cfg) {
             Err(GpuError::Fault { reason, .. }) => assert!(reason.contains("PROXY")),
+            other => panic!("expected proxy fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_name_the_labelled_function_and_instruction() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(&mut dev, "NOP ;\nPROXY R4, R5, 0x1234 ;\nEXIT ;");
+        let isize = dev.spec().arch.instruction_size() as u64;
+        dev.label_code(pc, 3 * isize, "emu_kernel");
+        let cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        match dev.launch(&cfg) {
+            Err(GpuError::Fault { pc: fpc, reason }) => {
+                assert_eq!(fpc, pc + isize);
+                assert!(reason.contains("PROXY"), "{reason}");
+                assert!(reason.contains("in `emu_kernel` at instruction 1"), "{reason}");
+            }
+            other => panic!("expected proxy fault, got {other:?}"),
+        }
+        // Freeing the region drops the label; an unlabelled fault reports
+        // the bare pc again.
+        dev.free(pc).unwrap();
+        let pc2 = load(&mut dev, "PROXY R4, R5, 0x1 ;\nEXIT ;");
+        let cfg2 = LaunchConfig::new(pc2, Dim3::linear(1), Dim3::linear(32));
+        match dev.launch(&cfg2) {
+            Err(GpuError::Fault { reason, .. }) => {
+                assert!(!reason.contains("emu_kernel"), "{reason}")
+            }
             other => panic!("expected proxy fault, got {other:?}"),
         }
     }

@@ -139,13 +139,25 @@ pub(crate) struct ExecEnv<'d> {
     pub grid: Dim3,
     pub block: Dim3,
     pub cbanks: &'d [Vec<u8>; 4],
+    /// Code-region labels for fault context (see `Device::label_code`).
+    pub labels: &'d crate::device::CodeLabels,
     pub launch_id: u64,
     pub steps: u64,
 }
 
 impl<'d> ExecEnv<'d> {
+    /// Builds an execution fault, locating `pc` in the labelled code
+    /// regions so the report names the function and instruction index
+    /// instead of a bare address.
     fn fault(&self, pc: u64, reason: impl Into<String>) -> GpuError {
-        GpuError::Fault { pc, reason: reason.into() }
+        let mut reason = reason.into();
+        if let Some((start, (end, name))) = self.labels.range(..=pc).next_back() {
+            if pc < *end {
+                let idx = (pc - start) / self.spec.arch.instruction_size() as u64;
+                reason.push_str(&format!(" in `{name}` at instruction {idx}"));
+            }
+        }
+        GpuError::Fault { pc, reason }
     }
 
     /// Fetches and decodes the instruction at `pc`. The decode cache is

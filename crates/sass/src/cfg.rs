@@ -131,6 +131,18 @@ pub fn basic_blocks(
     Ok(blocks)
 }
 
+/// Index of the block containing instruction `idx` within a partition
+/// produced by [`basic_blocks`]. Blocks are contiguous, sorted and cover
+/// the whole body, so this is a binary search; `None` means `idx` lies
+/// outside the partition (past the end of the body).
+///
+/// This is the block↔site mapping the instrumentation planner uses to
+/// group injection sites by basic block.
+pub fn block_of(blocks: &[BasicBlock], idx: usize) -> Option<usize> {
+    let i = blocks.partition_point(|b| b.range.end <= idx);
+    (i < blocks.len() && blocks[i].range.contains(&idx)).then_some(i)
+}
+
 /// Successor block ids of `block` within a partition, following fall-through
 /// and in-range relative branch edges. Calls fall through; `EXIT`/`RET` have
 /// no successors.
@@ -286,5 +298,16 @@ merge:
     #[test]
     fn empty_body_yields_no_blocks() {
         assert_eq!(basic_blocks(&[], Arch::Volta), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn block_of_maps_every_site_to_its_block() {
+        let prog = assemble_arch(BODY, Arch::Volta).unwrap();
+        let blocks = basic_blocks(&prog, Arch::Volta).unwrap();
+        for (idx, expect) in [(0, 0), (2, 0), (3, 1), (4, 1), (5, 2)] {
+            assert_eq!(block_of(&blocks, idx), Some(expect), "instruction {idx}");
+        }
+        assert_eq!(block_of(&blocks, prog.len()), None);
+        assert_eq!(block_of(&[], 0), None);
     }
 }

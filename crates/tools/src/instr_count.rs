@@ -1,9 +1,9 @@
 //! The instruction-count tool (paper Listing 1) and its basic-block
 //! optimized variant.
 
-use crate::{read_u64, COUNT_BB_FN, COUNT_FN};
+use crate::{read_u64, COUNT_BB_FN, COUNT_FN, COUNT_MULT_FN};
 use cuda::{CbId, CbParams, Driver};
-use nvbit::{IPoint, NvbitApi, NvbitTool};
+use nvbit::{IPoint, NvbitApi, NvbitTool, PlanOpts};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
@@ -234,6 +234,110 @@ impl NvbitTool for BbInstrCount {
     }
 }
 
+/// Issue-level instruction counter built for the planner's optimization
+/// passes: every site injects `nvbit_count_mult` under the multiplicity
+/// protocol and opts into coalescing, so with [`PlanOpts::coalesce`] the
+/// planner merges each basic block's sites into one call whose multiplicity
+/// is the block's site count, and with [`PlanOpts::inline`] the counting
+/// body is spliced into the trampoline (no `CALL`/`RET`).
+///
+/// Unlike [`InstrCount`] there is no guard argument — a predicated-off
+/// instruction still counts as issued — because the guard predicate is
+/// per-site dynamic state that would defeat merging. Within a basic block
+/// the active mask is constant, so the total is *identical* whichever
+/// [`PlanOpts`] the plan is built with; the passes only change how many
+/// trampoline calls execute to produce it.
+pub struct CoalescedInstrCount {
+    results: Rc<InstrCountResults>,
+    counters: BTreeMap<u32, (u64, bool, String)>,
+    seen: HashSet<u32>,
+    opts: PlanOpts,
+}
+
+impl CoalescedInstrCount {
+    /// Creates the tool and its results handle. `opts` selects which
+    /// planner passes run (set at `at_init`, before any kernel is built).
+    pub fn new(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+        let results = Rc::new(InstrCountResults::default());
+        (
+            CoalescedInstrCount {
+                results: results.clone(),
+                counters: BTreeMap::new(),
+                seen: HashSet::new(),
+                opts,
+            },
+            results,
+        )
+    }
+
+    fn publish(&self, drv: &Driver) {
+        let mut total = 0u64;
+        let mut library = 0u64;
+        let mut per_kernel = BTreeMap::new();
+        for (addr, is_lib, name) in self.counters.values() {
+            let v = read_u64(drv, *addr);
+            total += v;
+            if *is_lib {
+                library += v;
+            }
+            *per_kernel.entry(name.clone()).or_insert(0) += v;
+        }
+        *self.results.total.borrow_mut() = total;
+        *self.results.library.borrow_mut() = library;
+        *self.results.per_kernel.borrow_mut() = per_kernel;
+    }
+}
+
+impl NvbitTool for CoalescedInstrCount {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.set_plan_opts(self.opts);
+        api.load_tool_functions(COUNT_MULT_FN).expect("tool functions compile");
+    }
+
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.publish(api.driver());
+    }
+
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        let CbParams::LaunchKernel { func, .. } = params else { return };
+        if cbid != CbId::LaunchKernel {
+            return;
+        }
+        if is_exit {
+            self.publish(api.driver());
+            return;
+        }
+        if !self.seen.insert(func.raw()) {
+            return;
+        }
+        let info = api.driver().function_info(*func).expect("launched function exists");
+        let ctr = api.driver().with_device(|d| d.alloc(8)).expect("counter alloc");
+        self.counters.insert(func.raw(), (ctr, info.library, info.name.clone()));
+        let mut targets = vec![*func];
+        targets.extend(api.get_related_funcs(*func).unwrap_or_default());
+        let mut sites = 0u64;
+        for t in targets {
+            let n = api.get_instrs(t).map(|v| v.len()).unwrap_or(0);
+            for idx in 0..n {
+                api.insert_call(t, idx, "nvbit_count_mult", IPoint::Before).unwrap();
+                api.add_call_arg_imm64(t, idx, ctr).unwrap();
+                api.set_coalesce(t, idx).unwrap();
+                sites += 1;
+            }
+            if t != *func {
+                api.enable_instrumented(t, true).unwrap();
+            }
+        }
+        common::obs::counter("tool.coalesced_instr_count.sites", sites);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +432,30 @@ DONE:
         // while still slower than native.
         assert!(bb_cycles < per_instr_cycles / 2, "{bb_cycles} vs {per_instr_cycles}");
         assert!(bb_cycles > native_cycles);
+    }
+
+    #[test]
+    fn coalesced_count_is_invariant_under_the_planner_passes() {
+        let run_with = |opts: PlanOpts| -> (u64, u64) {
+            let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+            let (tool, results) = CoalescedInstrCount::new(opts);
+            attach_tool(&drv, tool);
+            run_app(&drv);
+            drv.shutdown();
+            (results.total(), drv.total_stats().cycles)
+        };
+        let (naive, naive_cycles) = run_with(PlanOpts { coalesce: false, inline: false });
+        let (merged, merged_cycles) = run_with(PlanOpts { coalesce: true, inline: false });
+        let (inlined, inlined_cycles) = run_with(PlanOpts { coalesce: true, inline: true });
+        // The multiplicity protocol makes the total independent of whether
+        // the passes actually ran.
+        assert_eq!(naive, merged);
+        assert_eq!(naive, inlined);
+        // Issue-level counting: 64 threads each issue the whole straight
+        // kernel path (predication does not skip issue).
+        assert!(naive > 0);
+        // Each pass strictly reduces runtime work.
+        assert!(merged_cycles < naive_cycles, "{merged_cycles} vs {naive_cycles}");
+        assert!(inlined_cycles < merged_cycles, "{inlined_cycles} vs {merged_cycles}");
     }
 }

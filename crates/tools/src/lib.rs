@@ -4,7 +4,9 @@
 //! each a thin client of the [`nvbit::NvbitApi`] inspection/injection API.
 //!
 //! * [`InstrCount`] — the thread-level instruction counter of Listing 1,
-//!   plus its basic-block-optimized variant ([`BbInstrCount`]).
+//!   plus its basic-block-optimized variant ([`BbInstrCount`]) and the
+//!   planner-driven variant ([`CoalescedInstrCount`]) whose sites opt into
+//!   basic-block call coalescing and leaf inlining.
 //! * [`OpcodeHistogram`] — the per-opcode execution histogram of §6.2, with
 //!   optional **grid-dimension sampling** (instrumented once per unique
 //!   grid, uninstrumented otherwise, with counts extrapolated).
@@ -50,7 +52,7 @@ pub mod wfft_emu;
 
 pub use cache_sim::{CacheConfig, CacheSim, CacheSimResults};
 pub use fault::{FaultInjector, FaultSpec};
-pub use instr_count::{BbInstrCount, InstrCount, InstrCountResults};
+pub use instr_count::{BbInstrCount, CoalescedInstrCount, InstrCount, InstrCountResults};
 pub use mem_divergence::{MemDivergence, MemDivergenceResults};
 pub use mem_trace::{MemTrace, MemTraceResults};
 pub use opcode_hist::{OpcodeHistogram, OpcodeHistogramResults, SamplingMode};
@@ -96,6 +98,23 @@ pub(crate) const COUNT_BB_FN: &str = r#"
     setp.eq.u32 %p1, %pred, 0;
     @%p1 ret;
     cvt.u64.u32 %rd1, %len;
+    atom.global.add.u64 %rd2, [%ctr], %rd1;
+    ret;
+}
+"#;
+
+/// Multiplicity-protocol counting function: adds `%mult` to a `u64` counter
+/// once per thread reaching the call. The trailing `%mult` argument is
+/// appended by the planner (1 for an unmerged site, N when the call stands
+/// for N coalesced sites of a basic block). There is deliberately no guard
+/// argument — the count is *issue-level* — and the body is small, call-free
+/// and register-API-free so the inlining pass can splice it into the
+/// trampoline.
+pub(crate) const COUNT_MULT_FN: &str = r#"
+.func nvbit_count_mult(.reg .u64 %ctr, .reg .u32 %mult)
+{
+    .reg .u64 %rd<3>;
+    cvt.u64.u32 %rd1, %mult;
     atom.global.add.u64 %rd2, [%ctr], %rd1;
     ret;
 }

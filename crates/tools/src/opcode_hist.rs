@@ -10,10 +10,10 @@
 //! methodology, including its error mode: kernels whose control flow
 //! depends on data (not just grid dimensions) make the estimate drift.
 
-use crate::{read_u64, COUNT_FN};
+use crate::{read_u64, COUNT_FN, COUNT_MULT_FN};
 use cuda::{CbId, CbParams, CuFunction, Driver};
 use gpu::Dim3;
-use nvbit::{IPoint, NvbitApi, NvbitTool};
+use nvbit::{IPoint, NvbitApi, NvbitTool, PlanOpts};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
@@ -107,6 +107,12 @@ pub struct OpcodeHistogram {
     extrapolated: HashMap<u32, Vec<u64>>,
     /// Whether the in-flight launch is instrumented.
     current_instrumented: bool,
+    /// When set, sites inject the multiplicity-protocol counting function
+    /// and opt into the planner's coalescing pass (same-opcode sites of a
+    /// basic block share their counter-slot address and merge into one
+    /// call). The histogram is then *issue-level*: predicated-off
+    /// instructions count as executed.
+    plan: Option<PlanOpts>,
 }
 
 impl OpcodeHistogram {
@@ -122,9 +128,23 @@ impl OpcodeHistogram {
                 estimates: HashMap::new(),
                 extrapolated: HashMap::new(),
                 current_instrumented: false,
+                plan: None,
             },
             results,
         )
+    }
+
+    /// Creates the tool in coalesced (issue-level) mode: injections follow
+    /// the multiplicity protocol and the given planner passes run. The
+    /// histogram is invariant under `opts` — only the number of executed
+    /// trampoline calls changes.
+    pub fn coalesced(
+        mode: SamplingMode,
+        opts: PlanOpts,
+    ) -> (OpcodeHistogram, Rc<OpcodeHistogramResults>) {
+        let (mut tool, results) = OpcodeHistogram::new(mode);
+        tool.plan = Some(opts);
+        (tool, results)
     }
 
     fn read_counters(&self, drv: &Driver, base: u64) -> Vec<u64> {
@@ -145,9 +165,15 @@ impl OpcodeHistogram {
                 if used.insert((slot, instr.opcode_base())) {
                     slot_ops.push((slot, instr.op().mnemonic().to_string()));
                 }
-                api.insert_call(*t, instr.idx, "nvbit_count_one", IPoint::Before).unwrap();
-                api.add_call_arg_guard_pred(*t, instr.idx).unwrap();
-                api.add_call_arg_imm64(*t, instr.idx, counters + slot as u64 * 8).unwrap();
+                if self.plan.is_some() {
+                    api.insert_call(*t, instr.idx, "nvbit_count_mult", IPoint::Before).unwrap();
+                    api.add_call_arg_imm64(*t, instr.idx, counters + slot as u64 * 8).unwrap();
+                    api.set_coalesce(*t, instr.idx).unwrap();
+                } else {
+                    api.insert_call(*t, instr.idx, "nvbit_count_one", IPoint::Before).unwrap();
+                    api.add_call_arg_guard_pred(*t, instr.idx).unwrap();
+                    api.add_call_arg_imm64(*t, instr.idx, counters + slot as u64 * 8).unwrap();
+                }
                 sites += 1;
             }
         }
@@ -199,7 +225,13 @@ impl OpcodeBase for nvbit::Instr {
 
 impl NvbitTool for OpcodeHistogram {
     fn at_init(&mut self, api: &NvbitApi<'_>) {
-        api.load_tool_functions(COUNT_FN).expect("tool functions compile");
+        match self.plan {
+            Some(opts) => {
+                api.set_plan_opts(opts);
+                api.load_tool_functions(COUNT_MULT_FN).expect("tool functions compile");
+            }
+            None => api.load_tool_functions(COUNT_FN).expect("tool functions compile"),
+        }
     }
 
     fn at_term(&mut self, api: &NvbitApi<'_>) {
@@ -310,6 +342,23 @@ mod tests {
         let err = sampled.error_vs(&full);
         assert!(err < 1e-9, "expected exact extrapolation, error {err}");
         assert_eq!(full.top(5).len().min(5), full.top(5).len());
+    }
+
+    #[test]
+    fn coalesced_histogram_is_invariant_under_the_planner_passes() {
+        let run_with = |opts: PlanOpts| {
+            let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+            let (tool, results) = OpcodeHistogram::coalesced(SamplingMode::Full, opts);
+            attach_tool(&drv, tool);
+            benchmark("ostencil").unwrap().run(&drv, Size::Small).unwrap();
+            drv.shutdown();
+            (results.histogram(), drv.total_stats().cycles)
+        };
+        let (naive, naive_cycles) = run_with(PlanOpts { coalesce: false, inline: false });
+        let (merged, merged_cycles) = run_with(PlanOpts { coalesce: true, inline: true });
+        assert!(!naive.is_empty());
+        assert_eq!(naive, merged, "multiplicity protocol keeps the histogram exact");
+        assert!(merged_cycles < naive_cycles, "{merged_cycles} vs {naive_cycles}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Differential testing of the instrumentation-plan optimization passes:
+//! for every tool × workload pair, a run with basic-block call coalescing
+//! (and leaf-tool inlining) enabled must produce bit-identical guest memory
+//! and identical tool output to a run with the naive per-site plan. The
+//! only observable difference may be cost (fewer executed trampoline
+//! calls). Mirrors `differential_saves.rs`, which proves the same property
+//! for the register-save policies.
+
+use cuda::{CbId, CbParams, CuFunction, Driver, FatBinary, KernelArg};
+use gpu::{DeviceSpec, Dim3};
+use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, PlanStats};
+use nvbit_tools::{CoalescedInstrCount, MemTrace, OpcodeHistogram, SamplingMode};
+use sass::Arch;
+use std::cell::RefCell;
+use std::rc::Rc;
+use workloads::{fft, kernels};
+
+/// Wraps a tool so the plan options are fixed before anything is lifted or
+/// instrumented (for tools that do not set them themselves).
+struct WithOpts<T> {
+    opts: PlanOpts,
+    inner: T,
+}
+
+impl<T: NvbitTool> NvbitTool for WithOpts<T> {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        api.set_plan_opts(self.opts);
+        self.inner.at_init(api);
+    }
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_term(api);
+    }
+    fn at_ctx_init(&mut self, api: &NvbitApi<'_>, ctx: cuda::CuContext) {
+        self.inner.at_ctx_init(api, ctx);
+    }
+    fn at_ctx_term(&mut self, api: &NvbitApi<'_>, ctx: cuda::CuContext) {
+        self.inner.at_ctx_term(api, ctx);
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        self.inner.at_cuda_event(api, is_exit, cbid, params);
+    }
+}
+
+// ----- Workload applications (each returns its guest output bytes) --------
+
+/// The software warp-FFT pipeline over unit-magnitude input.
+fn fft_app(drv: &Driver) -> Vec<u8> {
+    const BLOCKS: u32 = 2;
+    let bytes = BLOCKS as u64 * 32 * 8;
+    let ctx = drv.ctx_create().unwrap();
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("fft", fft::soft_fft_kernel_ptx())).unwrap();
+    let f = drv.module_get_function(&m, "fft32_soft").unwrap();
+    let din = drv.mem_alloc(bytes).unwrap();
+    let dout = drv.mem_alloc(bytes).unwrap();
+    let input: Vec<u8> = (0..BLOCKS * 32)
+        .flat_map(|_| {
+            let mut rec = [0u8; 8];
+            rec[..4].copy_from_slice(&1.0f32.to_le_bytes());
+            rec
+        })
+        .collect();
+    drv.memcpy_htod(din, &input).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(BLOCKS),
+        Dim3::linear(32),
+        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; bytes as usize];
+    drv.memcpy_dtoh(&mut out, dout).unwrap();
+    out
+}
+
+/// A 5-point stencil step (grid-determined control flow).
+fn stencil_app(drv: &Driver) -> Vec<u8> {
+    let (h, w) = (16u32, 128u32);
+    let n = h * w;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", kernels::stencil5("step"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("stencil", src)).unwrap();
+    let f = drv.module_get_function(&m, "step").unwrap();
+    let a = drv.mem_alloc(n as u64 * 4).unwrap();
+    let b = drv.mem_alloc(n as u64 * 4).unwrap();
+    let init: Vec<u8> = (0..n).flat_map(|i| ((i % 17) as f32).to_bits().to_le_bytes()).collect();
+    drv.memcpy_htod(a, &init).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::xyz(h - 2, 1, 1),
+        Dim3::linear(128),
+        &[KernelArg::Ptr(a), KernelArg::Ptr(b), KernelArg::U32(h), KernelArg::U32(w)],
+    )
+    .unwrap();
+    let mut out = vec![0u8; n as usize * 4];
+    drv.memcpy_dtoh(&mut out, b).unwrap();
+    out
+}
+
+/// Sparse matrix-vector product with data-dependent loop trip counts
+/// (divergent control flow).
+fn spmv_app(drv: &Driver) -> Vec<u8> {
+    let rows = 64u32;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", kernels::spmv_csr("spmv"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("spmv", src)).unwrap();
+    let f = drv.module_get_function(&m, "spmv").unwrap();
+    // Deterministic CSR structure: row r has 1 + (r mod 9) entries.
+    let mut rowptr = vec![0u32];
+    let mut cols = Vec::new();
+    for r in 0..rows {
+        for j in 0..=(r % 9) {
+            cols.push((r * 7 + j * 13) % rows);
+        }
+        rowptr.push(cols.len() as u32);
+    }
+    let alloc_u32 = |vals: &[u32]| {
+        let a = drv.mem_alloc(vals.len() as u64 * 4).unwrap();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let alloc_f32 = |n: u32, f: &dyn Fn(u32) -> f32| {
+        let a = drv.mem_alloc(n as u64 * 4).unwrap();
+        let bytes: Vec<u8> = (0..n).flat_map(|i| f(i).to_bits().to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let d_rowptr = alloc_u32(&rowptr);
+    let d_cols = alloc_u32(&cols);
+    let d_vals = alloc_f32(cols.len() as u32, &|i| 1.0 / (1.0 + i as f32));
+    let x = alloc_f32(rows, &|_| 1.0);
+    let y = alloc_f32(rows, &|_| 0.0);
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(1),
+        Dim3::linear(128),
+        &[
+            KernelArg::Ptr(d_rowptr),
+            KernelArg::Ptr(d_cols),
+            KernelArg::Ptr(d_vals),
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::U32(rows),
+        ],
+    )
+    .unwrap();
+    let mut out = vec![0u8; rows as usize * 4];
+    drv.memcpy_dtoh(&mut out, y).unwrap();
+    out
+}
+
+/// A deterministic guest application: runs kernels and returns the output
+/// buffer bytes.
+type App = fn(&Driver) -> Vec<u8>;
+
+const APPS: [(&str, App); 3] = [("fft", fft_app), ("stencil", stencil_app), ("spmv", spmv_app)];
+
+/// The three plan configurations under test.
+const CONFIGS: [PlanOpts; 3] = [
+    PlanOpts { coalesce: false, inline: false },
+    PlanOpts { coalesce: true, inline: false },
+    PlanOpts { coalesce: true, inline: true },
+];
+
+/// Runs `app` under `tool` with the given plan options; returns the guest
+/// output bytes, a string signature of the tool's own results, and the
+/// simulated cycle count.
+fn run_case(tool: &str, opts: PlanOpts, app: App) -> (Vec<u8>, String, u64) {
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let sig: Box<dyn Fn() -> String> = match tool {
+        "coalesced_instr_count" => {
+            let (t, r) = CoalescedInstrCount::new(opts);
+            attach_tool(&drv, t);
+            Box::new(move || r.total().to_string())
+        }
+        "coalesced_opcode_hist" => {
+            let (t, r) = OpcodeHistogram::coalesced(SamplingMode::Full, opts);
+            attach_tool(&drv, t);
+            Box::new(move || format!("{:?}", r.histogram()))
+        }
+        "mem_trace" => {
+            let (t, r) = MemTrace::new(4096);
+            attach_tool(&drv, WithOpts { opts, inner: t });
+            Box::new(move || format!("{} {:?}", r.demanded(), r.addresses()))
+        }
+        other => unreachable!("unknown tool {other}"),
+    };
+    let mem = app(&drv);
+    drv.shutdown();
+    (mem, sig(), drv.total_stats().cycles)
+}
+
+/// The differential itself: every optimized configuration must agree
+/// bit-for-bit with the naive per-site plan on both the guest output and
+/// the tool output, for every workload.
+fn differential(tool: &str) {
+    for (app_name, app) in APPS {
+        let (mem_naive, sig_naive, _) = run_case(tool, CONFIGS[0], app);
+        for opts in &CONFIGS[1..] {
+            let (mem_opt, sig_opt, _) = run_case(tool, *opts, app);
+            assert_eq!(mem_opt, mem_naive, "guest memory differs: {tool} × {app_name} × {opts:?}");
+            assert_eq!(sig_opt, sig_naive, "tool output differs: {tool} × {app_name} × {opts:?}");
+        }
+    }
+}
+
+#[test]
+fn coalesced_instr_count_is_plan_invariant() {
+    differential("coalesced_instr_count");
+}
+
+#[test]
+fn coalesced_opcode_hist_is_plan_invariant() {
+    differential("coalesced_opcode_hist");
+}
+
+#[test]
+fn mem_trace_is_plan_invariant() {
+    // MemTrace's sites are not coalesce-marked (their address argument is
+    // per-dynamic-instance), so the passes must leave its behaviour — and
+    // output — untouched even when globally enabled.
+    differential("mem_trace");
+}
+
+#[test]
+fn optimized_plans_are_cheaper_on_every_workload() {
+    for (app_name, app) in APPS {
+        let (_, _, naive) = run_case("coalesced_instr_count", CONFIGS[0], app);
+        let (_, _, merged) = run_case("coalesced_instr_count", CONFIGS[1], app);
+        let (_, _, inlined) = run_case("coalesced_instr_count", CONFIGS[2], app);
+        assert!(merged < naive, "{app_name}: coalescing should cut cycles: {merged} vs {naive}");
+        assert!(
+            inlined <= merged,
+            "{app_name}: inlining must not add cycles: {inlined} vs {merged}"
+        );
+    }
+}
+
+/// Captures the planner's accounting at launch exit.
+struct StatsCapture<T> {
+    inner: T,
+    stats: Rc<RefCell<Option<PlanStats>>>,
+}
+
+impl<T: NvbitTool> NvbitTool for StatsCapture<T> {
+    fn at_init(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_init(api);
+    }
+    fn at_term(&mut self, api: &NvbitApi<'_>) {
+        self.inner.at_term(api);
+    }
+    fn at_cuda_event(
+        &mut self,
+        api: &NvbitApi<'_>,
+        is_exit: bool,
+        cbid: CbId,
+        params: &CbParams<'_>,
+    ) {
+        self.inner.at_cuda_event(api, is_exit, cbid, params);
+        if is_exit && cbid == CbId::LaunchKernel {
+            if let CbParams::LaunchKernel { func, .. } = params {
+                let func: CuFunction = *func;
+                if let Ok(Some(s)) = api.plan_stats(func) {
+                    *self.stats.borrow_mut() = Some(s);
+                }
+            }
+        }
+    }
+}
+
+fn captured_stats(opts: PlanOpts) -> PlanStats {
+    let stats = Rc::new(RefCell::new(None));
+    let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+    let (tool, _results) = CoalescedInstrCount::new(opts);
+    attach_tool(&drv, StatsCapture { inner: tool, stats: stats.clone() });
+    fft_app(&drv);
+    drv.shutdown();
+    let s = *stats.borrow();
+    s.expect("fft kernel was instrumented")
+}
+
+#[test]
+fn the_passes_actually_fire_on_the_fft_kernel() {
+    let naive = captured_stats(CONFIGS[0]);
+    assert_eq!(naive.emitted_calls, naive.requested_calls);
+    assert_eq!(naive.coalesced_away, 0);
+    assert_eq!(naive.inlined_calls, 0);
+
+    let merged = captured_stats(CONFIGS[1]);
+    assert!(merged.cfg_available, "the FFT kernel has a static CFG");
+    assert!(merged.coalesced_groups > 0, "{merged:?}");
+    assert!(merged.coalesced_away > 0, "{merged:?}");
+    assert_eq!(merged.emitted_calls, merged.requested_calls - merged.coalesced_away);
+
+    let inlined = captured_stats(CONFIGS[2]);
+    assert_eq!(inlined.coalesced_away, merged.coalesced_away);
+    assert_eq!(
+        inlined.inlined_calls, inlined.emitted_calls,
+        "the counting body is an inlinable leaf, so every emitted call inlines"
+    );
+}
