@@ -48,13 +48,13 @@ cargo test --release -q -p nvbit-tools --test verify_all -- --include-ignored
 echo "== differential: liveness-reduced saves vs full-tier =="
 cargo test --release -q -p nvbit-tools --test differential_saves
 
-echo "== differential: coalesced/inlined plans vs naive per-site plans =="
+echo "== differential: all four plan configs (naive/coalesced/+inline/+region+after) =="
 cargo test --release -q -p nvbit-tools --test differential_plan
 
 echo "== savereduce: liveness save-slot reduction (>=30% gate) =="
 cargo run --release -q -p nvbit-bench --bin savereduce
 
-echo "== inject_overhead: plan-pass instruction reduction (>=25% gate) =="
+echo "== inject_overhead: multi-workload sweep (>=25% fft gate, region wins on >=2 of fft/stencil/spmv) =="
 cargo run --release -q -p nvbit-bench --bin inject_overhead
 
 echo "== module-unload regression: recycled handles never see stale caches =="

@@ -1,16 +1,24 @@
-//! Instrumentation-plan optimization passes on the software warp-FFT
-//! pipeline: instrument with the coalesced instruction-count tool and
+//! Instrumentation-plan optimization passes across the workload sweep:
+//! instrument each workload with the coalesced instruction-count tool and
 //! compare the instrumented run's executed instructions and cycles under
-//! the naive per-site plan, with basic-block call coalescing, and with
-//! coalescing plus leaf-tool inlining.
+//! the naive per-site plan, with basic-block call coalescing, with
+//! coalescing plus leaf-tool inlining, and with the full pipeline adding
+//! dominator-region coalescing and after-point lowering.
 //!
 //! ```text
 //! cargo run --release -p nvbit-bench --bin inject_overhead
 //! ```
 //!
-//! Writes `results/BENCH_inject_overhead.json` with the per-configuration
-//! accounting; the repository gates on a ≥25% reduction in instrumented
-//! thread-instructions from coalescing alone.
+//! Workloads are the three kernels of the differential suite (the warp-FFT
+//! pipeline, a 5-point stencil, CSR SpMV) plus the fifteen SpecAccel-like
+//! benchmarks of `workloads::specaccel`, reported Fig. 9-style: one row
+//! per workload plus the geometric-mean overhead of each configuration.
+//!
+//! Writes `results/BENCH_inject_overhead.json` with the per-workload
+//! accounting. The repository gates on a ≥25% reduction in instrumented
+//! thread-instructions from coalescing alone on the FFT pipeline, and on
+//! region coalescing emitting fewer calls than per-block coalescing on at
+//! least two of fft/stencil/spmv.
 
 use common::json::Json;
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
@@ -20,6 +28,7 @@ use nvbit_tools::CoalescedInstrCount;
 use sass::Arch;
 use std::cell::RefCell;
 use std::rc::Rc;
+use workloads::specaccel::{self, Size};
 
 /// Wraps the tool and collects the planner's accounting per instrumented
 /// function at launch exit.
@@ -57,7 +66,27 @@ impl<T: NvbitTool> NvbitTool for PlanAccounting<T> {
     }
 }
 
-/// One configuration's measurements.
+/// The four plan configurations, in pass-pipeline order.
+const CONFIGS: [(&str, PlanOpts); 4] = [
+    (
+        "naive",
+        PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false },
+    ),
+    (
+        "coalesced",
+        PlanOpts { coalesce: true, inline: false, region_coalesce: false, after_lower: false },
+    ),
+    (
+        "+inlined",
+        PlanOpts { coalesce: true, inline: true, region_coalesce: false, after_lower: false },
+    ),
+    (
+        "+region+after",
+        PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true },
+    ),
+];
+
+/// One configuration's measurements on one workload.
 struct Run {
     label: &'static str,
     opts: PlanOpts,
@@ -67,22 +96,37 @@ struct Run {
     stats: Vec<(String, PlanStats)>,
 }
 
-/// Runs the FFT pipeline natively (no tool) for the baseline.
-fn run_native() -> (u64, u64) {
+impl Run {
+    fn sum(&self, f: impl Fn(&PlanStats) -> u64) -> u64 {
+        self.stats.iter().map(|(_, s)| f(s)).sum()
+    }
+}
+
+/// One workload's native baseline and per-configuration runs.
+struct Sweep {
+    name: &'static str,
+    native_instructions: u64,
+    native_cycles: u64,
+    runs: Vec<Run>,
+}
+
+/// A deterministic guest application.
+type App = fn(&Driver);
+
+fn run_native(app: App) -> (u64, u64) {
     let drv = Driver::new(DeviceSpec::test(Arch::Volta));
-    run_fft_app(&drv);
+    app(&drv);
     drv.shutdown();
     let s = drv.total_stats();
     (s.thread_instructions, s.cycles)
 }
 
-/// Runs the FFT pipeline under the coalesced counter with `opts`.
-fn run_instrumented(label: &'static str, opts: PlanOpts) -> Run {
+fn run_instrumented(label: &'static str, opts: PlanOpts, app: App) -> Run {
     let drv = Driver::new(DeviceSpec::test(Arch::Volta));
     let (tool, results) = CoalescedInstrCount::new(opts);
     let stats = Rc::new(RefCell::new(Vec::new()));
     attach_tool(&drv, PlanAccounting { inner: tool, stats: stats.clone() });
-    run_fft_app(&drv);
+    app(&drv);
     drv.shutdown();
     let s = drv.total_stats();
     Run {
@@ -93,6 +137,12 @@ fn run_instrumented(label: &'static str, opts: PlanOpts) -> Run {
         cycles: s.cycles,
         stats: Rc::try_unwrap(stats).unwrap().into_inner(),
     }
+}
+
+fn sweep(name: &'static str, app: App) -> Sweep {
+    let (native_instructions, native_cycles) = run_native(app);
+    let runs = CONFIGS.iter().map(|&(label, opts)| run_instrumented(label, opts, app)).collect();
+    Sweep { name, native_instructions, native_cycles, runs }
 }
 
 fn run_fft_app(drv: &Driver) {
@@ -121,94 +171,229 @@ fn run_fft_app(drv: &Driver) {
     .unwrap();
 }
 
-fn main() {
-    let (native_instrs, native_cycles) = run_native();
-    let runs = [
-        run_instrumented("naive", PlanOpts { coalesce: false, inline: false }),
-        run_instrumented("coalesced", PlanOpts { coalesce: true, inline: false }),
-        run_instrumented("coalesced+inlined", PlanOpts { coalesce: true, inline: true }),
-    ];
+fn run_stencil_app(drv: &Driver) {
+    let (h, w) = (16u32, 128u32);
+    let n = h * w;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", workloads::kernels::stencil5("step"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("stencil", src)).unwrap();
+    let f = drv.module_get_function(&m, "step").unwrap();
+    let a = drv.mem_alloc(n as u64 * 4).unwrap();
+    let b = drv.mem_alloc(n as u64 * 4).unwrap();
+    let init: Vec<u8> = (0..n).flat_map(|i| ((i % 17) as f32).to_bits().to_le_bytes()).collect();
+    drv.memcpy_htod(a, &init).unwrap();
+    drv.launch_kernel(
+        &f,
+        Dim3::xyz(h - 2, 1, 1),
+        Dim3::linear(128),
+        &[KernelArg::Ptr(a), KernelArg::Ptr(b), KernelArg::U32(h), KernelArg::U32(w)],
+    )
+    .unwrap();
+}
 
-    println!("== inject_overhead: plan passes on the FFT pipeline ==\n");
-    println!("native: {native_instrs} thread-instructions, {native_cycles} cycles\n");
+fn run_spmv_app(drv: &Driver) {
+    let rows = 64u32;
+    let ctx = drv.ctx_create().unwrap();
+    let src = format!(".version 6.0\n{}", workloads::kernels::spmv_csr("spmv"));
+    let m = drv.module_load(&ctx, FatBinary::from_ptx("spmv", src)).unwrap();
+    let f = drv.module_get_function(&m, "spmv").unwrap();
+    let mut rowptr = vec![0u32];
+    let mut cols = Vec::new();
+    for r in 0..rows {
+        for j in 0..=(r % 9) {
+            cols.push((r * 7 + j * 13) % rows);
+        }
+        rowptr.push(cols.len() as u32);
+    }
+    let alloc_u32 = |vals: &[u32]| {
+        let a = drv.mem_alloc(vals.len() as u64 * 4).unwrap();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let alloc_f32 = |n: u32, f: &dyn Fn(u32) -> f32| {
+        let a = drv.mem_alloc(n as u64 * 4).unwrap();
+        let bytes: Vec<u8> = (0..n).flat_map(|i| f(i).to_bits().to_le_bytes()).collect();
+        drv.memcpy_htod(a, &bytes).unwrap();
+        a
+    };
+    let d_rowptr = alloc_u32(&rowptr);
+    let d_cols = alloc_u32(&cols);
+    let d_vals = alloc_f32(cols.len() as u32, &|i| 1.0 / (1.0 + i as f32));
+    let x = alloc_f32(rows, &|_| 1.0);
+    let y = alloc_f32(rows, &|_| 0.0);
+    drv.launch_kernel(
+        &f,
+        Dim3::linear(1),
+        Dim3::linear(128),
+        &[
+            KernelArg::Ptr(d_rowptr),
+            KernelArg::Ptr(d_cols),
+            KernelArg::Ptr(d_vals),
+            KernelArg::Ptr(x),
+            KernelArg::Ptr(y),
+            KernelArg::U32(rows),
+        ],
+    )
+    .unwrap();
+}
+
+/// SpecAccel runners, one `fn(&Driver)` per benchmark so every workload
+/// shares the same sweep machinery.
+macro_rules! spec_app {
+    ($fn_name:ident, $bench:literal) => {
+        fn $fn_name(drv: &Driver) {
+            specaccel::benchmark($bench).unwrap().run(drv, Size::Small).unwrap();
+        }
+    };
+}
+
+spec_app!(spec_ostencil, "ostencil");
+spec_app!(spec_olbm, "olbm");
+spec_app!(spec_omriq, "omriq");
+spec_app!(spec_md, "md");
+spec_app!(spec_palm, "palm");
+spec_app!(spec_ep, "ep");
+spec_app!(spec_clvrleaf, "clvrleaf");
+spec_app!(spec_cg, "cg");
+spec_app!(spec_seismic, "seismic");
+spec_app!(spec_sp, "sp");
+spec_app!(spec_csp, "csp");
+spec_app!(spec_mini_ghost, "miniGhost");
+spec_app!(spec_ilbdc, "ilbdc");
+spec_app!(spec_swim, "swim");
+spec_app!(spec_bt, "bt");
+
+const WORKLOADS: [(&str, App); 18] = [
+    ("fft", run_fft_app),
+    ("stencil", run_stencil_app),
+    ("spmv", run_spmv_app),
+    ("ostencil", spec_ostencil),
+    ("olbm", spec_olbm),
+    ("omriq", spec_omriq),
+    ("md", spec_md),
+    ("palm", spec_palm),
+    ("ep", spec_ep),
+    ("clvrleaf", spec_clvrleaf),
+    ("cg", spec_cg),
+    ("seismic", spec_seismic),
+    ("sp", spec_sp),
+    ("csp", spec_csp),
+    ("miniGhost", spec_mini_ghost),
+    ("ilbdc", spec_ilbdc),
+    ("swim", spec_swim),
+    ("bt", spec_bt),
+];
+
+fn main() {
+    let sweeps: Vec<Sweep> = WORKLOADS.iter().map(|&(name, app)| sweep(name, app)).collect();
+
+    println!("== inject_overhead: plan passes across the workload sweep ==\n");
     println!(
-        "{:18}  {:>14}  {:>12}  {:>10}  {:>8}",
-        "configuration", "thread-instrs", "cycles", "overhead", "count"
+        "{:10}  {:14}  {:>14}  {:>12}  {:>9}  {:>8}  {:>7}",
+        "workload", "configuration", "thread-instrs", "cycles", "overhead", "calls", "regions"
     );
-    let mut cfgs = Vec::new();
-    for r in &runs {
-        let overhead = r.instructions as f64 / native_instrs as f64;
-        println!(
-            "{:18}  {:>14}  {:>12}  {:>9.2}x  {:>8}",
-            r.label, r.instructions, r.cycles, overhead, r.count
-        );
-        let emitted: u64 = r.stats.iter().map(|(_, s)| s.emitted_calls).sum();
-        let requested: u64 = r.stats.iter().map(|(_, s)| s.requested_calls).sum();
-        let inlined: u64 = r.stats.iter().map(|(_, s)| s.inlined_calls).sum();
-        cfgs.push(Json::obj(vec![
-            ("label", Json::Str(r.label.into())),
-            ("coalesce", Json::Bool(r.opts.coalesce)),
-            ("inline", Json::Bool(r.opts.inline)),
-            ("thread_instructions", Json::Num(r.instructions as f64)),
-            ("cycles", Json::Num(r.cycles as f64)),
-            ("overhead_vs_native", Json::Num(overhead)),
-            ("tool_count", Json::Num(r.count as f64)),
-            ("requested_calls", Json::Num(requested as f64)),
-            ("emitted_calls", Json::Num(emitted as f64)),
-            ("inlined_calls", Json::Num(inlined as f64)),
+    let mut workload_rows = Vec::new();
+    for s in &sweeps {
+        let mut cfgs = Vec::new();
+        for r in &s.runs {
+            let overhead = r.instructions as f64 / s.native_instructions as f64;
+            println!(
+                "{:10}  {:14}  {:>14}  {:>12}  {:>8.2}x  {:>8}  {:>7}",
+                s.name,
+                r.label,
+                r.instructions,
+                r.cycles,
+                overhead,
+                r.sum(|st| st.emitted_calls),
+                r.sum(|st| st.region_groups),
+            );
+            cfgs.push(Json::obj(vec![
+                ("label", Json::Str(r.label.into())),
+                ("coalesce", Json::Bool(r.opts.coalesce)),
+                ("inline", Json::Bool(r.opts.inline)),
+                ("region_coalesce", Json::Bool(r.opts.region_coalesce)),
+                ("after_lower", Json::Bool(r.opts.after_lower)),
+                ("thread_instructions", Json::Num(r.instructions as f64)),
+                ("cycles", Json::Num(r.cycles as f64)),
+                ("overhead_vs_native", Json::Num(overhead)),
+                ("tool_count", Json::Num(r.count as f64)),
+                ("requested_calls", Json::Num(r.sum(|st| st.requested_calls) as f64)),
+                ("emitted_calls", Json::Num(r.sum(|st| st.emitted_calls) as f64)),
+                ("inlined_calls", Json::Num(r.sum(|st| st.inlined_calls) as f64)),
+                ("region_groups", Json::Num(r.sum(|st| st.region_groups) as f64)),
+                ("after_lowered", Json::Num(r.sum(|st| st.after_lowered) as f64)),
+            ]));
+        }
+        workload_rows.push(Json::obj(vec![
+            ("workload", Json::Str(s.name.into())),
+            ("native_thread_instructions", Json::Num(s.native_instructions as f64)),
+            ("native_cycles", Json::Num(s.native_cycles as f64)),
+            ("configurations", Json::Arr(cfgs)),
         ]));
+
+        // The differential invariant also holds here: the plan never
+        // changes what the tool measures.
+        for r in &s.runs[1..] {
+            assert_eq!(s.runs[0].count, r.count, "{}: {} changed the tool output", s.name, r.label);
+        }
     }
 
-    // The differential invariant also holds here: the plan never changes
-    // what the tool measures.
-    assert_eq!(runs[0].count, runs[1].count, "coalescing changed the tool output");
-    assert_eq!(runs[0].count, runs[2].count, "inlining changed the tool output");
-
-    // Reduction in *instrumentation* work: compare the instructions added
-    // on top of the native run.
-    let added = |r: &Run| (r.instructions - native_instrs) as f64;
-    let coalesce_reduction = 1.0 - added(&runs[1]) / added(&runs[0]);
-    let inline_reduction = 1.0 - added(&runs[2]) / added(&runs[0]);
-    // And the headline ISSUE gate: total instrumented thread-instructions.
-    let total_reduction = 1.0 - runs[1].instructions as f64 / runs[0].instructions as f64;
-    let total_inline_reduction = 1.0 - runs[2].instructions as f64 / runs[0].instructions as f64;
-    println!(
-        "\ncoalescing cuts instrumented thread-instructions by {:.1}% \
-         ({:.1}% of added work); +inlining: {:.1}% ({:.1}%)",
-        total_reduction * 100.0,
-        coalesce_reduction * 100.0,
-        total_inline_reduction * 100.0,
-        inline_reduction * 100.0
-    );
+    // Fig. 9-style summary: geometric-mean overhead per configuration
+    // across the whole sweep.
+    println!("\n{:14}  {:>16}", "configuration", "geomean overhead");
+    let mut geomeans = Vec::new();
+    for (i, (label, _)) in CONFIGS.iter().enumerate() {
+        let ln_sum: f64 = sweeps
+            .iter()
+            .map(|s| (s.runs[i].instructions as f64 / s.native_instructions as f64).ln())
+            .sum();
+        let geomean = (ln_sum / sweeps.len() as f64).exp();
+        println!("{label:14}  {geomean:>15.2}x");
+        geomeans.push((*label, Json::Num(geomean)));
+    }
 
     let doc = Json::obj(vec![
         ("bench", Json::Str("inject_overhead".into())),
-        ("workload", Json::Str("fft32_soft pipeline".into())),
         ("tool", Json::Str("coalesced_instr_count".into())),
         ("arch", Json::Str("volta".into())),
-        ("native_thread_instructions", Json::Num(native_instrs as f64)),
-        ("native_cycles", Json::Num(native_cycles as f64)),
-        ("configurations", Json::Arr(cfgs)),
-        ("coalesce_reduction", Json::Num(total_reduction)),
-        ("coalesce_added_work_reduction", Json::Num(coalesce_reduction)),
-        ("inline_reduction", Json::Num(total_inline_reduction)),
-        ("inline_added_work_reduction", Json::Num(inline_reduction)),
+        ("workloads", Json::Arr(workload_rows)),
+        ("geomean_overhead", Json::obj(geomeans)),
     ]);
     std::fs::create_dir_all("results").unwrap();
     let path = "results/BENCH_inject_overhead.json";
     std::fs::write(path, doc.to_pretty()).unwrap();
-    println!("wrote {path}");
+    println!("\nwrote {path}");
 
+    // Gate 1: coalescing alone cuts ≥25% of instrumented
+    // thread-instructions on the FFT pipeline.
+    let fft = &sweeps[0];
+    assert_eq!(fft.name, "fft");
+    let total_reduction = 1.0 - fft.runs[1].instructions as f64 / fft.runs[0].instructions as f64;
     assert!(
         total_reduction >= 0.25,
         "coalescing must cut ≥25% of instrumented thread-instructions on the FFT pipeline \
          (got {:.1}%)",
         total_reduction * 100.0
     );
+    let total_inline_reduction =
+        1.0 - fft.runs[2].instructions as f64 / fft.runs[0].instructions as f64;
     assert!(
         total_inline_reduction >= total_reduction,
         "inlining must not regress the coalesced plan ({:.1}% vs {:.1}%)",
         total_inline_reduction * 100.0,
         total_reduction * 100.0
+    );
+
+    // Gate 2: region coalescing emits fewer calls than per-block
+    // coalescing on at least two of fft/stencil/spmv.
+    let region_wins = sweeps[..3]
+        .iter()
+        .filter(|s| s.runs[3].sum(|st| st.emitted_calls) < s.runs[1].sum(|st| st.emitted_calls))
+        .count();
+    assert!(
+        region_wins >= 2,
+        "region coalescing must beat per-block coalescing on ≥2 of fft/stencil/spmv \
+         (won on {region_wins})"
     );
 }

@@ -192,6 +192,9 @@ pub struct CallMeta {
     pub multiplicity: u32,
     /// The original instruction indices it stands for, sorted.
     pub group: Vec<usize>,
+    /// The subset of `group` lowered from `IPoint::After` sites: origin *o*
+    /// is represented at the `Before` slot of site *o + 1*.
+    pub lowered: Vec<usize>,
     /// The call follows the multiplicity protocol.
     pub coalesce: bool,
     /// When inlined: `(offset, len)` of the spliced body within the site's
@@ -723,6 +726,7 @@ fn emit_call(
         func: call.func.clone(),
         multiplicity: call.multiplicity,
         group: call.group.clone(),
+        lowered: call.lowered.clone(),
         coalesce: call.coalesce,
         inline: inline_span,
     })
@@ -763,7 +767,7 @@ mod tests {
         body_len: usize,
         fns: &HashMap<String, ToolFn>,
     ) -> InstrumentationPlan {
-        plan::build(spec, body_len, None, fns, PlanOpts::naive()).unwrap()
+        plan::build(spec, body_len, None, None, fns, PlanOpts::naive()).unwrap()
     }
 
     fn fake_info(addr: u64, reg_count: u32, arch: Arch) -> FunctionInfo {
@@ -994,7 +998,7 @@ mod tests {
         let (_hal, _info, instrs, _code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "missing", IPoint::Before);
-        let e = plan::build(&spec, instrs.len(), None, &tool_fns(), PlanOpts::naive());
+        let e = plan::build(&spec, instrs.len(), None, None, &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
     }
 
@@ -1003,7 +1007,7 @@ mod tests {
         let (_hal, _info, instrs, _code) = setup(Arch::Volta, "EXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(5, "ifunc", IPoint::Before);
-        let e = plan::build(&spec, instrs.len(), None, &tool_fns(), PlanOpts::naive());
+        let e = plan::build(&spec, instrs.len(), None, None, &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
     }
 
@@ -1325,8 +1329,9 @@ mod tests {
             &spec,
             instrs.len(),
             None,
+            None,
             &fns,
-            PlanOpts { coalesce: false, inline: true },
+            PlanOpts { inline: true, ..PlanOpts::naive() },
         )
         .unwrap();
         let img = generate(
@@ -1382,8 +1387,9 @@ mod tests {
             &spec,
             instrs.len(),
             None,
+            None,
             &fns,
-            PlanOpts { coalesce: false, inline: true },
+            PlanOpts { inline: true, ..PlanOpts::naive() },
         )
         .unwrap();
         let routines = fake_routines();
@@ -1417,8 +1423,9 @@ mod tests {
             &spec,
             instrs.len(),
             Some(&blocks),
+            None,
             &tool_fns(),
-            PlanOpts { coalesce: true, inline: false },
+            PlanOpts { coalesce: true, ..PlanOpts::naive() },
         )
         .unwrap();
         let img = generate(
@@ -1471,7 +1478,8 @@ mod tests {
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "leaf", IPoint::Before);
         let run = |fns: &HashMap<String, ToolFn>| {
-            let plan = plan::build(&spec, instrs.len(), None, fns, PlanOpts::naive()).unwrap();
+            let plan =
+                plan::build(&spec, instrs.len(), None, None, fns, PlanOpts::naive()).unwrap();
             generate(
                 &hal,
                 &info,

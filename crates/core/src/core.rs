@@ -218,9 +218,18 @@ fn build_one(
         let plan = {
             let _pspan = common::obs::span("plan");
             let blocks = l.basic_blocks.as_ref().ok().map(Vec::as_slice);
-            let plan = plan::build(&input.spec, original.len(), blocks, tool_fns, input.key.opts)?;
+            let plan = plan::build(
+                &input.spec,
+                original.len(),
+                blocks,
+                l.dom.as_ref(),
+                tool_fns,
+                input.key.opts,
+            )?;
             common::obs::counter("plan.coalesced_away", plan.stats.coalesced_away);
             common::obs::counter("plan.inlined_calls", plan.stats.inlined_calls);
+            common::obs::counter("plan.after_lowered", plan.stats.after_lowered);
+            common::obs::counter("plan.region_groups", plan.stats.region_groups);
             plan
         };
         let image = {

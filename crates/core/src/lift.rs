@@ -18,6 +18,9 @@ pub struct Lifted {
     /// Liveness / reaching-definitions analysis over the body; `None`
     /// exactly when `basic_blocks` failed (the analysis needs the CFG).
     pub dataflow: Option<sass::Dataflow>,
+    /// Dominator/post-dominator analysis and coalescing-region partition
+    /// over the body; `None` exactly when `basic_blocks` failed.
+    pub dom: Option<sass::Dom>,
 }
 
 /// Lifts the function's current code bytes.
@@ -30,6 +33,7 @@ pub fn lift(hal: &Hal, info: &FunctionInfo, code: &[u8]) -> Result<Lifted> {
     let isize = hal.instruction_size();
     let blocks = sass::cfg::basic_blocks(&raw, hal.arch());
     let dataflow = sass::Dataflow::analyze(&raw, hal.arch()).ok();
+    let dom = blocks.as_ref().ok().map(|b| sass::Dom::analyze(&raw, b, hal.arch()));
     let mut instrs = Vec::with_capacity(raw.len());
     for (idx, inner) in raw.into_iter().enumerate() {
         let line_info = info
@@ -40,7 +44,7 @@ pub fn lift(hal: &Hal, info: &FunctionInfo, code: &[u8]) -> Result<Lifted> {
             .map(|l| (l.file.clone(), l.line));
         instrs.push(Instr::new(idx, idx as u64 * isize, inner, line_info));
     }
-    Ok(Lifted { addr: info.addr, instrs, basic_blocks: blocks, dataflow })
+    Ok(Lifted { addr: info.addr, instrs, basic_blocks: blocks, dataflow, dom })
 }
 
 #[cfg(test)]
@@ -90,6 +94,7 @@ mod tests {
         let blocks = lifted.basic_blocks.as_ref().unwrap();
         assert_eq!(blocks.len(), 3);
         assert!(lifted.dataflow.is_some());
+        assert!(lifted.dom.is_some());
     }
 
     #[test]
@@ -103,6 +108,7 @@ mod tests {
             "ICF must surface the structured failure"
         );
         assert!(lifted.dataflow.is_none());
+        assert!(lifted.dom.is_none());
         assert_eq!(lifted.instrs.len(), 2);
     }
 

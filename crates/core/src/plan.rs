@@ -8,7 +8,17 @@
 //! framework applies (Pin, DynamoRIO; see the DBI survey), mapped onto the
 //! paper's Fig. 9 overhead breakdown:
 //!
-//! 1. **Block coalescing** (opt-in per injection via
+//! 1. **After-point lowering** (paper Fig. 4 — the trampoline's
+//!    post-original slot): an `IPoint::After` injection at a mid-block
+//!    instruction *i* is observationally identical to an `IPoint::Before`
+//!    injection at *i + 1* — nothing executes between "after *i*" and
+//!    "before *i + 1*" on the fall-through edge, and a mid-block
+//!    instruction always falls through (only block terminators transfer
+//!    control; predication gates effects, not issue). The pass rewrites
+//!    such coalesce-marked injections to the block-exit `Before` position
+//!    so the coalescing passes can merge them; After-points on block
+//!    terminators are never moved (that would cross a taken branch).
+//! 2. **Block coalescing** (opt-in per injection via
 //!    [`crate::spec::Injection::coalesce`]): injections of the same tool
 //!    function with identical *block-invariant* arguments (immediates,
 //!    constant-bank reads) and no predicate filter are merged into a single
@@ -17,7 +27,14 @@
 //!    block (control flow only occurs at block ends, and predication does
 //!    not alter the mask), so one call with multiplicity *N* observes the
 //!    same active lanes as *N* calls with multiplicity 1.
-//! 2. **Leaf inlining**: tool functions classified as inlinable leaves
+//! 3. **Region coalescing**: per-block merged calls are hoisted further,
+//!    into one call per [`sass::Dom`] coalescing region — the dominator/
+//!    post-dominator/cycle-equivalence classes whose blocks provably
+//!    execute exactly as often, per lane, as the class head (see
+//!    [`sass::dom`] for the exactness argument). Irreducible control flow
+//!    makes every block its own region, so this pass degrades to a no-op
+//!    rather than to an approximation.
+//! 4. **Leaf inlining**: tool functions classified as inlinable leaves
 //!    (small, call-free, no `nvbit.readreg`/`writereg` use — see
 //!    [`crate::codegen::ToolFn::inlinable`]) have their bodies spliced
 //!    directly into the trampoline, eliminating the CALL/RET pair.
@@ -25,13 +42,14 @@
 //! Every coalesce-marked injection follows the **multiplicity protocol**:
 //! the plan appends one trailing `Imm32` argument — 1 when the call stands
 //! alone, *N* when it represents *N* merged sites — so the tool function's
-//! signature (and its output) is identical whether or not the pass runs.
+//! signature (and its output) is identical whether or not the passes run.
 
 use crate::codegen::ToolFn;
-use crate::spec::{Arg, FuncSpec, IPoint, Injection};
+use crate::spec::{Arg, FuncSpec, IPoint};
 use crate::{NvbitError, Result};
 use sass::cfg::{block_of, BasicBlock};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use sass::Dom;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Which optimization passes [`build`] runs. Part of the image-cache key:
 /// different options produce different trampolines for the same spec.
@@ -42,18 +60,24 @@ pub struct PlanOpts {
     /// Splice inlinable leaf tool functions into the trampoline instead of
     /// calling them.
     pub inline: bool,
+    /// Hoist per-block merged calls into one call per dominator region
+    /// (needs `coalesce` groups to be meaningful, but runs independently).
+    pub region_coalesce: bool,
+    /// Lower coalesce-marked `IPoint::After` injections at mid-block sites
+    /// to the equivalent `Before` position on the fall-through edge.
+    pub after_lower: bool,
 }
 
 impl Default for PlanOpts {
     fn default() -> Self {
-        PlanOpts { coalesce: true, inline: true }
+        PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true }
     }
 }
 
 impl PlanOpts {
-    /// Both passes disabled — the naive one-call-per-site pipeline.
+    /// Every pass disabled — the naive one-call-per-site pipeline.
     pub fn naive() -> Self {
-        PlanOpts { coalesce: false, inline: false }
+        PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false }
     }
 }
 
@@ -77,6 +101,11 @@ pub struct PlannedCall {
     /// The original instruction indices this call stands for, sorted. A
     /// lone call's group is just its own site.
     pub group: Vec<usize>,
+    /// The subset of `group` whose injections were `IPoint::After` points
+    /// lowered by the after-lowering pass: each such origin *o* is
+    /// represented at the `Before` slot of site *o + 1*. Sorted; empty when
+    /// no member was lowered.
+    pub lowered: Vec<usize>,
     /// Splice the tool function's body instead of emitting a `JCAL`.
     pub inline: bool,
 }
@@ -99,6 +128,12 @@ pub struct PlanStats {
     pub sites_dropped: u64,
     /// Emitted calls marked for inline splicing.
     pub inlined_calls: u64,
+    /// `IPoint::After` injections lowered to the fall-through `Before`
+    /// slot by the after-lowering pass.
+    pub after_lowered: u64,
+    /// Groups merged by the region-coalescing pass (beyond what block
+    /// coalescing already merged).
+    pub region_groups: u64,
     /// Whether a basic-block partition was available (coalescing needs
     /// one; indirect control flow defeats it — the ICF exception).
     pub cfg_available: bool,
@@ -125,12 +160,20 @@ fn block_invariant(arg: &Arg) -> bool {
     matches!(arg, Arg::Imm32(_) | Arg::Imm64(_) | Arg::CBank { .. })
 }
 
-/// True if the injection is eligible for the coalescing pass.
-fn coalescible(inj: &Injection) -> bool {
-    inj.coalesce
-        && !inj.pred_filter
-        && inj.ipoint == IPoint::Before
-        && inj.args.iter().all(block_invariant)
+/// True if the planned call is eligible for the coalescing passes. The
+/// call already carries the trailing multiplicity argument (`coalesce`
+/// implies it), so only the explicit arguments must be block-invariant.
+fn mergeable(call: &PlannedCall) -> bool {
+    call.coalesce
+        && !call.pred_filter
+        && call.ipoint == IPoint::Before
+        && explicit_args(call).iter().all(block_invariant)
+}
+
+/// The call's arguments minus the trailing multiplicity argument.
+fn explicit_args(call: &PlannedCall) -> &[Arg] {
+    debug_assert!(call.coalesce);
+    &call.args[..call.args.len() - 1]
 }
 
 /// Builds the plan: validates the spec against the function body and the
@@ -138,7 +181,9 @@ fn coalescible(inj: &Injection) -> bool {
 ///
 /// `blocks` is the function's basic-block partition when static CFG
 /// recovery succeeded (`None` under the ICF exception — coalescing is then
-/// skipped and [`PlanStats::cfg_available`] records it).
+/// skipped and [`PlanStats::cfg_available`] records it). `dom` is the
+/// dominator analysis over those blocks; region coalescing is skipped
+/// without it (or when it reports irreducible control flow).
 ///
 /// # Errors
 ///
@@ -148,6 +193,7 @@ pub fn build(
     spec: &FuncSpec,
     body_len: usize,
     blocks: Option<&[BasicBlock]>,
+    dom: Option<&Dom>,
     tool_fns: &HashMap<String, ToolFn>,
     opts: PlanOpts,
 ) -> Result<InstrumentationPlan> {
@@ -191,19 +237,52 @@ pub fn build(
                 coalesce: inj.coalesce,
                 multiplicity: 1,
                 group: vec![idx],
+                lowered: Vec::new(),
                 inline: false,
             });
         }
     }
 
-    // Pass 1: block coalescing.
-    if opts.coalesce {
+    // Pass 1: after-point lowering (must precede coalescing so the lowered
+    // calls participate in it).
+    if opts.after_lower {
         if let Some(blocks) = blocks {
-            coalesce_pass(&mut sites, blocks, spec, &mut stats);
+            after_lower_pass(&mut sites, blocks, &mut stats);
         }
     }
 
-    // Pass 2: leaf inlining.
+    // Pass 2: block coalescing — merge within each basic block.
+    if opts.coalesce {
+        if let Some(blocks) = blocks {
+            stats.coalesced_groups += merge_calls(&mut sites, &|site| block_of(blocks, site));
+        }
+    }
+
+    // Pass 3: region coalescing — merge across control-equivalent,
+    // cycle-equivalent blocks. Identity regions under irreducible control
+    // flow make this a no-op, so skip the walk entirely.
+    if opts.region_coalesce {
+        if let (Some(blocks), Some(dom)) = (blocks, dom) {
+            if !dom.irreducible() {
+                stats.region_groups += merge_calls(&mut sites, &|site| {
+                    block_of(blocks, site).map(|b| dom.region_head(b))
+                });
+            }
+        }
+    }
+
+    // Drop sites whose calls were all merged or lowered away. This is safe
+    // even for sites also marked removed: the generator NOPs
+    // removed-but-callless instructions in place, with no trampoline
+    // needed.
+    let empty: Vec<usize> =
+        sites.iter().filter(|(_, calls)| calls.is_empty()).map(|(&idx, _)| idx).collect();
+    stats.sites_dropped += empty.len() as u64;
+    for idx in empty {
+        sites.remove(&idx);
+    }
+
+    // Pass 4: leaf inlining.
     for calls in sites.values_mut() {
         for call in calls.iter_mut() {
             stats.emitted_calls += 1;
@@ -218,77 +297,141 @@ pub fn build(
     Ok(InstrumentationPlan { sites, removed: spec.removed.clone(), stats, opts })
 }
 
-/// Merges coalescible calls within each basic block. The representative
-/// call lives at the group's lowest site (position within the block is
-/// irrelevant: the active mask is block-constant); sites left with no
-/// calls are dropped from the plan.
-fn coalesce_pass(
+/// Lowers eligible `IPoint::After` calls at mid-block sites to the
+/// `Before` slot of the next instruction. Eligible means coalesce-marked,
+/// no predicate filter, block-invariant explicit arguments, and the next
+/// instruction lies in the same basic block (so the move never crosses a
+/// taken branch — a mid-block instruction always falls through, and
+/// nothing executes between "after *i*" and "before *i + 1*").
+fn after_lower_pass(
     sites: &mut BTreeMap<usize, Vec<PlannedCall>>,
     blocks: &[BasicBlock],
-    spec: &FuncSpec,
     stats: &mut PlanStats,
 ) {
-    // (block, func, explicit args) → sorted member sites. BTreeMap keeps
-    // the grouping deterministic, and the spec's injection order within a
-    // site is irrelevant for coalescible calls (no side ordering between
-    // identical block-invariant calls).
-    type GroupKey = (usize, String, Vec<Arg>);
-    let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
-    for (&idx, injections) in &spec.sites {
-        let Some(block) = block_of(blocks, idx) else { continue };
-        for inj in injections {
-            if coalescible(inj) {
-                groups.entry((block, inj.func.clone(), inj.args.clone())).or_default().push(idx);
+    // Collect (site → positions of calls to lower) against the pre-pass
+    // lists, then apply in descending site order: processing site *s*
+    // inserts into *s + 1*, whose own removals have already been applied.
+    let mut moves: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (&site, calls) in sites.iter() {
+        if block_of(blocks, site + 1) != block_of(blocks, site) {
+            continue;
+        }
+        for (pos, call) in calls.iter().enumerate() {
+            let eligible = call.coalesce
+                && !call.pred_filter
+                && call.ipoint == IPoint::After
+                && explicit_args(call).iter().all(block_invariant);
+            if eligible {
+                moves.entry(site).or_default().push(pos);
             }
         }
     }
 
-    for ((_, func, explicit_args), members) in groups {
+    for (&site, positions) in moves.iter().rev() {
+        let calls = sites.get_mut(&site).expect("site with pending moves exists");
+        let mut moved: Vec<PlannedCall> = Vec::with_capacity(positions.len());
+        for &pos in positions.iter().rev() {
+            moved.push(calls.remove(pos));
+        }
+        moved.reverse();
+        let dst = sites.entry(site + 1).or_default();
+        for (at, mut call) in moved.into_iter().enumerate() {
+            call.ipoint = IPoint::Before;
+            call.lowered = call.group.clone();
+            stats.after_lowered += 1;
+            // Front-inserted: the lowered call conceptually precedes the
+            // target site's own Before calls on the timeline.
+            dst.insert(at, call);
+        }
+    }
+}
+
+/// Merges mergeable calls whose sites share an equivalence class, as
+/// defined by `class_of` (basic block for the block pass, dominator-region
+/// head for the region pass). Returns the number of groups merged.
+///
+/// The representative is the member with the lowest anchor site
+/// (`group.first()`); it keeps its placement, accumulates the members'
+/// groups/lowered sets and their summed multiplicity, and the others are
+/// dropped. Two calls covering a common origin site never merge (each
+/// origin is represented at most once per group), which keeps `group`
+/// strictly ascending.
+fn merge_calls(
+    sites: &mut BTreeMap<usize, Vec<PlannedCall>>,
+    class_of: &dyn Fn(usize) -> Option<usize>,
+) -> u64 {
+    // (class, func, explicit args) → member (site, position) list plus the
+    // origin sites already claimed. BTreeMap keeps grouping deterministic;
+    // ordering between identical block-invariant calls has no semantics.
+    type GroupKey = (usize, String, Vec<Arg>);
+    type Members = (Vec<(usize, usize)>, BTreeSet<usize>);
+    let mut groups: BTreeMap<GroupKey, Members> = BTreeMap::new();
+    for (&site, calls) in sites.iter() {
+        let Some(class) = class_of(site) else { continue };
+        for (pos, call) in calls.iter().enumerate() {
+            if !mergeable(call) {
+                continue;
+            }
+            let key = (class, call.func.clone(), explicit_args(call).to_vec());
+            let (members, origins) = groups.entry(key).or_default();
+            if call.group.iter().any(|o| origins.contains(o)) {
+                continue; // overlapping origin — leave this call standalone
+            }
+            origins.extend(call.group.iter().copied());
+            members.push((site, pos));
+        }
+    }
+
+    let mut merged_groups = 0u64;
+    // Positions to drop per site, applied descending after all rewrites.
+    let mut drops: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (_, (members, _)) in groups {
         if members.len() < 2 {
             continue;
         }
-        let mult = members.len() as u32;
-        // Rewrite the representative (lowest-site) call in place; drop the
-        // others.
-        for (pos, &site) in members.iter().enumerate() {
-            let calls = sites.get_mut(&site).expect("grouped site exists");
-            let at = calls
-                .iter()
-                .position(|c| {
-                    c.coalesce
-                        && c.multiplicity == 1
-                        && c.func == func
-                        && c.args[..c.args.len() - 1] == explicit_args[..]
-                        && !c.pred_filter
-                })
-                .expect("grouped call exists");
-            if pos == 0 {
-                let call = &mut calls[at];
-                call.multiplicity = mult;
-                *call.args.last_mut().expect("multiplicity arg present") = Arg::Imm32(mult as i32);
-                call.group = members.clone();
-            } else {
-                calls.remove(at);
+        // Representative: lowest anchor (minimum first origin). Origins are
+        // disjoint across members, so the minimum is unique.
+        let rep = members
+            .iter()
+            .copied()
+            .min_by_key(|&(site, pos)| sites[&site][pos].group[0])
+            .expect("non-empty group");
+        let mut group: Vec<usize> = Vec::new();
+        let mut lowered: Vec<usize> = Vec::new();
+        let mut mult = 0u64;
+        for &(site, pos) in &members {
+            let call = &sites[&site][pos];
+            group.extend(call.group.iter().copied());
+            lowered.extend(call.lowered.iter().copied());
+            mult += u64::from(call.multiplicity);
+            if (site, pos) != rep {
+                drops.entry(site).or_default().push(pos);
             }
         }
-        stats.coalesced_groups += 1;
+        group.sort_unstable();
+        lowered.sort_unstable();
+        let call = &mut sites.get_mut(&rep.0).expect("representative site exists")[rep.1];
+        call.multiplicity = mult as u32;
+        *call.args.last_mut().expect("multiplicity arg present") = Arg::Imm32(mult as i32);
+        call.group = group;
+        call.lowered = lowered;
+        merged_groups += 1;
     }
 
-    // Drop sites whose calls were all merged away. This is safe even for
-    // sites also marked removed: the generator NOPs removed-but-callless
-    // instructions in place, with no trampoline needed.
-    let empty: Vec<usize> =
-        sites.iter().filter(|(_, calls)| calls.is_empty()).map(|(&idx, _)| idx).collect();
-    stats.sites_dropped += empty.len() as u64;
-    for idx in empty {
-        sites.remove(&idx);
+    for (&site, positions) in drops.iter_mut() {
+        positions.sort_unstable();
+        let calls = sites.get_mut(&site).expect("dropped site exists");
+        for &pos in positions.iter().rev() {
+            calls.remove(pos);
+        }
     }
+    merged_groups
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sass::{asm::assemble_arch, Arch};
+    use sass::{asm::assemble_arch, Arch, Instruction};
 
     const BODY: &str = "\
     S2R R0, SR_TID.X ;
@@ -304,6 +447,13 @@ skip:
         let prog = assemble_arch(BODY, Arch::Volta).unwrap();
         let blocks = sass::cfg::basic_blocks(&prog, Arch::Volta).unwrap();
         (prog.len(), blocks)
+    }
+
+    fn body_dom(src: &str) -> (Vec<Instruction>, Vec<BasicBlock>, Dom) {
+        let prog = assemble_arch(src, Arch::Volta).unwrap();
+        let blocks = sass::cfg::basic_blocks(&prog, Arch::Volta).unwrap();
+        let dom = Dom::analyze(&prog, &blocks, Arch::Volta);
+        (prog, blocks, dom)
     }
 
     fn fns(inlinable: bool) -> HashMap<String, ToolFn> {
@@ -328,9 +478,15 @@ skip:
     fn coalescing_merges_per_block_and_appends_multiplicity() {
         let (n, blocks) = body_blocks();
         let spec = count_spec(n, 0xdead);
-        let plan =
-            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
-                .unwrap();
+        let plan = build(
+            &spec,
+            n,
+            Some(&blocks),
+            None,
+            &fns(false),
+            PlanOpts { coalesce: true, ..PlanOpts::naive() },
+        )
+        .unwrap();
         // Blocks are 0..3, 3..5, 5..6 → one call each, at the block heads.
         let idxs: Vec<usize> = plan.sites.keys().copied().collect();
         assert_eq!(idxs, vec![0, 3, 5]);
@@ -351,7 +507,7 @@ skip:
     fn naive_plan_still_appends_multiplicity_one() {
         let (n, _) = body_blocks();
         let spec = count_spec(n, 1);
-        let plan = build(&spec, n, None, &fns(false), PlanOpts::naive()).unwrap();
+        let plan = build(&spec, n, None, None, &fns(false), PlanOpts::naive()).unwrap();
         assert_eq!(plan.sites.len(), n);
         for calls in plan.sites.values() {
             assert_eq!(calls[0].args.last(), Some(&Arg::Imm32(1)));
@@ -376,9 +532,15 @@ skip:
         spec.insert_call(2, "f", IPoint::Before);
         spec.set_coalesce(2);
         spec.set_pred_filter(2);
-        let plan =
-            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
-                .unwrap();
+        let plan = build(
+            &spec,
+            n,
+            Some(&blocks),
+            None,
+            &fns(false),
+            PlanOpts { coalesce: true, ..PlanOpts::naive() },
+        )
+        .unwrap();
         assert_eq!(plan.sites.len(), 3, "nothing merged");
         assert_eq!(plan.stats.coalesced_groups, 0);
     }
@@ -392,9 +554,15 @@ skip:
             spec.add_arg(idx, Arg::Imm64(ctr));
             spec.set_coalesce(idx);
         }
-        let plan =
-            build(&spec, n, Some(&blocks), &fns(false), PlanOpts { coalesce: true, inline: false })
-                .unwrap();
+        let plan = build(
+            &spec,
+            n,
+            Some(&blocks),
+            None,
+            &fns(false),
+            PlanOpts { coalesce: true, ..PlanOpts::naive() },
+        )
+        .unwrap();
         // Sites 0 and 1 merge (same counter); site 2 stands alone.
         assert_eq!(plan.sites[&0][0].multiplicity, 2);
         assert_eq!(plan.sites[&2][0].multiplicity, 1);
@@ -407,7 +575,7 @@ skip:
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "f", IPoint::Before);
         spec.add_arg(0, Arg::Imm64(7));
-        let plan = build(&spec, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        let plan = build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
         assert_eq!(plan.sites[&0][0].args, vec![Arg::Imm64(7)]);
     }
 
@@ -416,14 +584,21 @@ skip:
         let (n, blocks) = body_blocks();
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "f", IPoint::Before);
-        let on =
-            build(&spec, n, Some(&blocks), &fns(true), PlanOpts { coalesce: false, inline: true })
-                .unwrap();
+        let on = build(
+            &spec,
+            n,
+            Some(&blocks),
+            None,
+            &fns(true),
+            PlanOpts { inline: true, ..PlanOpts::naive() },
+        )
+        .unwrap();
         assert!(on.sites[&0][0].inline);
         assert_eq!(on.stats.inlined_calls, 1);
-        let off = build(&spec, n, Some(&blocks), &fns(true), PlanOpts::naive()).unwrap();
+        let off = build(&spec, n, Some(&blocks), None, &fns(true), PlanOpts::naive()).unwrap();
         assert!(!off.sites[&0][0].inline);
-        let opaque = build(&spec, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        let opaque =
+            build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
         assert!(!opaque.sites[&0][0].inline, "non-leaf tools are never inlined");
     }
 
@@ -433,19 +608,19 @@ skip:
         let mut s = FuncSpec::default();
         s.insert_call(99, "f", IPoint::Before);
         assert!(matches!(
-            build(&s, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            build(&s, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
             Err(NvbitError::BadInstrIndex { index: 99, .. })
         ));
         let mut s2 = FuncSpec::default();
         s2.insert_call(0, "missing", IPoint::Before);
         assert!(matches!(
-            build(&s2, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            build(&s2, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
             Err(NvbitError::UnknownToolFunction(_))
         ));
         let mut s3 = FuncSpec::default();
         s3.remove_orig(99);
         assert!(matches!(
-            build(&s3, n, Some(&blocks), &fns(false), PlanOpts::default()),
+            build(&s3, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
             Err(NvbitError::BadInstrIndex { index: 99, .. })
         ));
     }
@@ -455,8 +630,164 @@ skip:
         let (n, blocks) = body_blocks();
         let mut s = FuncSpec::default();
         s.remove_orig(3);
-        let plan = build(&s, n, Some(&blocks), &fns(false), PlanOpts::default()).unwrap();
+        let plan = build(&s, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
         assert!(plan.sites.is_empty());
         assert!(plan.removed.contains(&3));
+    }
+
+    // BODY's skip block (instr 5) is control- and cycle-equivalent to the
+    // entry block: the region pass hoists its call into the entry group.
+    #[test]
+    fn region_pass_hoists_control_equivalent_blocks() {
+        let (prog, blocks, dom) = body_dom(BODY);
+        let spec = count_spec(prog.len(), 0xdead);
+        let opts = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
+        let plan = build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), opts).unwrap();
+        let idxs: Vec<usize> = plan.sites.keys().copied().collect();
+        assert_eq!(idxs, vec![0, 3], "skip-block call hoisted into the entry call");
+        let c0 = &plan.sites[&0][0];
+        assert_eq!(c0.multiplicity, 4);
+        assert_eq!(c0.group, vec![0, 1, 2, 5]);
+        assert_eq!(c0.args, vec![Arg::Imm64(0xdead), Arg::Imm32(4)]);
+        assert_eq!(plan.sites[&3][0].multiplicity, 2, "conditional arm stays separate");
+        assert_eq!(plan.stats.region_groups, 1);
+        assert_eq!(plan.stats.coalesced_groups, 2);
+        assert_eq!(plan.stats.emitted_calls, 2);
+        assert_eq!(plan.stats.coalesced_away, 4);
+    }
+
+    const LOOP: &str = "\
+    MOV32I R0, 0x0 ;
+body:
+    IADD R0, R0, 0x1 ;
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@!P0 BRA body ;
+    STG [R2], R0 ;
+    EXIT ;
+";
+
+    #[test]
+    fn region_pass_skips_loop_bodies() {
+        let (prog, blocks, dom) = body_dom(LOOP);
+        let spec = count_spec(prog.len(), 1);
+        let opts = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
+        let plan = build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), opts).unwrap();
+        // Setup (instr 0) and tail (instrs 4,5) merge; the loop body
+        // (instrs 1..4) executes more often and must stay out.
+        let idxs: Vec<usize> = plan.sites.keys().copied().collect();
+        assert_eq!(idxs, vec![0, 1]);
+        assert_eq!(plan.sites[&0][0].group, vec![0, 4, 5]);
+        assert_eq!(plan.sites[&0][0].multiplicity, 3);
+        assert_eq!(plan.sites[&1][0].group, vec![1, 2, 3]);
+        assert_eq!(plan.stats.region_groups, 1);
+    }
+
+    const IRREDUCIBLE: &str = "\
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA b ;
+a:
+    IADD R1, R1, 0x1 ;
+b:
+    ISETP.GE.S32 P1, R1, 0x20 ;
+@!P1 BRA a ;
+    EXIT ;
+";
+
+    #[test]
+    fn region_pass_is_a_noop_on_irreducible_control_flow() {
+        let (prog, blocks, dom) = body_dom(IRREDUCIBLE);
+        assert!(dom.irreducible());
+        let spec = count_spec(prog.len(), 1);
+        let with_region = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
+        let block_only = PlanOpts { coalesce: true, ..PlanOpts::naive() };
+        let a =
+            build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), with_region).unwrap();
+        let b = build(&spec, prog.len(), Some(&blocks), None, &fns(false), block_only).unwrap();
+        assert_eq!(a.sites, b.sites, "irreducible graphs degrade to per-block merging");
+        assert_eq!(a.stats.region_groups, 0);
+    }
+
+    fn after_spec(idxs: &[usize], ctr: u64) -> FuncSpec {
+        let mut s = FuncSpec::default();
+        for &idx in idxs {
+            s.insert_call(idx, "f", IPoint::After);
+            s.add_arg(idx, Arg::Imm64(ctr));
+            s.set_coalesce(idx);
+        }
+        s
+    }
+
+    #[test]
+    fn after_points_lower_to_fall_through_slots() {
+        let (n, blocks) = body_blocks();
+        // Sites 0 and 1 are mid-block; site 2 is the block terminator.
+        let spec = after_spec(&[0, 1, 2], 9);
+        let opts = PlanOpts { after_lower: true, ..PlanOpts::naive() };
+        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        let c1 = &plan.sites[&1][0];
+        assert_eq!(c1.ipoint, IPoint::Before);
+        assert_eq!((c1.group.as_slice(), c1.lowered.as_slice()), (&[0usize][..], &[0usize][..]));
+        let c2 = &plan.sites[&2][0];
+        assert_eq!(c2.ipoint, IPoint::Before);
+        assert_eq!(c2.lowered, vec![1]);
+        // The terminator's After-point must not cross the taken branch.
+        let c2b = &plan.sites[&2][1];
+        assert_eq!(c2b.ipoint, IPoint::After);
+        assert!(c2b.lowered.is_empty());
+        assert_eq!(plan.stats.after_lowered, 2);
+        assert!(!plan.sites.contains_key(&0), "emptied origin site dropped");
+    }
+
+    #[test]
+    fn lowered_after_points_coalesce_under_the_multiplicity_protocol() {
+        let (n, blocks) = body_blocks();
+        let spec = after_spec(&[0, 1], 9);
+        let opts = PlanOpts { after_lower: true, coalesce: true, ..PlanOpts::naive() };
+        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        let idxs: Vec<usize> = plan.sites.keys().copied().collect();
+        assert_eq!(idxs, vec![1], "anchored at origin 0's fall-through slot");
+        let c = &plan.sites[&1][0];
+        assert_eq!(c.ipoint, IPoint::Before);
+        assert_eq!(c.multiplicity, 2);
+        assert_eq!(c.group, vec![0, 1]);
+        assert_eq!(c.lowered, vec![0, 1]);
+        assert_eq!(c.args, vec![Arg::Imm64(9), Arg::Imm32(2)]);
+        assert_eq!(plan.stats.after_lowered, 2);
+        assert_eq!(plan.stats.coalesced_groups, 1);
+    }
+
+    #[test]
+    fn per_instance_after_points_stay_in_place() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        spec.insert_call(0, "f", IPoint::After);
+        spec.add_arg(0, Arg::GuardPred);
+        spec.set_coalesce(0);
+        let plan = build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
+        assert_eq!(plan.sites[&0][0].ipoint, IPoint::After);
+        assert_eq!(plan.stats.after_lowered, 0);
+    }
+
+    // A Before-point at site i and a lowered After-point from the same
+    // site share origin i: they must never merge into one group (the
+    // group would list origin i twice).
+    #[test]
+    fn overlapping_origins_never_merge() {
+        let (n, blocks) = body_blocks();
+        let mut spec = FuncSpec::default();
+        for ipoint in [IPoint::Before, IPoint::After] {
+            spec.insert_call(0, "f", ipoint);
+            spec.add_arg(0, Arg::Imm64(9));
+            spec.set_coalesce(0);
+        }
+        let opts = PlanOpts { after_lower: true, coalesce: true, ..PlanOpts::naive() };
+        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        assert_eq!(plan.stats.emitted_calls, 2);
+        assert_eq!(plan.stats.coalesced_groups, 0);
+        for calls in plan.sites.values() {
+            for c in calls {
+                assert_eq!((c.multiplicity, c.group.as_slice()), (1, &[0usize][..]));
+            }
+        }
     }
 }

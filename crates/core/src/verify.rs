@@ -71,8 +71,18 @@ pub enum DiagKind {
     UnbalancedFrame,
     /// A coalesced call's bookkeeping is inconsistent: its multiplicity does
     /// not match its group size, its group is not anchored at the site, or
-    /// the group spans more than one basic block of the original body.
+    /// a merge exists without a recoverable CFG to justify it.
     CoalesceMismatch,
+    /// A coalesced group spans basic blocks of the original body that are
+    /// not in the same dominator coalescing region (see [`sass::Dom`]): the
+    /// member sites are not proven to execute exactly as often as the
+    /// placement site.
+    RegionMismatch,
+    /// A lowered `IPoint::After` call's bookkeeping is inconsistent: a
+    /// lowered origin is missing from the group, has no fall-through
+    /// successor inside its own basic block, or there is no CFG to justify
+    /// the move.
+    AfterMismatch,
     /// An inline-spliced call does not reproduce the loaded tool function's
     /// body (with the trailing `RET` turned into a `NOP`).
     InlineMismatch,
@@ -444,6 +454,9 @@ pub fn verify_plan_instrs(
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let blocks = sass::cfg::basic_blocks(original, hal.arch()).ok();
+    // Recomputed (not trusted from the image) dominator analysis: region
+    // checks must hold against the original body as the verifier sees it.
+    let dom = blocks.as_ref().map(|b| sass::Dom::analyze(original, b, hal.arch()));
 
     for site in sites {
         let end = site.start + site.len;
@@ -479,20 +492,23 @@ pub fn verify_plan_instrs(
         }
 
         for call in &site.calls {
-            // Coalescing bookkeeping.
-            let mut bad_group = call.multiplicity as usize != call.group.len()
-                || call.group.first() != Some(&site.instr_idx)
-                || call.group.windows(2).any(|w| w[0] >= w[1]);
-            if !bad_group && call.multiplicity > 1 {
-                match &blocks {
-                    Some(blocks) => {
-                        let home = block_of(blocks, site.instr_idx);
-                        bad_group = home.is_none()
-                            || call.group.iter().any(|&i| block_of(blocks, i) != home);
-                    }
-                    // Merging without a CFG is never legitimate.
-                    None => bad_group = true,
+            // Coalescing bookkeeping: multiplicity matches the group, the
+            // group is strictly ascending, and the call is anchored at its
+            // first origin — directly, or at that origin's fall-through
+            // slot when the origin was After-lowered.
+            let anchored = match call.group.first() {
+                Some(&first) => {
+                    first == site.instr_idx
+                        || (call.lowered.contains(&first) && first + 1 == site.instr_idx)
                 }
+                None => false,
+            };
+            let mut bad_group = call.multiplicity as usize != call.group.len()
+                || !anchored
+                || call.group.windows(2).any(|w| w[0] >= w[1]);
+            if !bad_group && call.multiplicity > 1 && blocks.is_none() {
+                // Merging without a CFG is never legitimate.
+                bad_group = true;
             }
             if bad_group {
                 diags.push(Diagnostic {
@@ -504,6 +520,62 @@ pub fn verify_plan_instrs(
                         call.func, site.instr_idx, call.multiplicity, call.group
                     ),
                 });
+            }
+
+            // After-lowering bookkeeping: every lowered origin must be a
+            // group member whose fall-through slot stays inside its own
+            // basic block (the move must never cross a taken branch).
+            if !call.lowered.is_empty() {
+                let mut bad_after = call.lowered.windows(2).any(|w| w[0] >= w[1])
+                    || call.lowered.iter().any(|l| !call.group.contains(l));
+                if !bad_after {
+                    bad_after = match &blocks {
+                        Some(blocks) => call.lowered.iter().any(|&l| {
+                            block_of(blocks, l).is_none()
+                                || block_of(blocks, l + 1) != block_of(blocks, l)
+                        }),
+                        // Lowering without a CFG is never legitimate.
+                        None => true,
+                    };
+                }
+                if bad_after {
+                    diags.push(Diagnostic {
+                        kind: DiagKind::AfterMismatch,
+                        region: Region::Trampoline,
+                        index: site.start,
+                        message: format!(
+                            "call to `{}` at instruction {} claims lowered origins {:?} \
+                             inconsistent with group {:?} or the CFG",
+                            call.func, site.instr_idx, call.lowered, call.group
+                        ),
+                    });
+                }
+            }
+
+            // Region consistency: every merged origin's block must share
+            // the placement site's coalescing region, which is exactly the
+            // per-lane execution-count equivalence the merge relies on.
+            if call.multiplicity > 1 {
+                if let (Some(blocks), Some(dom)) = (&blocks, &dom) {
+                    let bad_region = match block_of(blocks, site.instr_idx) {
+                        Some(home) => call.group.iter().any(|&i| {
+                            !block_of(blocks, i).is_some_and(|b| dom.same_region(home, b))
+                        }),
+                        None => true,
+                    };
+                    if bad_region {
+                        diags.push(Diagnostic {
+                            kind: DiagKind::RegionMismatch,
+                            region: Region::Trampoline,
+                            index: site.start,
+                            message: format!(
+                                "call to `{}` at instruction {} merges group {:?} across \
+                                 blocks outside the site's coalescing region",
+                                call.func, site.instr_idx, call.group
+                            ),
+                        });
+                    }
+                }
             }
 
             // Inline splices must reproduce the loaded tool body.
@@ -770,7 +842,14 @@ mod tests {
     }
 
     fn call_meta(multiplicity: u32, group: Vec<usize>) -> CallMeta {
-        CallMeta { func: "f".into(), multiplicity, group, coalesce: true, inline: None }
+        CallMeta {
+            func: "f".into(),
+            multiplicity,
+            group,
+            lowered: vec![],
+            coalesce: true,
+            inline: None,
+        }
     }
 
     fn run_plan(
@@ -808,18 +887,110 @@ mod tests {
         assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
     }
 
+    /// A conditional-skip body: `IADD; @P0 BRA +16; IADD; EXIT` → blocks
+    /// 0..2, 2..3 (the guarded arm) and 3..4. The arm does not
+    /// post-dominate the entry, so entry ↔ arm merges are illegal.
+    fn conditional() -> Vec<Instruction> {
+        let mut body = original();
+        body[1] = Instruction::new(Op::Bra, vec![Operand::Rel(16)])
+            .with_guard(sass::Guard { pred: sass::Pred(0), negated: false });
+        body
+    }
+
     #[test]
-    fn coalesced_group_may_not_span_basic_blocks() {
+    fn coalesced_group_may_span_region_equivalent_blocks_only() {
         let (_, tramp, mut sites) = good();
         sites[0].instr_idx = 0;
-        // Sites 0 and 2 sit on opposite sides of the branch.
+        // original()'s two blocks are control- and cycle-equivalent (the
+        // branch is unconditional): a cross-block group is legal.
         sites[0].calls = vec![call_meta(2, vec![0, 2])];
-        let d = run_plan(&original(), &tramp, &sites, &ext());
-        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
-        // The same group within one block is fine (blocks 2..4).
+        assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
+        // In the conditional body, site 2 executes only when P0 is false:
+        // merging it into the entry block is rejected.
+        let d = run_plan(&conditional(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::RegionMismatch));
+        // The exit block (instr 3) post-dominates the entry again, so an
+        // entry ↔ exit merge stays legal even in the conditional body.
+        sites[0].calls = vec![call_meta(2, vec![0, 3])];
+        assert_eq!(run_plan(&conditional(), &tramp, &sites, &ext()), vec![]);
+        // A merge within one block remains fine.
         sites[0].instr_idx = 2;
         sites[0].calls = vec![call_meta(2, vec![2, 3])];
         assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
+    }
+
+    /// A self-loop body: `IADD; @P0 BRA -32; EXIT` — block 0..2 cycles
+    /// back to itself, block 2..3 runs once. Control-equivalent to the
+    /// loop (entry dominates, exit post-dominates) but not
+    /// cycle-equivalent, so merging across the loop boundary is illegal.
+    fn looped() -> Vec<Instruction> {
+        vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(4)), Operand::Reg(Reg(4)), Operand::Imm(1)],
+            ),
+            Instruction::new(Op::Bra, vec![Operand::Rel(-32)])
+                .with_guard(sass::Guard { pred: sass::Pred(0), negated: false }),
+            Instruction::new(Op::Exit, vec![]),
+        ]
+    }
+
+    #[test]
+    fn coalesced_group_may_not_cross_a_loop_boundary() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![call_meta(2, vec![0, 2])];
+        let d = run_plan(&looped(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::RegionMismatch));
+        // Within the loop block itself the merge is fine.
+        sites[0].calls = vec![call_meta(2, vec![0, 1])];
+        assert_eq!(run_plan(&looped(), &tramp, &sites, &ext()), vec![]);
+    }
+
+    #[test]
+    fn lowered_calls_anchor_at_the_fall_through_slot() {
+        let (_, tramp, mut sites) = good();
+        // A lowered After-point from origin 0 is emitted at site 1.
+        sites[0].instr_idx = 1;
+        sites[0].calls = vec![CallMeta { lowered: vec![0], ..call_meta(1, vec![0]) }];
+        assert_eq!(run_plan(&original(), &tramp, &sites, &ext()), vec![]);
+        // Without the lowered marker the same metadata is mis-anchored.
+        sites[0].calls = vec![call_meta(1, vec![0])];
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::CoalesceMismatch));
+    }
+
+    #[test]
+    fn lowered_origin_must_fall_through_within_its_block() {
+        let (_, tramp, mut sites) = good();
+        // Origin 1 is the block terminator: its fall-through slot (2) is
+        // in the next block, so the claimed lowering crossed a branch.
+        sites[0].instr_idx = 2;
+        sites[0].calls = vec![CallMeta { lowered: vec![1], ..call_meta(1, vec![1]) }];
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::AfterMismatch));
+    }
+
+    #[test]
+    fn lowered_origins_must_be_group_members() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 0;
+        sites[0].calls = vec![CallMeta { lowered: vec![3], ..call_meta(2, vec![0, 1]) }];
+        let d = run_plan(&original(), &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::AfterMismatch));
+    }
+
+    #[test]
+    fn lowering_without_a_cfg_is_rejected() {
+        let (_, tramp, mut sites) = good();
+        sites[0].instr_idx = 1;
+        sites[0].calls = vec![CallMeta { lowered: vec![0], ..call_meta(1, vec![0]) }];
+        let icf = vec![
+            Instruction::new(Op::Brx, vec![Operand::Reg(Reg(4))]),
+            Instruction::new(Op::Exit, vec![]),
+        ];
+        let d = run_plan(&icf, &tramp, &sites, &ext());
+        assert!(d.iter().any(|d| d.kind == DiagKind::AfterMismatch));
     }
 
     #[test]

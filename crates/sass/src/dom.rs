@@ -1,0 +1,760 @@
+//! Dominator / post-dominator analysis and coalescing-region enumeration
+//! over [`crate::cfg`] basic blocks.
+//!
+//! **Paper mapping:** §5.2 and Fig. 9 — the win from merging instrumentation
+//! calls grows with the size of the single-entry region one call can cover.
+//! Per-block merging (the plan IR's first pass) stops at block boundaries;
+//! this module provides the static analysis that lets the planner hoist
+//! calls across blocks without changing what the tool observes.
+//!
+//! Three results are computed over the block graph:
+//!
+//! * **immediate dominators** (and, against a virtual exit node, immediate
+//!   post-dominators) via the Cooper–Harvey–Kennedy iterative algorithm
+//!   ("A Simple, Fast Dominance Algorithm");
+//! * **reducibility**: a depth-first search classifies retreating edges;
+//!   a retreating edge whose target does not dominate its source makes the
+//!   graph irreducible and the region analysis falls back to the
+//!   conservative answer (every block is its own region);
+//! * **coalescing regions**: the partition of blocks into classes whose
+//!   members execute *exactly as often, per lane,* as the class head.
+//!
+//! # The exactness condition
+//!
+//! A tool call carrying a multiplicity argument may stand for instructions
+//! of several blocks only if, for every lane, each of those blocks runs
+//! exactly once per execution of the block hosting the call. Because a
+//! lane's trajectory is an ordinary path through the CFG (the SIMT
+//! reconvergence stack only interleaves lanes, it never changes any
+//! single lane's path), the per-lane condition for blocks `h` and `b` is:
+//!
+//! 1. `h` dominates `b` and `b` post-dominates `h` (control equivalence —
+//!    rules out conditionally-executed blocks), **and**
+//! 2. `h` and `b` are *cycle equivalent*: no cycle passes through one but
+//!    not the other (rules out loop bodies executing more often than their
+//!    surroundings — dominance alone cannot, e.g. a loop header both
+//!    dominates and is post-dominated by the block after the loop yet runs
+//!    once per iteration).
+//!
+//! Both conditions are evaluated on an edge over-approximation of real
+//! lane transitions, which only ever shrinks regions, never grows them:
+//!
+//! * `cfg::successors` edges (branch target plus fall-through for guarded
+//!   branches);
+//! * *matched* reconvergence edges from every `SYNC`-terminated block: a
+//!   lane's `SSY` pushes its target on the reconvergence stack and the
+//!   lane's `SYNC` pops the innermost enclosing target and resumes there
+//!   (branches never touch the stack), so a bounded abstract
+//!   interpretation of that stack yields the exact per-lane successors of
+//!   each `SYNC`. When the bracket structure cannot be established — an
+//!   `SSY` target that is not a block leader, a possible `SYNC` on an
+//!   empty stack, or abstract state beyond its bounds — the analysis
+//!   falls back to an edge from every `SYNC` block to every `SSY` target
+//!   (the coarse over-approximation shared with [`crate::dataflow`]);
+//! * a fall-through edge after a *guarded* `EXIT`/`RET`/`TRAP` — the
+//!   terminator only retires the guard-true lanes, the rest continue;
+//! * a virtual exit node fed by every `EXIT`/`RET`/`TRAP`/absolute-jump
+//!   terminator and every successor-less block, so post-dominance accounts
+//!   for early exits (a bounds-check `@P0 EXIT` correctly splits regions).
+
+use crate::arch::Arch;
+use crate::cfg::{self, BasicBlock};
+use crate::inst::Instruction;
+use crate::op::CfClass;
+
+/// Dominator, post-dominator and coalescing-region analysis of one
+/// function body. Built by [`Dom::analyze`]; all queries are on block ids
+/// of the [`crate::cfg::basic_blocks`] partition the analysis was given.
+#[derive(Debug, Clone)]
+pub struct Dom {
+    /// Successor lists under the over-approximated edge model (see the
+    /// module docs), indexed by block id.
+    succ: Vec<Vec<usize>>,
+    /// Immediate dominator per block; `None` for the entry block and for
+    /// blocks unreachable from it.
+    idom: Vec<Option<usize>>,
+    /// Immediate post-dominator per block; `None` when it is the virtual
+    /// exit node or the block cannot reach any exit.
+    ipdom: Vec<Option<usize>>,
+    /// Post-dominator data is valid for the block (it reaches an exit).
+    pdom_valid: Vec<bool>,
+    /// Reachable from the entry block.
+    reachable: Vec<bool>,
+    /// A retreating edge whose target does not dominate its source exists.
+    irreducible: bool,
+    /// Region head per block (the block itself when it heads its region or
+    /// when the analysis fell back).
+    region_head: Vec<usize>,
+}
+
+impl Dom {
+    /// Runs the analysis. `blocks` must be the
+    /// [`crate::cfg::basic_blocks`] partition of `instrs`; an empty
+    /// partition yields a trivial analysis.
+    pub fn analyze(instrs: &[Instruction], blocks: &[BasicBlock], arch: Arch) -> Dom {
+        let nb = blocks.len();
+
+        // --- Edge model (module docs) -----------------------------------
+        let isize = arch.instruction_size() as i64;
+        let n = instrs.len();
+        let ssy_targets: Vec<usize> = {
+            let mut t = Vec::new();
+            for (idx, i) in instrs.iter().enumerate() {
+                if i.cf_class() == CfClass::Ssy {
+                    if let Some(off) = i.rel_target() {
+                        let target = idx as i64 + 1 + off / isize;
+                        if (0..n as i64).contains(&target) {
+                            if let Some(b) =
+                                blocks.iter().find(|b| b.range.start == target as usize)
+                            {
+                                t.push(b.id);
+                            }
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let matched = matched_sync_edges(instrs, blocks, arch);
+        let mut succ: Vec<Vec<usize>> = Vec::with_capacity(nb);
+        let mut exits: Vec<bool> = vec![false; nb];
+        for b in blocks {
+            let mut s = cfg::successors(instrs, blocks, b, arch);
+            let term = &instrs[b.range.end - 1];
+            match term.cf_class() {
+                CfClass::Sync => {
+                    let targets = match &matched {
+                        Some(m) => &m[b.id],
+                        None => &ssy_targets,
+                    };
+                    for &t in targets {
+                        if !s.contains(&t) {
+                            s.push(t);
+                        }
+                    }
+                }
+                CfClass::Exit | CfClass::Ret | CfClass::Trap => {
+                    exits[b.id] = true;
+                    // A guarded terminator retires only the guard-true
+                    // lanes; the rest fall through to the next block.
+                    if !term.guard.is_always() && b.id + 1 < nb && !s.contains(&(b.id + 1)) {
+                        s.push(b.id + 1);
+                    }
+                }
+                CfClass::AbsJump => exits[b.id] = true,
+                _ => {}
+            }
+            if s.is_empty() {
+                exits[b.id] = true;
+            }
+            succ.push(s);
+        }
+
+        let mut dom = Dom {
+            succ,
+            idom: vec![None; nb],
+            ipdom: vec![None; nb],
+            pdom_valid: vec![false; nb],
+            reachable: vec![false; nb],
+            irreducible: false,
+            region_head: (0..nb).collect(),
+        };
+        if nb == 0 {
+            return dom;
+        }
+
+        // --- Dominators (CHK over the forward graph, entry = block 0) ---
+        let rpo = reverse_postorder(&dom.succ, &[0], nb);
+        for &b in &rpo {
+            dom.reachable[b] = true;
+        }
+        let preds = predecessors(&dom.succ, nb);
+        dom.idom = chk(&dom.succ, &preds, &rpo, 0);
+
+        // --- Post-dominators (CHK over the reverse graph from a virtual
+        // exit node nb, fed by every exit block) ------------------------
+        {
+            let mut rsucc: Vec<Vec<usize>> = vec![Vec::new(); nb + 1];
+            for (b, ss) in dom.succ.iter().enumerate() {
+                for &s in ss {
+                    rsucc[s].push(b);
+                }
+            }
+            for (b, is_exit) in exits.iter().enumerate() {
+                if *is_exit {
+                    rsucc[nb].push(b);
+                }
+            }
+            let rrpo = reverse_postorder(&rsucc, &[nb], nb + 1);
+            let rpreds = predecessors(&rsucc, nb + 1);
+            let ipdom_full = chk(&rsucc, &rpreds, &rrpo, nb);
+            for (b, ip) in ipdom_full.iter().take(nb).enumerate() {
+                dom.pdom_valid[b] = rrpo.contains(&b);
+                dom.ipdom[b] = match *ip {
+                    Some(p) if p < nb => Some(p),
+                    _ => None,
+                };
+            }
+        }
+
+        // --- Reducibility: every retreating DFS edge must target a
+        // dominator of its source --------------------------------------
+        dom.irreducible = {
+            let mut state = vec![0u8; nb]; // 0 unvisited, 1 on stack, 2 done
+            let mut stack = vec![(0usize, 0usize)];
+            state[0] = 1;
+            let mut irreducible = false;
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < dom.succ[b].len() {
+                    let s = dom.succ[b][*i];
+                    *i += 1;
+                    match state[s] {
+                        0 => {
+                            state[s] = 1;
+                            stack.push((s, 0));
+                        }
+                        1 if !dom.dominates(s, b) => irreducible = true,
+                        _ => {}
+                    }
+                } else {
+                    state[b] = 2;
+                    stack.pop();
+                }
+            }
+            irreducible
+        };
+
+        // --- Regions ----------------------------------------------------
+        // Attach each block to the nearest strict dominator it is control-
+        // and cycle-equivalent to; heads resolve before members because
+        // reverse postorder visits dominators first. Transitivity makes
+        // the classes consistent: equivalence of (head, h) and (h, b)
+        // implies equivalence of (head, b).
+        if !dom.irreducible {
+            for &b in &rpo {
+                let mut up = dom.idom[b];
+                while let Some(h) = up {
+                    if dom.post_dominates(b, h) && dom.cycle_equivalent(h, b) {
+                        dom.region_head[b] = dom.region_head[h];
+                        break;
+                    }
+                    up = dom.idom[h];
+                }
+            }
+        }
+        dom
+    }
+
+    /// Immediate dominator of `b`; `None` for the entry block and for
+    /// blocks unreachable from it.
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom.get(b).copied().flatten()
+    }
+
+    /// Immediate post-dominator of `b`; `None` when the virtual exit node
+    /// immediately post-dominates `b`, or `b` cannot reach any exit.
+    pub fn ipdom(&self, b: usize) -> Option<usize> {
+        self.ipdom.get(b).copied().flatten()
+    }
+
+    /// True when `b` is reachable from the entry block.
+    pub fn reachable(&self, b: usize) -> bool {
+        self.reachable.get(b).copied().unwrap_or(false)
+    }
+
+    /// True when a retreating edge does not target a dominator of its
+    /// source; the region analysis then falls back to singleton regions.
+    pub fn irreducible(&self) -> bool {
+        self.irreducible
+    }
+
+    /// Does `a` dominate `b` (reflexively)? False when `b` is unreachable.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if b >= self.idom.len() || !(self.reachable(b) || b == 0) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(up) => cur = up,
+                None => return false,
+            }
+        }
+    }
+
+    /// Does `a` post-dominate `b` (reflexively)? False when `b` cannot
+    /// reach any exit.
+    pub fn post_dominates(&self, a: usize, b: usize) -> bool {
+        if b >= self.ipdom.len() || !self.pdom_valid[b] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur] {
+                Some(up) => cur = up,
+                None => return false,
+            }
+        }
+    }
+
+    /// Head of the coalescing region containing `b`: the highest block in
+    /// the dominator tree that provably executes exactly as often as `b`
+    /// for every lane (module docs). Returns `b` itself when nothing
+    /// merges with it — always the case on irreducible graphs and for
+    /// unreachable blocks.
+    pub fn region_head(&self, b: usize) -> usize {
+        self.region_head.get(b).copied().unwrap_or(b)
+    }
+
+    /// True when `h` and `b` provably execute exactly as often, per lane:
+    /// they share a [`Dom::region_head`].
+    pub fn same_region(&self, h: usize, b: usize) -> bool {
+        h < self.region_head.len()
+            && b < self.region_head.len()
+            && self.region_head[h] == self.region_head[b]
+    }
+
+    /// No cycle in the edge model passes through one of `a`, `b` without
+    /// the other.
+    fn cycle_equivalent(&self, a: usize, b: usize) -> bool {
+        !self.cycles_back_avoiding(a, b) && !self.cycles_back_avoiding(b, a)
+    }
+
+    /// True when some non-empty path leads from `x` back to `x` without
+    /// passing through `avoid`.
+    fn cycles_back_avoiding(&self, x: usize, avoid: usize) -> bool {
+        let mut seen = vec![false; self.succ.len()];
+        let mut stack: Vec<usize> = self.succ[x].iter().copied().filter(|&s| s != avoid).collect();
+        while let Some(c) = stack.pop() {
+            if c == x {
+                return true;
+            }
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            stack.extend(self.succ[c].iter().copied().filter(|&s| s != avoid));
+        }
+        false
+    }
+}
+
+/// Reverse postorder of the graph reachable from `roots`.
+fn reverse_postorder(succ: &[Vec<usize>], roots: &[usize], n: usize) -> Vec<usize> {
+    let mut post = Vec::with_capacity(n);
+    let mut state = vec![0u8; n];
+    for &root in roots {
+        if state[root] != 0 {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        state[root] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succ[b].len() {
+                let s = succ[b][*i];
+                *i += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Predecessor lists of `succ`.
+fn predecessors(succ: &[Vec<usize>], n: usize) -> Vec<Vec<usize>> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, ss) in succ.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(b);
+        }
+    }
+    preds
+}
+
+/// Exact per-lane successors for every `SYNC`-terminated block, found by
+/// abstractly interpreting the per-lane reconvergence stack: each `SSY`
+/// pushes its target block, a `SYNC` pops the innermost enclosing target
+/// and the lane resumes there, and ordinary branches leave the stack
+/// untouched. States are `(block, stack)` pairs propagated over
+/// [`cfg::successors`] edges (plus the guarded-exit fall-through) until a
+/// fixed point.
+///
+/// Returns `None` — and the caller falls back to the coarse
+/// every-`SSY`-target model — when the bracket structure cannot be
+/// established statically: an `SSY` with a malformed or non-leader
+/// target, a reachable `SYNC` on an empty stack (the executor faults
+/// there), or abstract state exceeding its depth/width bounds.
+fn matched_sync_edges(
+    instrs: &[Instruction],
+    blocks: &[BasicBlock],
+    arch: Arch,
+) -> Option<Vec<Vec<usize>>> {
+    use std::collections::BTreeSet;
+    const MAX_DEPTH: usize = 16;
+    const MAX_STATES: usize = 16;
+    let nb = blocks.len();
+    let isize = arch.instruction_size() as i64;
+    let n = instrs.len() as i64;
+
+    // SSY pushes per block, in program order, as target block ids.
+    let mut pushes: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for b in blocks {
+        for idx in b.range.clone() {
+            if instrs[idx].cf_class() != CfClass::Ssy {
+                continue;
+            }
+            let off = instrs[idx].rel_target()?;
+            let target = idx as i64 + 1 + off / isize;
+            if !(0..n).contains(&target) {
+                return None;
+            }
+            let tb = blocks.iter().find(|bb| bb.range.start == target as usize)?;
+            pushes[b.id].push(tb.id);
+        }
+    }
+
+    let mut sync_succ: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    if nb == 0 {
+        return Some(sync_succ);
+    }
+    let mut states: Vec<BTreeSet<Vec<usize>>> = vec![BTreeSet::new(); nb];
+    states[0].insert(Vec::new());
+    let mut work: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
+    while let Some((b, mut stack)) = work.pop() {
+        let blk = &blocks[b];
+        for &t in &pushes[b] {
+            stack.push(t);
+        }
+        if stack.len() > MAX_DEPTH {
+            return None;
+        }
+        let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
+        let term = &instrs[blk.range.end - 1];
+        if term.cf_class() == CfClass::Sync {
+            let t = stack.pop()?; // a reachable SYNC on an empty stack faults
+            if !sync_succ[b].contains(&t) {
+                sync_succ[b].push(t);
+            }
+            out.push((t, stack));
+        } else {
+            let mut succs = cfg::successors(instrs, blocks, blk, arch);
+            if matches!(term.cf_class(), CfClass::Exit | CfClass::Ret | CfClass::Trap)
+                && !term.guard.is_always()
+                && b + 1 < nb
+                && !succs.contains(&(b + 1))
+            {
+                succs.push(b + 1);
+            }
+            for s in succs {
+                out.push((s, stack.clone()));
+            }
+        }
+        for (s, st) in out {
+            if states[s].insert(st.clone()) {
+                if states[s].len() > MAX_STATES {
+                    return None;
+                }
+                work.push((s, st));
+            }
+        }
+    }
+    Some(sync_succ)
+}
+
+/// Cooper–Harvey–Kennedy iterative immediate dominators over the nodes in
+/// `rpo` (a reverse postorder from `root`). Nodes absent from `rpo` keep
+/// `None`.
+fn chk(
+    succ: &[Vec<usize>],
+    preds: &[Vec<usize>],
+    rpo: &[usize],
+    root: usize,
+) -> Vec<Option<usize>> {
+    let n = succ.len();
+    let mut order = vec![usize::MAX; n]; // position in rpo; MAX = unreachable
+    for (pos, &b) in rpo.iter().enumerate() {
+        order[b] = pos;
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root); // self-loop sentinel during iteration
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue; // not yet processed or unreachable
+                }
+                new = Some(match new {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if new.is_some() && idom[b] != new {
+                idom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    idom[root] = None; // drop the sentinel
+    idom
+}
+
+/// The CHK two-finger walk: nearest common dominator of `a` and `b`.
+fn intersect(idom: &[Option<usize>], order: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while order[a] > order[b] {
+            a = idom[a].expect("walk stays above the root");
+        }
+        while order[b] > order[a] {
+            b = idom[b].expect("walk stays above the root");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_arch;
+
+    fn analyzed(text: &str, arch: Arch) -> (Dom, Vec<BasicBlock>) {
+        let prog = assemble_arch(text, arch).unwrap();
+        let blocks = cfg::basic_blocks(&prog, arch).unwrap();
+        let dom = Dom::analyze(&prog, &blocks, arch);
+        (dom, blocks)
+    }
+
+    /// Diamond: B0 branches to B2 (then) or falls into B1 (else); both
+    /// rejoin at B3.
+    ///
+    /// ```text
+    ///        B0
+    ///       /  \
+    ///      B1   B2
+    ///       \  /
+    ///        B3
+    /// ```
+    const DIAMOND: &str = "\
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA then ;
+    IADD R1, R0, 0x1 ;
+    BRA join ;
+then:
+    IADD R1, R0, 0x2 ;
+join:
+    IADD R2, R1, 0x3 ;
+    EXIT ;
+";
+
+    #[test]
+    fn diamond_dominators_and_postdominators() {
+        let (dom, blocks) = analyzed(DIAMOND, Arch::Volta);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(dom.idom(0), None);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(0));
+        assert_eq!(dom.idom(3), Some(0), "join is dominated by the fork, not an arm");
+        assert_eq!(dom.ipdom(0), Some(3));
+        assert_eq!(dom.ipdom(1), Some(3));
+        assert_eq!(dom.ipdom(2), Some(3));
+        assert_eq!(dom.ipdom(3), None, "exit block post-dominated only by the virtual exit");
+        assert!(!dom.irreducible());
+    }
+
+    #[test]
+    fn diamond_merges_fork_and_join_but_not_the_arms() {
+        let (dom, _) = analyzed(DIAMOND, Arch::Volta);
+        assert_eq!(dom.region_head(0), 0);
+        assert_eq!(dom.region_head(3), 0, "join executes exactly once per fork");
+        assert_eq!(dom.region_head(1), 1, "arms run conditionally");
+        assert_eq!(dom.region_head(2), 2);
+        assert!(dom.same_region(0, 3));
+        assert!(!dom.same_region(0, 1));
+    }
+
+    /// Loop: B0 (setup) → B1 (body, branches back to itself) → B2 (tail).
+    const LOOP: &str = "\
+    MOV32I R0, 0x0 ;
+body:
+    IADD R0, R0, 0x1 ;
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@!P0 BRA body ;
+    STG [R2], R0 ;
+    EXIT ;
+";
+
+    #[test]
+    fn loop_body_stays_out_of_the_setup_tail_region() {
+        let (dom, blocks) = analyzed(LOOP, Arch::Volta);
+        assert_eq!(blocks.len(), 3);
+        assert!(!dom.irreducible());
+        assert!(dom.dominates(0, 1) && dom.dominates(0, 2));
+        assert!(dom.post_dominates(1, 0), "the body post-dominates the setup...");
+        assert_eq!(dom.region_head(1), 1, "...but runs once per iteration, so it never merges");
+        assert_eq!(dom.region_head(2), 0, "setup and tail both run exactly once");
+        assert!(dom.same_region(0, 2));
+    }
+
+    /// Irreducible: two blocks jump into each other's target without a
+    /// single loop header (entry branches into the middle of the cycle).
+    const IRREDUCIBLE: &str = "\
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA b ;
+a:
+    IADD R1, R1, 0x1 ;
+b:
+    ISETP.GE.S32 P1, R1, 0x20 ;
+@!P1 BRA a ;
+    EXIT ;
+";
+
+    #[test]
+    fn irreducible_graphs_fall_back_to_singleton_regions() {
+        let (dom, blocks) = analyzed(IRREDUCIBLE, Arch::Volta);
+        assert!(dom.irreducible(), "the a↔b cycle has two entries");
+        for b in 0..blocks.len() {
+            assert_eq!(dom.region_head(b), b, "block {b} must stay alone");
+        }
+    }
+
+    /// An SSY-bracketed diamond following the lowerer's convention: the
+    /// `SSY` targets the join block *after* the shared `SYNC` landing
+    /// pad, so the matched reconvergence model resolves the `SYNC`'s
+    /// successor to exactly that join. Every lane runs the entry, the
+    /// landing pad and the join once — all three merge; the
+    /// conditionally-skipped arm stays alone.
+    const SSY_DIAMOND: &str = "\
+    SSY join ;
+    ISETP.EQ.S32 P0, R0, RZ ;
+@P0 BRA merge ;
+    IADD R1, R1, 0x1 ;
+merge:
+    SYNC ;
+join:
+    IADD R2, R2, 0x1 ;
+    EXIT ;
+";
+
+    #[test]
+    fn matched_reconvergence_merges_entry_landing_pad_and_join() {
+        let (dom, blocks) = analyzed(SSY_DIAMOND, Arch::Maxwell);
+        assert_eq!(blocks.len(), 4);
+        assert!(!dom.irreducible());
+        let (sync_block, join) = (2, 3);
+        assert_eq!(dom.region_head(sync_block), 0, "every lane syncs exactly once per entry");
+        assert_eq!(dom.region_head(join), 0, "the join past the reconvergence merges too");
+        assert_eq!(dom.region_head(1), 1, "the fall-through arm runs conditionally");
+    }
+
+    /// The same diamond with the `SSY` aimed at the `SYNC` itself: a lane
+    /// popping there would re-execute the `SYNC` on an empty stack, so
+    /// the bracket simulation bails and the coarse model (every `SYNC`
+    /// block targets every `SSY` target, itself included) keeps the
+    /// landing pad alone.
+    const SSY_AT_SYNC: &str = "\
+    SSY merge ;
+    ISETP.EQ.S32 P0, R0, RZ ;
+@P0 BRA merge ;
+    IADD R1, R1, 0x1 ;
+merge:
+    SYNC ;
+    EXIT ;
+";
+
+    #[test]
+    fn unmatched_reconvergence_falls_back_to_the_coarse_edges() {
+        let (dom, blocks) = analyzed(SSY_AT_SYNC, Arch::Maxwell);
+        assert_eq!(blocks.len(), 4);
+        let sync_block = 2;
+        assert_eq!(
+            dom.region_head(sync_block),
+            sync_block,
+            "the coarse SYNC self-edge keeps the target alone"
+        );
+        assert_eq!(dom.region_head(3), 0, "the exit past the reconvergence merges with the entry");
+    }
+
+    /// A guarded EXIT is a partial exit: the post-check code must not
+    /// merge with the code before the check.
+    const BOUNDS_CHECK: &str = "\
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 EXIT ;
+    IADD R1, R0, 0x1 ;
+    STG [R2], R1 ;
+    EXIT ;
+";
+
+    #[test]
+    fn guarded_exit_splits_regions() {
+        let (dom, blocks) = analyzed(BOUNDS_CHECK, Arch::Volta);
+        assert_eq!(blocks.len(), 2);
+        assert!(!dom.post_dominates(1, 0), "lanes retired by the bounds check never reach block 1");
+        assert_eq!(dom.region_head(1), 1);
+    }
+
+    /// The classic dominance-only trap: a loop header both dominates and
+    /// is post-dominated by the block after the loop (every exit path
+    /// funnels through it), yet runs once per iteration. The cycle-
+    /// equivalence test must keep them apart.
+    const HEADER_TRAP: &str = "\
+    MOV32I R0, 0x0 ;
+head:
+    IADD R0, R0, 0x1 ;
+    ISETP.GE.S32 P0, R0, 0x10 ;
+@P0 BRA out ;
+    IADD R1, R1, 0x2 ;
+    BRA head ;
+out:
+    EXIT ;
+";
+
+    #[test]
+    fn loop_header_never_merges_with_the_loop_exit() {
+        let (dom, blocks) = analyzed(HEADER_TRAP, Arch::Volta);
+        assert_eq!(blocks.len(), 4);
+        // head = block 1, out = block 3.
+        assert!(dom.dominates(1, 3));
+        assert!(dom.post_dominates(3, 1));
+        assert!(!dom.same_region(1, 3), "control equivalence alone is not enough");
+        assert!(dom.same_region(0, 3), "setup and exit do run in lockstep");
+    }
+
+    #[test]
+    fn empty_body_is_trivial() {
+        let dom = Dom::analyze(&[], &[], Arch::Volta);
+        assert!(!dom.irreducible());
+        assert_eq!(dom.idom(0), None);
+        assert!(!dom.reachable(0));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_alone() {
+        // Block 1 (after the unconditional branch) is dead code.
+        let text = "\
+    BRA tail ;
+    IADD R0, R0, 0x1 ;
+tail:
+    EXIT ;
+";
+        let (dom, blocks) = analyzed(text, Arch::Volta);
+        assert_eq!(blocks.len(), 3);
+        assert!(!dom.reachable(1));
+        assert_eq!(dom.region_head(1), 1, "dead code never merges");
+        assert!(dom.same_region(0, 2));
+    }
+}

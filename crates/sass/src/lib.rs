@@ -22,8 +22,9 @@
 //! The crate provides the ISA definition ([`Instruction`], [`Op`],
 //! [`Operand`]), binary encoders/decoders per family ([`codec`]), a textual
 //! assembler and disassembler ([`asm`]), basic-block partitioning
-//! ([`mod@cfg`]) and liveness/reaching-definitions dataflow analysis
-//! ([`mod@dataflow`]).
+//! ([`mod@cfg`]), liveness/reaching-definitions dataflow analysis
+//! ([`mod@dataflow`]) and dominator/post-dominator analysis with
+//! coalescing-region enumeration ([`mod@dom`]).
 //!
 //! # Example
 //!
@@ -46,6 +47,7 @@ pub mod asm;
 pub mod cfg;
 pub mod codec;
 pub mod dataflow;
+pub mod dom;
 pub mod inst;
 pub mod op;
 pub mod reg;
@@ -53,6 +55,7 @@ pub mod reg;
 pub use arch::{Arch, EncodingFamily};
 pub use cfg::CfgFailure;
 pub use dataflow::{Dataflow, LiveSet, RegSet};
+pub use dom::Dom;
 pub use inst::{Guard, Instruction, MemSpace, Mods, Operand, Width};
 pub use op::{CmpOp, Op, OpCategory, SubOp};
 pub use reg::{Pred, Reg, SpecialReg};

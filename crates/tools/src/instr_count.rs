@@ -252,12 +252,28 @@ pub struct CoalescedInstrCount {
     counters: BTreeMap<u32, (u64, bool, String)>,
     seen: HashSet<u32>,
     opts: PlanOpts,
+    ipoint: IPoint,
 }
 
 impl CoalescedInstrCount {
     /// Creates the tool and its results handle. `opts` selects which
     /// planner passes run (set at `at_init`, before any kernel is built).
     pub fn new(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+        Self::with_ipoint(opts, IPoint::Before)
+    }
+
+    /// Like [`CoalescedInstrCount::new`] but injecting at `IPoint::After`:
+    /// the count increments once an instruction has retired rather than
+    /// when it issues, so always-guarded block exits (`EXIT`, `RET`) and
+    /// lanes dropped by a guarded exit are *not* counted. The totals
+    /// therefore differ from the `Before` tool — but they must still be
+    /// identical whichever [`PlanOpts`] the plan is built with, which is
+    /// what makes this the exercise vehicle for the after-lowering pass.
+    pub fn after(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+        Self::with_ipoint(opts, IPoint::After)
+    }
+
+    fn with_ipoint(opts: PlanOpts, ipoint: IPoint) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
         let results = Rc::new(InstrCountResults::default());
         (
             CoalescedInstrCount {
@@ -265,6 +281,7 @@ impl CoalescedInstrCount {
                 counters: BTreeMap::new(),
                 seen: HashSet::new(),
                 opts,
+                ipoint,
             },
             results,
         )
@@ -325,7 +342,7 @@ impl NvbitTool for CoalescedInstrCount {
         for t in targets {
             let n = api.get_instrs(t).map(|v| v.len()).unwrap_or(0);
             for idx in 0..n {
-                api.insert_call(t, idx, "nvbit_count_mult", IPoint::Before).unwrap();
+                api.insert_call(t, idx, "nvbit_count_mult", self.ipoint).unwrap();
                 api.add_call_arg_imm64(t, idx, ctr).unwrap();
                 api.set_coalesce(t, idx).unwrap();
                 sites += 1;
@@ -444,9 +461,10 @@ DONE:
             drv.shutdown();
             (results.total(), drv.total_stats().cycles)
         };
-        let (naive, naive_cycles) = run_with(PlanOpts { coalesce: false, inline: false });
-        let (merged, merged_cycles) = run_with(PlanOpts { coalesce: true, inline: false });
-        let (inlined, inlined_cycles) = run_with(PlanOpts { coalesce: true, inline: true });
+        let (naive, naive_cycles) = run_with(PlanOpts::naive());
+        let (merged, merged_cycles) = run_with(PlanOpts { coalesce: true, ..PlanOpts::naive() });
+        let (inlined, inlined_cycles) =
+            run_with(PlanOpts { coalesce: true, inline: true, ..PlanOpts::naive() });
         // The multiplicity protocol makes the total independent of whether
         // the passes actually ran.
         assert_eq!(naive, merged);

@@ -1,10 +1,11 @@
 //! Differential testing of the instrumentation-plan optimization passes:
 //! for every tool × workload pair, a run with basic-block call coalescing
-//! (and leaf-tool inlining) enabled must produce bit-identical guest memory
-//! and identical tool output to a run with the naive per-site plan. The
-//! only observable difference may be cost (fewer executed trampoline
-//! calls). Mirrors `differential_saves.rs`, which proves the same property
-//! for the register-save policies.
+//! (and leaf-tool inlining, dominator-region coalescing and after-point
+//! lowering) enabled must produce bit-identical guest memory and identical
+//! tool output to a run with the naive per-site plan. The only observable
+//! difference may be cost (fewer executed trampoline calls). Mirrors
+//! `differential_saves.rs`, which proves the same property for the
+//! register-save policies.
 
 use cuda::{CbId, CbParams, CuFunction, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
@@ -161,11 +162,14 @@ type App = fn(&Driver) -> Vec<u8>;
 
 const APPS: [(&str, App); 3] = [("fft", fft_app), ("stencil", stencil_app), ("spmv", spmv_app)];
 
-/// The three plan configurations under test.
-const CONFIGS: [PlanOpts; 3] = [
-    PlanOpts { coalesce: false, inline: false },
-    PlanOpts { coalesce: true, inline: false },
-    PlanOpts { coalesce: true, inline: true },
+/// The four plan configurations under test: naive, block-coalesced,
+/// block-coalesced + inlined, and everything (adding dominator-region
+/// coalescing and after-point lowering).
+const CONFIGS: [PlanOpts; 4] = [
+    PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false },
+    PlanOpts { coalesce: true, inline: false, region_coalesce: false, after_lower: false },
+    PlanOpts { coalesce: true, inline: true, region_coalesce: false, after_lower: false },
+    PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true },
 ];
 
 /// Runs `app` under `tool` with the given plan options; returns the guest
@@ -176,6 +180,11 @@ fn run_case(tool: &str, opts: PlanOpts, app: App) -> (Vec<u8>, String, u64) {
     let sig: Box<dyn Fn() -> String> = match tool {
         "coalesced_instr_count" => {
             let (t, r) = CoalescedInstrCount::new(opts);
+            attach_tool(&drv, t);
+            Box::new(move || r.total().to_string())
+        }
+        "after_instr_count" => {
+            let (t, r) = CoalescedInstrCount::after(opts);
             attach_tool(&drv, t);
             Box::new(move || r.total().to_string())
         }
@@ -218,6 +227,14 @@ fn coalesced_instr_count_is_plan_invariant() {
 #[test]
 fn coalesced_opcode_hist_is_plan_invariant() {
     differential("coalesced_opcode_hist");
+}
+
+#[test]
+fn after_point_instr_count_is_plan_invariant() {
+    // Every site injects at `IPoint::After`; the fourth configuration
+    // lowers the mid-block ones to fall-through `Before` slots and merges
+    // them, which must not change the count by a single event.
+    differential("after_instr_count");
 }
 
 #[test]
@@ -274,15 +291,20 @@ impl<T: NvbitTool> NvbitTool for StatsCapture<T> {
     }
 }
 
-fn captured_stats(opts: PlanOpts) -> PlanStats {
+fn captured_stats_with(opts: PlanOpts, after: bool, app: App) -> PlanStats {
     let stats = Rc::new(RefCell::new(None));
     let drv = Driver::new(DeviceSpec::test(Arch::Volta));
-    let (tool, _results) = CoalescedInstrCount::new(opts);
+    let (tool, _results) =
+        if after { CoalescedInstrCount::after(opts) } else { CoalescedInstrCount::new(opts) };
     attach_tool(&drv, StatsCapture { inner: tool, stats: stats.clone() });
-    fft_app(&drv);
+    app(&drv);
     drv.shutdown();
     let s = *stats.borrow();
-    s.expect("fft kernel was instrumented")
+    s.expect("the kernel was instrumented")
+}
+
+fn captured_stats(opts: PlanOpts) -> PlanStats {
+    captured_stats_with(opts, false, fft_app)
 }
 
 #[test]
@@ -304,4 +326,20 @@ fn the_passes_actually_fire_on_the_fft_kernel() {
         inlined.inlined_calls, inlined.emitted_calls,
         "the counting body is an inlinable leaf, so every emitted call inlines"
     );
+
+    // The FFT kernel is one straight-line basic block, so the region pass
+    // has nothing left to hoist there; spmv's loops leave control- and
+    // cycle-equivalent blocks (setup, post-loop store) that only the
+    // region pass can merge.
+    let spmv_merged = captured_stats_with(CONFIGS[1], false, spmv_app);
+    let spmv_full = captured_stats_with(CONFIGS[3], false, spmv_app);
+    assert!(spmv_full.region_groups > 0, "{spmv_full:?}");
+    assert!(
+        spmv_full.emitted_calls < spmv_merged.emitted_calls,
+        "region coalescing must merge beyond per-block groups: {spmv_full:?} vs {spmv_merged:?}"
+    );
+
+    let after = captured_stats_with(CONFIGS[3], true, fft_app);
+    assert!(after.after_lowered > 0, "{after:?}");
+    assert!(after.coalesced_groups > 0, "lowered calls participate in merging: {after:?}");
 }

@@ -7,6 +7,12 @@
 #![doc = include_str!("../README.md")]
 #![warn(missing_docs)]
 
+/// The paper-to-code map, carried from `docs/PAPER_MAP.md` so its snippet
+/// is compiled and run by `cargo test --doc` and every entry point it
+/// cites stays real.
+#[doc = include_str!("../docs/PAPER_MAP.md")]
+pub mod paper_map {}
+
 pub use accel;
 pub use cuda;
 pub use gpu;
