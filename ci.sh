@@ -48,10 +48,13 @@ cargo test --release -q -p nvbit-tools --test verify_all -- --include-ignored
 echo "== differential: liveness-reduced saves vs full-tier =="
 cargo test --release -q -p nvbit-tools --test differential_saves
 
-echo "== differential: all four plan configs (naive/coalesced/+inline/+region+after) =="
+echo "== pressure: splice cost-model unit tests =="
+cargo test --release -q -p nvbit-sass --lib pressure
+
+echo "== differential: all five plan configs (naive/coalesced/+inline/+region+after/+pressure) =="
 cargo test --release -q -p nvbit-tools --test differential_plan
 
-echo "== savereduce: liveness save-slot reduction (>=30% gate) =="
+echo "== savereduce: liveness save-slot reduction (>=30% gate, incl. declined-splice run) =="
 cargo run --release -q -p nvbit-bench --bin savereduce
 
 echo "== inject_overhead: multi-workload sweep (>=25% fft gate, region wins on >=2 of fft/stencil/spmv) =="

@@ -2,8 +2,11 @@
 //! instrument each workload with the coalesced instruction-count tool and
 //! compare the instrumented run's executed instructions and cycles under
 //! the naive per-site plan, with basic-block call coalescing, with
-//! coalescing plus leaf-tool inlining, and with the full pipeline adding
-//! dominator-region coalescing and after-point lowering.
+//! coalescing plus leaf-tool inlining, with the full pipeline adding
+//! dominator-region coalescing and after-point lowering, and with the
+//! occupancy-aware pressure gate on top. A final section stacks grid-dim
+//! sampling of the opcode histogram on the region+after plan and reports
+//! the multiplied speedup of the two levers.
 //!
 //! ```text
 //! cargo run --release -p nvbit-bench --bin inject_overhead
@@ -24,11 +27,16 @@ use common::json::Json;
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
 use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, PlanStats};
-use nvbit_tools::CoalescedInstrCount;
+use nvbit_tools::{CoalescedInstrCount, OpcodeHistogram, SamplingMode};
 use sass::Arch;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use workloads::specaccel::{self, Size};
+
+/// Launches per kernel in the sampling × plan section: grid-dim sampling
+/// instruments the first and extrapolates the rest.
+const SAMPLING_ROUNDS: u32 = 4;
 
 /// Wraps the tool and collects the planner's accounting per instrumented
 /// function at launch exit.
@@ -66,23 +74,57 @@ impl<T: NvbitTool> NvbitTool for PlanAccounting<T> {
     }
 }
 
-/// The four plan configurations, in pass-pipeline order.
-const CONFIGS: [(&str, PlanOpts); 4] = [
+/// The five plan configurations, in pass-pipeline order.
+const CONFIGS: [(&str, PlanOpts); 5] = [
     (
         "naive",
-        PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false },
+        PlanOpts {
+            coalesce: false,
+            inline: false,
+            region_coalesce: false,
+            after_lower: false,
+            pressure: false,
+        },
     ),
     (
         "coalesced",
-        PlanOpts { coalesce: true, inline: false, region_coalesce: false, after_lower: false },
+        PlanOpts {
+            coalesce: true,
+            inline: false,
+            region_coalesce: false,
+            after_lower: false,
+            pressure: false,
+        },
     ),
     (
         "+inlined",
-        PlanOpts { coalesce: true, inline: true, region_coalesce: false, after_lower: false },
+        PlanOpts {
+            coalesce: true,
+            inline: true,
+            region_coalesce: false,
+            after_lower: false,
+            pressure: false,
+        },
     ),
     (
         "+region+after",
-        PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true },
+        PlanOpts {
+            coalesce: true,
+            inline: true,
+            region_coalesce: true,
+            after_lower: true,
+            pressure: false,
+        },
+    ),
+    (
+        "+pressure",
+        PlanOpts {
+            coalesce: true,
+            inline: true,
+            region_coalesce: true,
+            after_lower: true,
+            pressure: true,
+        },
     ),
 ];
 
@@ -145,7 +187,7 @@ fn sweep(name: &'static str, app: App) -> Sweep {
     Sweep { name, native_instructions, native_cycles, runs }
 }
 
-fn run_fft_app(drv: &Driver) {
+fn fft_app_rounds(drv: &Driver, rounds: u32) {
     const BLOCKS: u32 = 8;
     let bytes = BLOCKS as u64 * 32 * 8;
     let ctx = drv.ctx_create().unwrap();
@@ -162,16 +204,26 @@ fn run_fft_app(drv: &Driver) {
         })
         .collect();
     drv.memcpy_htod(din, &input).unwrap();
-    drv.launch_kernel(
-        &f,
-        Dim3::linear(BLOCKS),
-        Dim3::linear(32),
-        &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
-    )
-    .unwrap();
+    for _ in 0..rounds {
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(BLOCKS),
+            Dim3::linear(32),
+            &[KernelArg::Ptr(din), KernelArg::Ptr(dout)],
+        )
+        .unwrap();
+    }
 }
 
-fn run_stencil_app(drv: &Driver) {
+fn run_fft_app(drv: &Driver) {
+    fft_app_rounds(drv, 1);
+}
+
+fn run_fft_multi(drv: &Driver) {
+    fft_app_rounds(drv, SAMPLING_ROUNDS);
+}
+
+fn stencil_app_rounds(drv: &Driver, rounds: u32) {
     let (h, w) = (16u32, 128u32);
     let n = h * w;
     let ctx = drv.ctx_create().unwrap();
@@ -182,16 +234,26 @@ fn run_stencil_app(drv: &Driver) {
     let b = drv.mem_alloc(n as u64 * 4).unwrap();
     let init: Vec<u8> = (0..n).flat_map(|i| ((i % 17) as f32).to_bits().to_le_bytes()).collect();
     drv.memcpy_htod(a, &init).unwrap();
-    drv.launch_kernel(
-        &f,
-        Dim3::xyz(h - 2, 1, 1),
-        Dim3::linear(128),
-        &[KernelArg::Ptr(a), KernelArg::Ptr(b), KernelArg::U32(h), KernelArg::U32(w)],
-    )
-    .unwrap();
+    for _ in 0..rounds {
+        drv.launch_kernel(
+            &f,
+            Dim3::xyz(h - 2, 1, 1),
+            Dim3::linear(128),
+            &[KernelArg::Ptr(a), KernelArg::Ptr(b), KernelArg::U32(h), KernelArg::U32(w)],
+        )
+        .unwrap();
+    }
 }
 
-fn run_spmv_app(drv: &Driver) {
+fn run_stencil_app(drv: &Driver) {
+    stencil_app_rounds(drv, 1);
+}
+
+fn run_stencil_multi(drv: &Driver) {
+    stencil_app_rounds(drv, SAMPLING_ROUNDS);
+}
+
+fn spmv_app_rounds(drv: &Driver, rounds: u32) {
     let rows = 64u32;
     let ctx = drv.ctx_create().unwrap();
     let src = format!(".version 6.0\n{}", workloads::kernels::spmv_csr("spmv"));
@@ -222,20 +284,30 @@ fn run_spmv_app(drv: &Driver) {
     let d_vals = alloc_f32(cols.len() as u32, &|i| 1.0 / (1.0 + i as f32));
     let x = alloc_f32(rows, &|_| 1.0);
     let y = alloc_f32(rows, &|_| 0.0);
-    drv.launch_kernel(
-        &f,
-        Dim3::linear(1),
-        Dim3::linear(128),
-        &[
-            KernelArg::Ptr(d_rowptr),
-            KernelArg::Ptr(d_cols),
-            KernelArg::Ptr(d_vals),
-            KernelArg::Ptr(x),
-            KernelArg::Ptr(y),
-            KernelArg::U32(rows),
-        ],
-    )
-    .unwrap();
+    for _ in 0..rounds {
+        drv.launch_kernel(
+            &f,
+            Dim3::linear(1),
+            Dim3::linear(128),
+            &[
+                KernelArg::Ptr(d_rowptr),
+                KernelArg::Ptr(d_cols),
+                KernelArg::Ptr(d_vals),
+                KernelArg::Ptr(x),
+                KernelArg::Ptr(y),
+                KernelArg::U32(rows),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+fn run_spmv_app(drv: &Driver) {
+    spmv_app_rounds(drv, 1);
+}
+
+fn run_spmv_multi(drv: &Driver) {
+    spmv_app_rounds(drv, SAMPLING_ROUNDS);
 }
 
 /// SpecAccel runners, one `fn(&Driver)` per benchmark so every workload
@@ -314,6 +386,7 @@ fn main() {
                 ("inline", Json::Bool(r.opts.inline)),
                 ("region_coalesce", Json::Bool(r.opts.region_coalesce)),
                 ("after_lower", Json::Bool(r.opts.after_lower)),
+                ("pressure", Json::Bool(r.opts.pressure)),
                 ("thread_instructions", Json::Num(r.instructions as f64)),
                 ("cycles", Json::Num(r.cycles as f64)),
                 ("overhead_vs_native", Json::Num(overhead)),
@@ -323,6 +396,8 @@ fn main() {
                 ("inlined_calls", Json::Num(r.sum(|st| st.inlined_calls) as f64)),
                 ("region_groups", Json::Num(r.sum(|st| st.region_groups) as f64)),
                 ("after_lowered", Json::Num(r.sum(|st| st.after_lowered) as f64)),
+                ("inline_accepted", Json::Num(r.sum(|st| st.inline_accepted) as f64)),
+                ("inline_declined", Json::Num(r.sum(|st| st.inline_declined) as f64)),
             ]));
         }
         workload_rows.push(Json::obj(vec![
@@ -353,12 +428,73 @@ fn main() {
         geomeans.push((*label, Json::Num(geomean)));
     }
 
+    // Sampling × plan interaction (§6.2 stacked on Fig. 9): run the
+    // opcode histogram with grid-dim sampling over the region+after plan
+    // and report how the two levers multiply. Each kernel launches
+    // SAMPLING_ROUNDS times with identical dimensions, so sampling
+    // instruments one launch and extrapolates the rest exactly.
+    println!("\n== sampling × plan: OpcodeHistogram grid-dim sampling over region+after ==\n");
+    println!(
+        "{:10}  {:>12}  {:>12}  {:>12}  {:>7}  {:>8}  {:>8}",
+        "workload", "full+naive", "full+plan", "samp+plan", "plan", "sampling", "combined"
+    );
+    let plan_opts = CONFIGS[3].1;
+    let sampling_apps: [(&str, App); 3] =
+        [("fft", run_fft_multi), ("stencil", run_stencil_multi), ("spmv", run_spmv_multi)];
+    let mut sampling_rows = Vec::new();
+    for (name, app) in sampling_apps {
+        let run_hist = |mode: SamplingMode, opts: PlanOpts| -> (BTreeMap<String, u64>, u64, u64) {
+            let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+            let (tool, results) = OpcodeHistogram::coalesced(mode, opts);
+            attach_tool(&drv, tool);
+            app(&drv);
+            drv.shutdown();
+            (results.histogram(), results.instrumented_launches(), drv.total_stats().cycles)
+        };
+        let (h_naive, _, c_naive) = run_hist(SamplingMode::Full, CONFIGS[0].1);
+        let (h_plan, _, c_plan) = run_hist(SamplingMode::Full, plan_opts);
+        let (h_samp, sampled_launches, c_samp) = run_hist(SamplingMode::GridDim, plan_opts);
+        assert_eq!(h_naive, h_plan, "{name}: the plan changed the histogram");
+        assert_eq!(h_plan, h_samp, "{name}: sampling drifted on a repeat-identical launch");
+        assert_eq!(sampled_launches, 1, "{name}: exactly one launch should be instrumented");
+        let plan_speedup = c_naive as f64 / c_plan as f64;
+        let sampling_speedup = c_plan as f64 / c_samp as f64;
+        let combined = c_naive as f64 / c_samp as f64;
+        println!(
+            "{name:10}  {c_naive:>12}  {c_plan:>12}  {c_samp:>12}  {plan_speedup:>6.2}x  \
+             {sampling_speedup:>7.2}x  {combined:>7.2}x"
+        );
+        assert!(
+            combined > plan_speedup && combined > sampling_speedup,
+            "{name}: the two levers must multiply \
+             (plan {plan_speedup:.2}x, sampling {sampling_speedup:.2}x, combined {combined:.2}x)"
+        );
+        sampling_rows.push(Json::obj(vec![
+            ("workload", Json::Str(name.into())),
+            ("launches", Json::Num(f64::from(SAMPLING_ROUNDS))),
+            ("cycles_full_naive", Json::Num(c_naive as f64)),
+            ("cycles_full_plan", Json::Num(c_plan as f64)),
+            ("cycles_sampled_plan", Json::Num(c_samp as f64)),
+            ("plan_speedup", Json::Num(plan_speedup)),
+            ("sampling_speedup", Json::Num(sampling_speedup)),
+            ("combined_speedup", Json::Num(combined)),
+        ]));
+    }
+
     let doc = Json::obj(vec![
         ("bench", Json::Str("inject_overhead".into())),
         ("tool", Json::Str("coalesced_instr_count".into())),
         ("arch", Json::Str("volta".into())),
         ("workloads", Json::Arr(workload_rows)),
         ("geomean_overhead", Json::obj(geomeans)),
+        (
+            "sampling_plan",
+            Json::obj(vec![
+                ("tool", Json::Str("opcode_histogram".into())),
+                ("rounds", Json::Num(f64::from(SAMPLING_ROUNDS))),
+                ("workloads", Json::Arr(sampling_rows)),
+            ]),
+        ),
     ]);
     std::fs::create_dir_all("results").unwrap();
     let path = "results/BENCH_inject_overhead.json";

@@ -14,8 +14,8 @@
 use common::json::Json;
 use cuda::{CbId, CbParams, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
-use nvbit::{attach_tool, NvbitApi, NvbitTool, SavePolicy, SaveStats};
-use nvbit_tools::InstrCount;
+use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, SavePolicy, SaveStats};
+use nvbit_tools::{CoalescedInstrCount, InstrCount};
 use sass::Arch;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -59,12 +59,11 @@ impl<T: NvbitTool> NvbitTool for SaveAccounting<T> {
 }
 
 /// Runs the FFT pipeline (the `profile_pipeline` workload) instrumented by
-/// the instruction counter under `policy`; returns per-function save stats.
-fn run_fft(policy: SavePolicy) -> Vec<(String, SaveStats)> {
+/// `tool` under `policy`; returns per-function save stats.
+fn run_fft<T: NvbitTool + 'static>(policy: SavePolicy, tool: T) -> Vec<(String, SaveStats)> {
     const BLOCKS: u32 = 8;
     let bytes = BLOCKS as u64 * 32 * 8;
     let drv = Driver::new(DeviceSpec::test(Arch::Volta));
-    let (tool, _results) = InstrCount::new();
     let stats = Rc::new(RefCell::new(Vec::new()));
     attach_tool(&drv, SaveAccounting { policy, inner: tool, stats: stats.clone() });
 
@@ -94,8 +93,8 @@ fn run_fft(policy: SavePolicy) -> Vec<(String, SaveStats)> {
 }
 
 fn main() {
-    let live = run_fft(SavePolicy::Liveness);
-    let full = run_fft(SavePolicy::FullTier);
+    let live = run_fft(SavePolicy::Liveness, InstrCount::new().0);
+    let full = run_fft(SavePolicy::FullTier, InstrCount::new().0);
 
     let saved: u64 = live.iter().map(|(_, s)| s.saved_slots).sum();
     let baseline: u64 = full.iter().map(|(_, s)| s.saved_slots).sum();
@@ -132,6 +131,29 @@ fn main() {
         reduction * 100.0
     );
 
+    // Declined-splice gate: the wide executed-counter body raises register
+    // pressure past the save tier at every FFT splice site, so the cost model
+    // declines the splices and codegen falls back to out-of-line calls. The
+    // liveness policy must still cut ≥30% of saved slots in that regime —
+    // declining an inline must never cost us the save-sizing win.
+    let wide_opts = PlanOpts {
+        coalesce: true,
+        region_coalesce: true,
+        after_lower: true,
+        inline: true,
+        pressure: true,
+    };
+    let wide_live = run_fft(SavePolicy::Liveness, CoalescedInstrCount::executed_wide(wide_opts).0);
+    let wide_full = run_fft(SavePolicy::FullTier, CoalescedInstrCount::executed_wide(wide_opts).0);
+    let wide_saved: u64 = wide_live.iter().map(|(_, s)| s.saved_slots).sum();
+    let wide_baseline: u64 = wide_full.iter().map(|(_, s)| s.saved_slots).sum();
+    let wide_reduction =
+        if wide_baseline == 0 { 0.0 } else { 1.0 - wide_saved as f64 / wide_baseline as f64 };
+    println!(
+        "declined-splice (wide tool, pressure on): {wide_saved} vs {wide_baseline} ({:.1}% reduction)",
+        wide_reduction * 100.0
+    );
+
     let doc = Json::obj(vec![
         ("bench", Json::Str("savereduce".into())),
         ("workload", Json::Str("fft32_soft pipeline".into())),
@@ -141,6 +163,15 @@ fn main() {
         ("saved_slots_liveness", Json::Num(saved as f64)),
         ("saved_slots_full_tier", Json::Num(baseline as f64)),
         ("reduction", Json::Num(reduction)),
+        (
+            "declined_splice",
+            Json::obj(vec![
+                ("tool", Json::Str("coalesced_instr_count/executed_wide".into())),
+                ("saved_slots_liveness", Json::Num(wide_saved as f64)),
+                ("saved_slots_full_tier", Json::Num(wide_baseline as f64)),
+                ("reduction", Json::Num(wide_reduction)),
+            ]),
+        ),
     ]);
     std::fs::create_dir_all("results").unwrap();
     let path = "results/BENCH_savereduce.json";
@@ -151,5 +182,10 @@ fn main() {
         reduction >= 0.30,
         "liveness-driven saves must cut ≥30% of saved slots on the FFT pipeline (got {:.1}%)",
         reduction * 100.0
+    );
+    assert!(
+        wide_reduction >= 0.30,
+        "declined splices must not regress the saved-slot reduction below 30% (got {:.1}%)",
+        wide_reduction * 100.0
     );
 }

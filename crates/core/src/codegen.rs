@@ -23,15 +23,20 @@ use crate::spec::{Arg, IPoint};
 use crate::{NvbitError, Result};
 use cuda::FunctionInfo;
 use sass::op::CfClass;
+use sass::pressure::BodyShape;
 use sass::{Instruction, Mods, Op, Operand, Reg};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Size ceiling (in instructions) under which a leaf tool body qualifies
-/// for inline splicing.
+/// Size ceiling (in instructions) under which a tool body qualifies for
+/// inline splicing.
 pub const INLINE_MAX_INSTRS: usize = 24;
-/// Register ceiling under which a leaf tool body qualifies for inlining.
-pub const INLINE_MAX_REGS: u32 = 16;
+/// Register ceiling under which a tool body qualifies for inlining. Wider
+/// than the classic 16-register leaf threshold: the per-site pressure
+/// verdict ([`sass::pressure::splice_verdict`]) now declines splices whose
+/// write window would raise the save tier, so the blunt cap only has to
+/// bound pathological bodies.
+pub const INLINE_MAX_REGS: u32 = 24;
 
 /// A tool device function loaded by the Tool Functions Loader.
 #[derive(Debug, Clone)]
@@ -50,16 +55,52 @@ pub struct ToolFn {
     /// The function's instruction body as loaded, retained for the inline
     /// pass and the pre-swap verifier (`None` for opaque registrations).
     pub body: Option<Arc<Vec<Instruction>>>,
-    /// Set when the body is an inlinable leaf: small, call-free,
-    /// stack-free, no register device API, a single unguarded trailing
-    /// `RET`, and no control flow escaping the body. The planner splices
-    /// such bodies into the trampoline in place of the `JCAL`/`RET` pair.
+    /// Set when the body is spliceable: small, call-free, stack-free, no
+    /// register device API, a single unguarded trailing `RET`, and a
+    /// control-flow shape the classifier accepts (straight-line or a
+    /// single guarded diamond — see [`shape`](ToolFn::shape)). The planner
+    /// splices such bodies into the trampoline in place of the
+    /// `JCAL`/`RET` pair, subject to the per-site pressure verdict.
     pub inlinable: bool,
+    /// Control-flow shape of the body as classified by
+    /// [`sass::pressure::body_shape`] (`None` for opaque registrations and
+    /// shapes that are never spliceable — loops, multiple conditionals,
+    /// escaping control flow).
+    pub shape: Option<BodyShape>,
     /// One past the highest general-purpose register the body *writes*
     /// (`None` when unknown — e.g. the body makes calls). Registers at or
     /// above this ceiling survive the call untouched, letting liveness
     /// tier selection shrink further than the used-register count allows.
     pub write_ceiling: Option<u8>,
+    /// One past the highest general-purpose register an *out-of-line call*
+    /// to [`addr`](ToolFn::addr) can leave clobbered. The callable copy is
+    /// compiled under the standard ABI, whose epilogue restores every
+    /// callee-saved register, so this never exceeds the first
+    /// callee-saved register (R16) even when the body itself writes higher —
+    /// which is exactly what makes declining a pressure-raising splice
+    /// profitable. `None` when unknown (opaque registration or a body
+    /// with calls); the clobber then falls back to `reg_count`.
+    pub call_ceiling: Option<u8>,
+}
+
+/// First callee-saved general-purpose register of the standard PTX call
+/// ABI (mirrored by the `ptx` crate's register allocator). A standard-ABI
+/// callee restores everything from here up before returning.
+pub(crate) const CALLEE_SAVE_BASE: u8 = 16;
+
+/// The caller-visible clobber ceiling of calling `body` out of line under
+/// the standard ABI: one past the highest written GPR, capped at
+/// [`CALLEE_SAVE_BASE`] (higher registers are restored by the epilogue).
+/// `None` when the body makes calls of its own (callee clobbers unknown).
+fn call_ceiling_of(body: &[Instruction]) -> Option<u8> {
+    let call_free = !body.iter().any(|i| {
+        matches!(i.cf_class(), CfClass::AbsCall | CfClass::RelCall | CfClass::IndirectBranch)
+    });
+    if !call_free {
+        return None;
+    }
+    let max_written = body.iter().flat_map(Instruction::reg_writes).map(|r| r.0).max();
+    Some(max_written.map_or(0, |r| r.saturating_add(1)).min(CALLEE_SAVE_BASE))
 }
 
 impl ToolFn {
@@ -73,23 +114,26 @@ impl ToolFn {
             uses_reg_api,
             body: None,
             inlinable: false,
+            shape: None,
             write_ceiling: None,
+            call_ceiling: None,
         }
     }
 
-    /// Builds the entry from the loaded body, running the leaf
-    /// classification. `isize` is the target's instruction size (for
-    /// validating that relative control flow stays inside the body).
+    /// Builds the entry from the loaded body, running the body
+    /// classification. `arch` selects the instruction size and the CFG
+    /// rules for validating that control flow stays inside the body.
     pub fn with_body(
         addr: u64,
         reg_count: u32,
         stack_size: u32,
         uses_reg_api: bool,
         body: Vec<Instruction>,
-        isize: u64,
+        arch: sass::Arch,
     ) -> ToolFn {
-        let (inlinable, write_ceiling) =
-            classify_leaf(&body, reg_count, stack_size, uses_reg_api, isize);
+        let (inlinable, write_ceiling, shape) =
+            classify_body(&body, reg_count, stack_size, uses_reg_api, arch);
+        let call_ceiling = call_ceiling_of(&body);
         ToolFn {
             addr,
             reg_count,
@@ -97,20 +141,54 @@ impl ToolFn {
             uses_reg_api,
             body: Some(Arc::new(body)),
             inlinable,
+            shape,
             write_ceiling,
+            call_ceiling,
+        }
+    }
+
+    /// Builds the entry from a dual-ABI load: `callable_body` is the
+    /// standard-ABI compile installed at `addr` (what out-of-line calls
+    /// execute — its epilogue restores every callee-saved register), while
+    /// `scratch_body` is the scratch-ABI compile of the same source (no
+    /// prologue, every register fair game), which is what classification,
+    /// inline splicing and the pressure cost model reason about.
+    pub fn dual_abi(
+        addr: u64,
+        callable: (u32, u32, &[Instruction]),
+        scratch: (u32, u32, Vec<Instruction>),
+        uses_reg_api: bool,
+        arch: sass::Arch,
+    ) -> ToolFn {
+        let (callable_regs, callable_stack, callable_body) = callable;
+        let (scratch_regs, scratch_stack, scratch_body) = scratch;
+        let (inlinable, write_ceiling, shape) =
+            classify_body(&scratch_body, scratch_regs, scratch_stack, uses_reg_api, arch);
+        let call_ceiling = call_ceiling_of(callable_body);
+        ToolFn {
+            addr,
+            reg_count: callable_regs.max(scratch_regs),
+            stack_size: callable_stack,
+            uses_reg_api,
+            body: Some(Arc::new(scratch_body)),
+            inlinable,
+            shape,
+            write_ceiling,
+            call_ceiling,
         }
     }
 }
 
-/// Classifies a loaded tool body: is it an inlinable leaf, and what is its
-/// register write ceiling?
-fn classify_leaf(
+/// Classifies a loaded tool body: its control-flow shape (straight leaf or
+/// guarded diamond, via [`sass::pressure::body_shape`]), whether it
+/// qualifies for inline splicing, and its register write ceiling.
+fn classify_body(
     body: &[Instruction],
     reg_count: u32,
     stack_size: u32,
     uses_reg_api: bool,
-    isize: u64,
-) -> (bool, Option<u8>) {
+    arch: sass::Arch,
+) -> (bool, Option<u8>, Option<BodyShape>) {
     // The write ceiling is only knowable for call-free bodies that leave
     // the frame pointer alone; the register device API reaches the save
     // area behind the analysis's back.
@@ -125,33 +203,17 @@ fn classify_leaf(
         None
     };
 
+    // The shape classification subsumes the old per-instruction scan: it
+    // requires the single unguarded trailing RET, rejects control flow
+    // that leaves the body, and — unlike the scan — rejects loops and
+    // multi-branch shapes that happened to stay in-body.
+    let shape = sass::pressure::body_shape(body, arch);
     let inlinable = write_ceiling.is_some()
+        && shape.is_some()
         && stack_size == 0
         && reg_count <= INLINE_MAX_REGS
-        && !body.is_empty()
-        && body.len() <= INLINE_MAX_INSTRS
-        && body.last().is_some_and(|i| i.op == Op::Ret && i.guard.is_always())
-        && body.iter().enumerate().all(|(i, ins)| {
-            // No Ret except the trailing one, no control flow that leaves
-            // the body or depends on its original address.
-            let class_ok = match ins.cf_class() {
-                CfClass::Ret => i == body.len() - 1,
-                CfClass::None | CfClass::Sync | CfClass::Ssy | CfClass::Bar => true,
-                CfClass::RelBranch => true, // target checked below
-                _ => false,
-            };
-            let target_ok = match ins.rel_target() {
-                Some(off) => {
-                    off % isize as i64 == 0 && {
-                        let t = i as i64 + 1 + off / isize as i64;
-                        (0..body.len() as i64).contains(&t)
-                    }
-                }
-                None => true,
-            };
-            class_ok && target_ok
-        });
-    (inlinable, write_ceiling)
+        && body.len() <= INLINE_MAX_INSTRS;
+    (inlinable, write_ceiling, if write_ceiling.is_some() { shape } else { None })
 }
 
 /// How the code generator sizes each injection site's register save.
@@ -257,7 +319,7 @@ pub struct InstrumentedImage {
 
 /// The register demand of reading one saved register: slot `r` must have
 /// been stored. `RZ` and the reconstructed `SP` need no slot.
-fn reg_demand(r: u8) -> u32 {
+pub(crate) fn reg_demand(r: u8) -> u32 {
     match r {
         255 | 1 => 0,
         _ => r as u32 + 1,
@@ -265,7 +327,7 @@ fn reg_demand(r: u8) -> u32 {
 }
 
 /// The register demand an argument places on the save tier.
-fn arg_demand(arg: &Arg) -> u32 {
+pub(crate) fn arg_demand(arg: &Arg) -> u32 {
     match arg {
         Arg::RegVal(r) => reg_demand(*r),
         Arg::RegVal64(r) => reg_demand(*r).max(reg_demand(r.saturating_add(1))),
@@ -348,10 +410,18 @@ pub fn generate(
     let mut max_frame = 0u32;
     for (&idx, calls) in &plan.sites {
         let uses_reg_api = calls.iter().any(|c| tool_fns[&c.func].uses_reg_api);
+        // A guarded-diamond splice is only sized from liveness when the
+        // pressure pass vetted it (DESIGN §4h): without the cost model,
+        // guarded-flow bodies spliced into the trampoline are charged the
+        // conservative whole-function tier, like register-API tools.
+        let unvetted_diamond = !plan.opts.pressure
+            && calls
+                .iter()
+                .any(|c| c.inline && matches!(tool_fns[&c.func].shape, Some(BodyShape::Diamond)));
         let tier = match dataflow {
             // Register-device-API tools index save-area slots computed at
             // run time; only the whole-function tier is safe for them.
-            Some(df) if !uses_reg_api => {
+            Some(df) if !uses_reg_api && !unvetted_diamond => {
                 // The trampoline only clobbers R0 (the frame pointer), the
                 // ABI argument window from R4 up, and the injected
                 // functions' own registers — shrunk to the registers the
@@ -364,7 +434,15 @@ pub fn generate(
                 let mut demand: u32 = 0;
                 for call in calls {
                     let tf = &tool_fns[&call.func];
-                    clobber = clobber.max(tf.write_ceiling.map_or(tf.reg_count, u32::from));
+                    // A spliced body clobbers up to its raw write ceiling;
+                    // an out-of-line call executes the standard-ABI copy,
+                    // which restores callee-saved registers on return.
+                    let body_clobber = if call.inline {
+                        tf.write_ceiling.map_or(tf.reg_count, u32::from)
+                    } else {
+                        tf.call_ceiling.map_or(tf.reg_count, u32::from)
+                    };
+                    clobber = clobber.max(body_clobber);
                     let mut slot: u32 = 4;
                     for arg in &call.args {
                         slot += u32::from(arg.slots());
@@ -755,7 +833,7 @@ fn emit_regval(r: u8, slot: u8, frame: u32, out: &mut Vec<Instruction>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::{self, PlanOpts};
+    use crate::plan::{self, Analyses, PlanOpts};
     use crate::saverestore::TIERS;
     use crate::spec::FuncSpec;
     use cuda::{CuFunction, CuModule};
@@ -767,7 +845,7 @@ mod tests {
         body_len: usize,
         fns: &HashMap<String, ToolFn>,
     ) -> InstrumentationPlan {
-        plan::build(spec, body_len, None, None, fns, PlanOpts::naive()).unwrap()
+        plan::build(spec, body_len, Analyses::none(), fns, PlanOpts::naive()).unwrap()
     }
 
     fn fake_info(addr: u64, reg_count: u32, arch: Arch) -> FunctionInfo {
@@ -998,7 +1076,7 @@ mod tests {
         let (_hal, _info, instrs, _code) = setup(Arch::Volta, "NOP ;\nEXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "missing", IPoint::Before);
-        let e = plan::build(&spec, instrs.len(), None, None, &tool_fns(), PlanOpts::naive());
+        let e = plan::build(&spec, instrs.len(), Analyses::none(), &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::UnknownToolFunction(_))));
     }
 
@@ -1007,7 +1085,7 @@ mod tests {
         let (_hal, _info, instrs, _code) = setup(Arch::Volta, "EXIT ;");
         let mut spec = FuncSpec::default();
         spec.insert_call(5, "ifunc", IPoint::Before);
-        let e = plan::build(&spec, instrs.len(), None, None, &tool_fns(), PlanOpts::naive());
+        let e = plan::build(&spec, instrs.len(), Analyses::none(), &tool_fns(), PlanOpts::naive());
         assert!(matches!(e, Err(NvbitError::BadInstrIndex { .. })));
     }
 
@@ -1277,7 +1355,7 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             "leaf".to_string(),
-            ToolFn::with_body(0x8000, reg_count, 0, false, body, hal.instruction_size()),
+            ToolFn::with_body(0x8000, reg_count, 0, false, body, hal.arch()),
         );
         m
     }
@@ -1285,38 +1363,47 @@ mod tests {
     #[test]
     fn leaf_classification() {
         let hal = Hal::new(Arch::Volta);
-        let isize = hal.instruction_size();
+        let arch = hal.arch();
         let dis = |t: &str| hal.disassemble(&hal.assemble_text(t).unwrap()).unwrap();
 
         let leaf = dis("IADD R4, R4, 0x1 ;\nRET ;");
-        assert_eq!(classify_leaf(&leaf, 8, 0, false, isize), (true, Some(5)));
+        assert_eq!(
+            classify_body(&leaf, 8, 0, false, arch),
+            (true, Some(5), Some(BodyShape::Straight))
+        );
 
         // Calls, guarded trailing RET, the register device API, stack use
         // and oversized bodies all disqualify.
         let calls = dis("JCAL `0x100 ;\nRET ;");
-        assert_eq!(classify_leaf(&calls, 8, 0, false, isize), (false, None));
+        assert_eq!(classify_body(&calls, 8, 0, false, arch), (false, None, None));
         let guarded = dis("ISETP.EQ.S32 P1, R4, RZ ;\n@P1 RET ;");
-        assert!(!classify_leaf(&guarded, 8, 0, false, isize).0);
-        assert!(!classify_leaf(&leaf, 8, 0, true, isize).0, "reg-api");
-        assert!(!classify_leaf(&leaf, 8, 64, false, isize).0, "stack");
-        assert!(!classify_leaf(&leaf, INLINE_MAX_REGS + 1, 0, false, isize).0, "regs");
+        assert!(!classify_body(&guarded, 8, 0, false, arch).0);
+        assert!(!classify_body(&leaf, 8, 0, true, arch).0, "reg-api");
+        assert!(!classify_body(&leaf, 8, 64, false, arch).0, "stack");
+        assert!(!classify_body(&leaf, INLINE_MAX_REGS + 1, 0, false, arch).0, "regs");
         let long: Vec<Instruction> = std::iter::repeat_with(Instruction::nop)
             .take(INLINE_MAX_INSTRS)
             .chain(dis("RET ;"))
             .collect();
-        assert!(!classify_leaf(&long, 8, 0, false, isize).0, "size");
+        assert!(!classify_body(&long, 8, 0, false, arch).0, "size");
 
-        // An early guarded RET branching to a merge label stays inlinable
-        // only in merged form (single trailing RET) — which is what the
-        // PTX pipeline produces.
+        // An early guarded branch to a merge label (single trailing RET —
+        // what the PTX pipeline produces) classifies as a guarded diamond
+        // and stays inlinable.
         let merged = dis("ISETP.EQ.S32 P1, R4, RZ ;\n\
              @P1 BRA done ;\n\
              IADD R5, R4, 0x1 ;\n\
              done:\n\
              RET ;");
-        let (ok, ceiling) = classify_leaf(&merged, 8, 0, false, isize);
+        let (ok, ceiling, shape) = classify_body(&merged, 8, 0, false, arch);
         assert!(ok);
         assert_eq!(ceiling, Some(6));
+        assert_eq!(shape, Some(BodyShape::Diamond));
+
+        // A backward (loop) branch was loosely accepted by the old scan;
+        // the shape classifier rejects it.
+        let looped = dis("top:\nIADD R4, R4, 0x1 ;\n@P1 BRA top ;\nRET ;");
+        assert!(!classify_body(&looped, 8, 0, false, arch).0, "loop");
     }
 
     #[test]
@@ -1328,8 +1415,7 @@ mod tests {
         let plan = plan::build(
             &spec,
             instrs.len(),
-            None,
-            None,
+            Analyses::none(),
             &fns,
             PlanOpts { inline: true, ..PlanOpts::naive() },
         )
@@ -1386,8 +1472,7 @@ mod tests {
         let plan = plan::build(
             &spec,
             instrs.len(),
-            None,
-            None,
+            Analyses::none(),
             &fns,
             PlanOpts { inline: true, ..PlanOpts::naive() },
         )
@@ -1422,8 +1507,7 @@ mod tests {
         let plan = plan::build(
             &spec,
             instrs.len(),
-            Some(&blocks),
-            None,
+            Analyses::with_blocks(&blocks),
             &tool_fns(),
             PlanOpts { coalesce: true, ..PlanOpts::naive() },
         )
@@ -1479,7 +1563,7 @@ mod tests {
         spec.insert_call(0, "leaf", IPoint::Before);
         let run = |fns: &HashMap<String, ToolFn>| {
             let plan =
-                plan::build(&spec, instrs.len(), None, None, fns, PlanOpts::naive()).unwrap();
+                plan::build(&spec, instrs.len(), Analyses::none(), fns, PlanOpts::naive()).unwrap();
             generate(
                 &hal,
                 &info,

@@ -217,19 +217,35 @@ fn build_one(
         // inlining passes the image key's options select.
         let plan = {
             let _pspan = common::obs::span("plan");
-            let blocks = l.basic_blocks.as_ref().ok().map(Vec::as_slice);
-            let plan = plan::build(
-                &input.spec,
-                original.len(),
-                blocks,
-                l.dom.as_ref(),
-                tool_fns,
-                input.key.opts,
-            )?;
+            // Surface *why* static CFG recovery fell back, per failure
+            // variant, and recover a conservative partial partition for
+            // the BRX case so block coalescing still applies.
+            let partial = match &l.basic_blocks {
+                Err(sass::CfgFailure::IndirectBranch { .. }) => {
+                    common::obs::counter("plan.cfg_fail.brx", 1);
+                    Some(sass::cfg::partial_blocks(&original, hal.arch()))
+                }
+                Err(sass::CfgFailure::MisalignedTarget { .. }) => {
+                    common::obs::counter("plan.cfg_fail.misaligned", 1);
+                    None
+                }
+                Ok(_) => None,
+            };
+            let analyses = plan::Analyses {
+                blocks: l.basic_blocks.as_ref().ok().map(Vec::as_slice),
+                partial: partial.as_deref(),
+                dom: l.dom.as_ref(),
+                dataflow: l.dataflow.as_ref(),
+            };
+            let plan =
+                plan::build(&input.spec, original.len(), analyses, tool_fns, input.key.opts)?;
             common::obs::counter("plan.coalesced_away", plan.stats.coalesced_away);
             common::obs::counter("plan.inlined_calls", plan.stats.inlined_calls);
             common::obs::counter("plan.after_lowered", plan.stats.after_lowered);
             common::obs::counter("plan.region_groups", plan.stats.region_groups);
+            common::obs::counter("plan.icf_recovered", plan.stats.icf_recovered);
+            common::obs::counter("plan.pressure.accepted", plan.stats.inline_accepted);
+            common::obs::counter("plan.pressure.declined", plan.stats.inline_declined);
             plan
         };
         let image = {
@@ -891,7 +907,16 @@ impl<'a> NvbitApi<'a> {
     /// Compilation or device-memory failures.
     pub fn load_tool_functions(&self, ptx_src: &str) -> Result<()> {
         let hal = self.state.hal(self.drv);
+        // Dual-ABI load. The *callable* copy — what gets installed on the
+        // device and what out-of-line `JCAL`s execute — compiles under the
+        // standard ABI, so its epilogue restores every callee-saved
+        // register. The same source is compiled again under the *scratch*
+        // ABI (no prologue, every register fair game): that body is what
+        // the planner classifies, the inline pass splices and the pressure
+        // cost model prices, since a splice runs inside a trampoline that
+        // already saved the site's registers.
         let module = ptx::compile_module(ptx_src, hal.arch())?;
+        let scratch_mod = ptx::compile_module_abi(ptx_src, hal.arch(), ptx::Abi::Scratch).ok();
         for f in &module.functions {
             if !f.relocs.is_empty() {
                 return Err(NvbitError::BadRequest(format!(
@@ -913,21 +938,35 @@ impl<'a> NvbitApi<'a> {
                 d.label_code(a, f.code.len() as u64, &f.name);
                 Ok(a)
             })?;
-            // Retain the decoded body so the planner can classify leaves
+            // Retain the decoded bodies so the planner can classify leaves
             // (precise clobber ceilings, inline candidates) and the verifier
             // can compare inlined splices against the loaded function.
             let body = hal.disassemble(&f.code)?;
-            self.state.tool_fns.write().unwrap().insert(
-                f.name.clone(),
-                ToolFn::with_body(
+            let scratch =
+                scratch_mod.as_ref().and_then(|m| m.functions.iter().find(|s| s.name == f.name));
+            let tool_fn = match scratch {
+                Some(s) => {
+                    let scratch_body = hal.disassemble(&s.code)?;
+                    ToolFn::dual_abi(
+                        addr,
+                        (f.reg_count, f.stack_size, &body),
+                        (s.reg_count, s.stack_size, scratch_body),
+                        f.uses_reg_api,
+                        hal.arch(),
+                    )
+                }
+                // No scratch compile (the function calls others): classify
+                // the standard body — such bodies are never spliceable.
+                None => ToolFn::with_body(
                     addr,
                     f.reg_count,
                     f.stack_size,
                     f.uses_reg_api,
                     body,
-                    hal.instruction_size(),
+                    hal.arch(),
                 ),
-            );
+            };
+            self.state.tool_fns.write().unwrap().insert(f.name.clone(), tool_fn);
         }
         Ok(())
     }

@@ -48,7 +48,7 @@ use crate::codegen::ToolFn;
 use crate::spec::{Arg, FuncSpec, IPoint};
 use crate::{NvbitError, Result};
 use sass::cfg::{block_of, BasicBlock};
-use sass::Dom;
+use sass::{Dataflow, Dom};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Which optimization passes [`build`] runs. Part of the image-cache key:
@@ -66,18 +66,36 @@ pub struct PlanOpts {
     /// Lower coalesce-marked `IPoint::After` injections at mid-block sites
     /// to the equivalent `Before` position on the fall-through edge.
     pub after_lower: bool,
+    /// Gate each inline splice with the register-pressure cost model
+    /// ([`sass::pressure::splice_verdict`]): splices whose body write
+    /// window would raise the site's save tier are declined and stay
+    /// out-of-line calls. Without the gate, spliced guarded-diamond bodies
+    /// are charged the conservative whole-function tier.
+    pub pressure: bool,
 }
 
 impl Default for PlanOpts {
     fn default() -> Self {
-        PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true }
+        PlanOpts {
+            coalesce: true,
+            inline: true,
+            region_coalesce: true,
+            after_lower: true,
+            pressure: true,
+        }
     }
 }
 
 impl PlanOpts {
     /// Every pass disabled — the naive one-call-per-site pipeline.
     pub fn naive() -> Self {
-        PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false }
+        PlanOpts {
+            coalesce: false,
+            inline: false,
+            region_coalesce: false,
+            after_lower: false,
+            pressure: false,
+        }
     }
 }
 
@@ -137,6 +155,17 @@ pub struct PlanStats {
     /// Whether a basic-block partition was available (coalescing needs
     /// one; indirect control flow defeats it — the ICF exception).
     pub cfg_available: bool,
+    /// Groups merged over the conservative *partial* partition recovered
+    /// under the ICF exception ([`sass::cfg::partial_blocks`]) — merges
+    /// the naive fallback would have lost.
+    pub icf_recovered: u64,
+    /// Inline candidates the pressure verdict accepted (only counted when
+    /// [`PlanOpts::pressure`] is on).
+    pub inline_accepted: u64,
+    /// Inline candidates the pressure verdict declined: the body's write
+    /// window would have raised the site's save tier, so the call stays
+    /// out of line.
+    pub inline_declined: u64,
 }
 
 /// The validated, optimized instrumentation plan for one function.
@@ -176,14 +205,72 @@ fn explicit_args(call: &PlannedCall) -> &[Arg] {
     &call.args[..call.args.len() - 1]
 }
 
+/// The static analyses [`build`] consumes. All optional: each pass
+/// degrades gracefully as analyses drop out (indirect control flow,
+/// irreducible graphs, a disabled dataflow solver).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Analyses<'a> {
+    /// Full basic-block partition, when static CFG recovery succeeded.
+    pub blocks: Option<&'a [BasicBlock]>,
+    /// Conservative partial partition recovered under the ICF exception
+    /// ([`sass::cfg::partial_blocks`]); consulted only when `blocks` is
+    /// `None`. Enables block coalescing (never region coalescing).
+    pub partial: Option<&'a [BasicBlock]>,
+    /// Dominator analysis over `blocks`, for region coalescing.
+    pub dom: Option<&'a Dom>,
+    /// Liveness analysis over the body, for the pressure verdict.
+    pub dataflow: Option<&'a Dataflow>,
+}
+
+impl<'a> Analyses<'a> {
+    /// No analyses available — the naive per-site pipeline.
+    pub fn none() -> Self {
+        Analyses::default()
+    }
+
+    /// Basic-block partition only.
+    pub fn with_blocks(blocks: &'a [BasicBlock]) -> Self {
+        Analyses { blocks: Some(blocks), ..Analyses::default() }
+    }
+
+    /// Basic-block partition plus dominator analysis.
+    pub fn with_dom(blocks: &'a [BasicBlock], dom: &'a Dom) -> Self {
+        Analyses { blocks: Some(blocks), dom: Some(dom), ..Analyses::default() }
+    }
+}
+
+/// One past the highest ABI register the call scaffold writes while
+/// materializing `args` — mirrors the slot walk of the code generator's
+/// `emit_call` (arguments from R4 up, 64-bit pairs even-aligned).
+fn scaffold_window(args: &[Arg]) -> u8 {
+    let mut slot: u8 = 4;
+    for arg in args {
+        if arg.slots() == 2 && slot % 2 == 1 {
+            slot += 1;
+        }
+        slot = slot.saturating_add(arg.slots());
+    }
+    slot
+}
+
+/// The largest saved slot any argument reads back from the frame.
+fn arg_read_back(args: &[Arg]) -> u16 {
+    args.iter()
+        .map(|a| u16::try_from(crate::codegen::arg_demand(a)).unwrap_or(u16::MAX))
+        .max()
+        .unwrap_or(0)
+}
+
 /// Builds the plan: validates the spec against the function body and the
 /// loaded tool functions, then runs the passes enabled in `opts`.
 ///
-/// `blocks` is the function's basic-block partition when static CFG
-/// recovery succeeded (`None` under the ICF exception — coalescing is then
-/// skipped and [`PlanStats::cfg_available`] records it). `dom` is the
-/// dominator analysis over those blocks; region coalescing is skipped
-/// without it (or when it reports irreducible control flow).
+/// `analyses` carries the optional static analyses: coalescing needs the
+/// block partition (falling back to the partial partition under the ICF
+/// exception, with [`PlanStats::cfg_available`] and
+/// [`PlanStats::icf_recovered`] recording what happened), region
+/// coalescing additionally needs the dominator analysis, and the pressure
+/// verdict needs the dataflow solution (without it, every eligible splice
+/// is accepted, as before).
 ///
 /// # Errors
 ///
@@ -192,11 +279,11 @@ fn explicit_args(call: &PlannedCall) -> &[Arg] {
 pub fn build(
     spec: &FuncSpec,
     body_len: usize,
-    blocks: Option<&[BasicBlock]>,
-    dom: Option<&Dom>,
+    analyses: Analyses<'_>,
     tool_fns: &HashMap<String, ToolFn>,
     opts: PlanOpts,
 ) -> Result<InstrumentationPlan> {
+    let Analyses { blocks, partial, dom, dataflow } = analyses;
     // Validation — lifted here from the code generator, which now consumes
     // an already-validated plan.
     for (&idx, injections) in &spec.sites {
@@ -251,10 +338,18 @@ pub fn build(
         }
     }
 
-    // Pass 2: block coalescing — merge within each basic block.
+    // Pass 2: block coalescing — merge within each basic block. Under the
+    // ICF exception the partial partition still bounds runs of straight-
+    // line code between statically known leaders, so per-block merging
+    // applies there too; `icf_recovered` counts what the naive fallback
+    // would have lost.
     if opts.coalesce {
         if let Some(blocks) = blocks {
             stats.coalesced_groups += merge_calls(&mut sites, &|site| block_of(blocks, site));
+        } else if let Some(partial) = partial {
+            let recovered = merge_calls(&mut sites, &|site| block_of(partial, site));
+            stats.coalesced_groups += recovered;
+            stats.icf_recovered += recovered;
         }
     }
 
@@ -282,14 +377,34 @@ pub fn build(
         sites.remove(&idx);
     }
 
-    // Pass 4: leaf inlining.
-    for calls in sites.values_mut() {
+    // Pass 4: inline splicing, gated per call by the pressure verdict when
+    // the cost model is enabled and the dataflow solution is available.
+    for (&idx, calls) in sites.iter_mut() {
         for call in calls.iter_mut() {
             stats.emitted_calls += 1;
-            if opts.inline && tool_fns[&call.func].inlinable {
-                call.inline = true;
-                stats.inlined_calls += 1;
+            if !opts.inline || !tool_fns[&call.func].inlinable {
+                continue;
             }
+            if opts.pressure {
+                let tf = &tool_fns[&call.func];
+                if let (Some(df), Some(ceiling)) = (dataflow, tf.write_ceiling) {
+                    let site = sass::pressure::SpliceSite {
+                        index: idx,
+                        scaffold_window: scaffold_window(&call.args),
+                        body_window: ceiling,
+                        arg_demand: arg_read_back(&call.args),
+                    };
+                    let verdict =
+                        sass::pressure::splice_verdict(df, &site, &crate::saverestore::TIERS);
+                    if !verdict.accept {
+                        stats.inline_declined += 1;
+                        continue;
+                    }
+                }
+                stats.inline_accepted += 1;
+            }
+            call.inline = true;
+            stats.inlined_calls += 1;
         }
     }
     stats.coalesced_away = stats.requested_calls - stats.emitted_calls;
@@ -481,8 +596,7 @@ skip:
         let plan = build(
             &spec,
             n,
-            Some(&blocks),
-            None,
+            Analyses::with_blocks(&blocks),
             &fns(false),
             PlanOpts { coalesce: true, ..PlanOpts::naive() },
         )
@@ -507,7 +621,7 @@ skip:
     fn naive_plan_still_appends_multiplicity_one() {
         let (n, _) = body_blocks();
         let spec = count_spec(n, 1);
-        let plan = build(&spec, n, None, None, &fns(false), PlanOpts::naive()).unwrap();
+        let plan = build(&spec, n, Analyses::none(), &fns(false), PlanOpts::naive()).unwrap();
         assert_eq!(plan.sites.len(), n);
         for calls in plan.sites.values() {
             assert_eq!(calls[0].args.last(), Some(&Arg::Imm32(1)));
@@ -535,8 +649,7 @@ skip:
         let plan = build(
             &spec,
             n,
-            Some(&blocks),
-            None,
+            Analyses::with_blocks(&blocks),
             &fns(false),
             PlanOpts { coalesce: true, ..PlanOpts::naive() },
         )
@@ -557,8 +670,7 @@ skip:
         let plan = build(
             &spec,
             n,
-            Some(&blocks),
-            None,
+            Analyses::with_blocks(&blocks),
             &fns(false),
             PlanOpts { coalesce: true, ..PlanOpts::naive() },
         )
@@ -575,7 +687,9 @@ skip:
         let mut spec = FuncSpec::default();
         spec.insert_call(0, "f", IPoint::Before);
         spec.add_arg(0, Arg::Imm64(7));
-        let plan = build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
+        let plan =
+            build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default())
+                .unwrap();
         assert_eq!(plan.sites[&0][0].args, vec![Arg::Imm64(7)]);
     }
 
@@ -587,18 +701,19 @@ skip:
         let on = build(
             &spec,
             n,
-            Some(&blocks),
-            None,
+            Analyses::with_blocks(&blocks),
             &fns(true),
             PlanOpts { inline: true, ..PlanOpts::naive() },
         )
         .unwrap();
         assert!(on.sites[&0][0].inline);
         assert_eq!(on.stats.inlined_calls, 1);
-        let off = build(&spec, n, Some(&blocks), None, &fns(true), PlanOpts::naive()).unwrap();
+        let off =
+            build(&spec, n, Analyses::with_blocks(&blocks), &fns(true), PlanOpts::naive()).unwrap();
         assert!(!off.sites[&0][0].inline);
         let opaque =
-            build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
+            build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default())
+                .unwrap();
         assert!(!opaque.sites[&0][0].inline, "non-leaf tools are never inlined");
     }
 
@@ -608,19 +723,19 @@ skip:
         let mut s = FuncSpec::default();
         s.insert_call(99, "f", IPoint::Before);
         assert!(matches!(
-            build(&s, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
+            build(&s, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default()),
             Err(NvbitError::BadInstrIndex { index: 99, .. })
         ));
         let mut s2 = FuncSpec::default();
         s2.insert_call(0, "missing", IPoint::Before);
         assert!(matches!(
-            build(&s2, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
+            build(&s2, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default()),
             Err(NvbitError::UnknownToolFunction(_))
         ));
         let mut s3 = FuncSpec::default();
         s3.remove_orig(99);
         assert!(matches!(
-            build(&s3, n, Some(&blocks), None, &fns(false), PlanOpts::default()),
+            build(&s3, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default()),
             Err(NvbitError::BadInstrIndex { index: 99, .. })
         ));
     }
@@ -630,7 +745,8 @@ skip:
         let (n, blocks) = body_blocks();
         let mut s = FuncSpec::default();
         s.remove_orig(3);
-        let plan = build(&s, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
+        let plan =
+            build(&s, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default()).unwrap();
         assert!(plan.sites.is_empty());
         assert!(plan.removed.contains(&3));
     }
@@ -642,7 +758,8 @@ skip:
         let (prog, blocks, dom) = body_dom(BODY);
         let spec = count_spec(prog.len(), 0xdead);
         let opts = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
-        let plan = build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), opts).unwrap();
+        let plan =
+            build(&spec, prog.len(), Analyses::with_dom(&blocks, &dom), &fns(false), opts).unwrap();
         let idxs: Vec<usize> = plan.sites.keys().copied().collect();
         assert_eq!(idxs, vec![0, 3], "skip-block call hoisted into the entry call");
         let c0 = &plan.sites[&0][0];
@@ -671,7 +788,8 @@ body:
         let (prog, blocks, dom) = body_dom(LOOP);
         let spec = count_spec(prog.len(), 1);
         let opts = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
-        let plan = build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), opts).unwrap();
+        let plan =
+            build(&spec, prog.len(), Analyses::with_dom(&blocks, &dom), &fns(false), opts).unwrap();
         // Setup (instr 0) and tail (instrs 4,5) merge; the loop body
         // (instrs 1..4) executes more often and must stay out.
         let idxs: Vec<usize> = plan.sites.keys().copied().collect();
@@ -701,8 +819,10 @@ b:
         let with_region = PlanOpts { coalesce: true, region_coalesce: true, ..PlanOpts::naive() };
         let block_only = PlanOpts { coalesce: true, ..PlanOpts::naive() };
         let a =
-            build(&spec, prog.len(), Some(&blocks), Some(&dom), &fns(false), with_region).unwrap();
-        let b = build(&spec, prog.len(), Some(&blocks), None, &fns(false), block_only).unwrap();
+            build(&spec, prog.len(), Analyses::with_dom(&blocks, &dom), &fns(false), with_region)
+                .unwrap();
+        let b = build(&spec, prog.len(), Analyses::with_blocks(&blocks), &fns(false), block_only)
+            .unwrap();
         assert_eq!(a.sites, b.sites, "irreducible graphs degrade to per-block merging");
         assert_eq!(a.stats.region_groups, 0);
     }
@@ -723,7 +843,7 @@ b:
         // Sites 0 and 1 are mid-block; site 2 is the block terminator.
         let spec = after_spec(&[0, 1, 2], 9);
         let opts = PlanOpts { after_lower: true, ..PlanOpts::naive() };
-        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        let plan = build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), opts).unwrap();
         let c1 = &plan.sites[&1][0];
         assert_eq!(c1.ipoint, IPoint::Before);
         assert_eq!((c1.group.as_slice(), c1.lowered.as_slice()), (&[0usize][..], &[0usize][..]));
@@ -743,7 +863,7 @@ b:
         let (n, blocks) = body_blocks();
         let spec = after_spec(&[0, 1], 9);
         let opts = PlanOpts { after_lower: true, coalesce: true, ..PlanOpts::naive() };
-        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        let plan = build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), opts).unwrap();
         let idxs: Vec<usize> = plan.sites.keys().copied().collect();
         assert_eq!(idxs, vec![1], "anchored at origin 0's fall-through slot");
         let c = &plan.sites[&1][0];
@@ -763,7 +883,9 @@ b:
         spec.insert_call(0, "f", IPoint::After);
         spec.add_arg(0, Arg::GuardPred);
         spec.set_coalesce(0);
-        let plan = build(&spec, n, Some(&blocks), None, &fns(false), PlanOpts::default()).unwrap();
+        let plan =
+            build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default())
+                .unwrap();
         assert_eq!(plan.sites[&0][0].ipoint, IPoint::After);
         assert_eq!(plan.stats.after_lowered, 0);
     }
@@ -781,7 +903,7 @@ b:
             spec.set_coalesce(0);
         }
         let opts = PlanOpts { after_lower: true, coalesce: true, ..PlanOpts::naive() };
-        let plan = build(&spec, n, Some(&blocks), None, &fns(false), opts).unwrap();
+        let plan = build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), opts).unwrap();
         assert_eq!(plan.stats.emitted_calls, 2);
         assert_eq!(plan.stats.coalesced_groups, 0);
         for calls in plan.sites.values() {

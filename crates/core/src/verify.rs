@@ -89,6 +89,19 @@ pub enum DiagKind {
     /// A save-area access addresses a slot beyond what the site's save tier
     /// writes.
     TierExceeded,
+    /// An inline splice clobbers a register that is live across the site
+    /// (per a dataflow analysis recomputed from the original bytes) but
+    /// not covered by the site's save tier: executing the splice would
+    /// corrupt the application's state. This is the safety property the
+    /// pressure cost model exists to uphold, re-proven here without
+    /// trusting the planner's verdicts.
+    PressureExceeded,
+    /// The spliced instructions do not form a shape the body classifier
+    /// accepts (a straight line or a single guarded diamond whose control
+    /// flow stays inside the splice). Recomputed from the emitted
+    /// trampoline bytes: an escaping or looping splice inside a
+    /// trampoline would run code outside the save/restore bracket.
+    DiamondMismatch,
 }
 
 /// One verification failure.
@@ -457,6 +470,11 @@ pub fn verify_plan_instrs(
     // Recomputed (not trusted from the image) dominator analysis: region
     // checks must hold against the original body as the verifier sees it.
     let dom = blocks.as_ref().map(|b| sass::Dom::analyze(original, b, hal.arch()));
+    // Recomputed liveness, for proving each inline splice's clobber is
+    // covered by the site's save tier (`None` when the body cannot be
+    // statically partitioned — splices are then vacuously unprovable and
+    // the planner never emits them without a CFG anyway).
+    let dataflow = sass::Dataflow::analyze(original, hal.arch()).ok();
 
     for site in sites {
         let end = site.start + site.len;
@@ -599,6 +617,61 @@ pub fn verify_plan_instrs(
                         call.func, site.instr_idx
                     ),
                 });
+            }
+            if off + len > site.len || len == 0 {
+                continue; // out-of-range splice: already reported above
+            }
+
+            // Shape check, recomputed from the *emitted* instructions:
+            // with the splice's trailing NOP restored to the RET it stands
+            // for, the body classifier must still accept the shape. A
+            // splice whose guarded branch escapes the splice (or loops)
+            // would execute foreign code inside the save/restore bracket,
+            // whatever body it byte-matches.
+            let mut spliced: Vec<Instruction> = body[off..off + len - 1].to_vec();
+            spliced.push(Instruction::new(Op::Ret, vec![]));
+            if sass::pressure::body_shape(&spliced, hal.arch()).is_none() {
+                diags.push(Diagnostic {
+                    kind: DiagKind::DiamondMismatch,
+                    region: Region::Trampoline,
+                    index: site.start + off,
+                    message: format!(
+                        "inline splice of `{}` at instruction {} is not a straight line or a \
+                         single guarded diamond contained in the splice",
+                        call.func, site.instr_idx
+                    ),
+                });
+            }
+
+            // Pressure check, recomputed from the original bytes: every
+            // register the splice writes that is live across the site must
+            // be covered by the site's save tier, or the splice corrupts
+            // the application. (`site.tier` saves registers R0..R<tier>.)
+            if let Some(df) = &dataflow {
+                if site.instr_idx < df.len() {
+                    let ceiling = spliced
+                        .iter()
+                        .flat_map(Instruction::reg_writes)
+                        .filter(|r| !r.is_zero() && *r != Reg::SP)
+                        .map(|r| r.0)
+                        .max()
+                        .map_or(0, |r| r.saturating_add(1));
+                    let live = df.max_live_below(site.instr_idx, ceiling);
+                    if let Some(live) = live {
+                        if u16::from(live) >= site.tier {
+                            diags.push(Diagnostic {
+                                kind: DiagKind::PressureExceeded,
+                                region: Region::Trampoline,
+                                index: site.start + off,
+                                message: format!(
+                                    "inline splice of `{}` at instruction {} clobbers live \
+                                     register R{live}, which tier {} does not save",
+                                    call.func, site.instr_idx, site.tier
+                                ),
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -1044,6 +1117,105 @@ mod tests {
         // So is a splice whose tool body was never retained.
         let d = run_plan(&original(), &tramp, &sites, &ext());
         assert!(d.iter().any(|d| d.kind == DiagKind::InlineMismatch));
+    }
+
+    #[test]
+    fn pressure_exceeding_splice_is_rejected() {
+        // Original body where R20 is live across instruction 1 (defined at
+        // 0, read at 2).
+        let original = vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(20)), Operand::Reg(Reg(20)), Operand::Imm(1)],
+            ),
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(4)), Operand::Reg(Reg(4)), Operand::Imm(1)],
+            ),
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(20)), Operand::Imm(1)],
+            ),
+            Instruction::new(Op::Exit, vec![]),
+        ];
+        // A loaded body that writes R20 — byte-matched by the splice, so
+        // `InlineMismatch` stays silent; only the recomputed liveness
+        // catches that tier 16 does not cover the clobber.
+        let fn_body = vec![
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(20)), Operand::Reg(Reg(20)), Operand::Imm(2)],
+            ),
+            Instruction::new(Op::Ret, vec![]),
+        ];
+        let mut e = ext();
+        e.tool_bodies.push(("f".into(), Arc::new(fn_body)));
+        let (_, mut tramp, mut sites) = good();
+        tramp[2] = Instruction::new(
+            Op::Iadd,
+            vec![Operand::Reg(Reg(20)), Operand::Reg(Reg(20)), Operand::Imm(2)],
+        );
+        tramp[3] = Instruction::nop();
+        tramp[4] = jcal(RESTORE);
+        sites[0].instr_idx = 1;
+        sites[0].orig_pos = 4;
+        sites[0].calls = vec![CallMeta { inline: Some((2, 2)), ..call_meta(1, vec![1]) }];
+        let d = run_plan(&original, &tramp, &sites, &e);
+        assert!(d.iter().any(|d| d.kind == DiagKind::PressureExceeded), "{d:?}");
+        assert!(!d.iter().any(|d| d.kind == DiagKind::InlineMismatch), "{d:?}");
+
+        // The same splice where R20 is dead (its last read is instruction
+        // 2, so nothing is live across the exit) is fine.
+        sites[0].instr_idx = 3;
+        sites[0].calls = vec![CallMeta { inline: Some((2, 2)), ..call_meta(1, vec![3]) }];
+        let d = run_plan(&original, &tramp, &sites, &e);
+        assert!(!d.iter().any(|d| d.kind == DiagKind::PressureExceeded), "{d:?}");
+    }
+
+    #[test]
+    fn escaping_diamond_splice_is_rejected() {
+        // A "loaded" body whose guarded branch escapes past its RET: the
+        // shape classifier rejects it, so even a byte-exact splice of it
+        // must be refused — it would run foreign code inside the
+        // save/restore bracket.
+        let isize = hal().instruction_size() as i64;
+        let fn_body = vec![
+            Instruction::new(Op::Bra, vec![Operand::Rel(4 * isize)])
+                .with_guard(sass::Guard { pred: sass::Pred(0), negated: false }),
+            Instruction::new(
+                Op::Iadd,
+                vec![Operand::Reg(Reg(5)), Operand::Reg(Reg(5)), Operand::Imm(2)],
+            ),
+            Instruction::new(Op::Ret, vec![]),
+        ];
+        let mut e = ext();
+        e.tool_bodies.push(("f".into(), Arc::new(fn_body.clone())));
+        let (_, mut tramp, mut sites) = good();
+        tramp[2] = fn_body[0].clone();
+        tramp[3] = fn_body[1].clone();
+        tramp[4] = Instruction::nop();
+        tramp.insert(5, jcal(RESTORE));
+        sites[0].len = tramp.len();
+        sites[0].orig_pos = 5;
+        sites[0].calls =
+            vec![CallMeta { inline: Some((2, 3)), ..call_meta(1, vec![sites[0].instr_idx]) }];
+        let d = run_plan(&original(), &tramp, &sites, &e);
+        assert!(d.iter().any(|d| d.kind == DiagKind::DiamondMismatch), "{d:?}");
+        assert!(!d.iter().any(|d| d.kind == DiagKind::InlineMismatch), "{d:?}");
+
+        // The contained diamond — the branch landing exactly on the
+        // splice's RET slot — is the accepted shape.
+        let contained = vec![
+            Instruction::new(Op::Bra, vec![Operand::Rel(isize)])
+                .with_guard(sass::Guard { pred: sass::Pred(0), negated: false }),
+            fn_body[1].clone(),
+            Instruction::new(Op::Ret, vec![]),
+        ];
+        let mut e = ext();
+        e.tool_bodies.push(("f".into(), Arc::new(contained.clone())));
+        tramp[2] = contained[0].clone();
+        let d = run_plan(&original(), &tramp, &sites, &e);
+        assert!(!d.iter().any(|d| d.kind == DiagKind::DiamondMismatch), "{d:?}");
     }
 
     #[test]

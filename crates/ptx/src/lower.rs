@@ -21,7 +21,7 @@
 
 use crate::ast::*;
 use crate::cfg::{ipostdom, FnCfg, Linear};
-use crate::regalloc::{allocate, Allocation, Loc};
+use crate::regalloc::{self, Allocation, Loc};
 use crate::types::PtxType;
 use crate::{CompiledFunction, LineInfo, ParamInfo, PtxError, Reloc, Result, PARAM_BASE};
 use sass::{
@@ -50,10 +50,19 @@ pub fn proxy_id(name: &str) -> i64 {
 ///
 /// See [`crate::compile_module`].
 pub fn compile_function(f: &Function, arch: Arch) -> Result<CompiledFunction> {
+    compile_function_abi(f, arch, crate::Abi::Standard)
+}
+
+/// [`compile_function`] under an explicit calling convention.
+///
+/// # Errors
+///
+/// See [`crate::compile_module_abi`].
+pub fn compile_function_abi(f: &Function, arch: Arch, abi: crate::Abi) -> Result<CompiledFunction> {
     let f = merge_returns(f);
     let lin = Linear::of(&f);
     let cfg = FnCfg::build(&lin);
-    let alloc = allocate(&f, &lin, &cfg)?;
+    let alloc = regalloc::allocate_abi(&f, &lin, &cfg, abi)?;
     let plan = plan_reconvergence(&lin, &cfg);
     let mut e = Emitter::new(&f, arch, &alloc, &lin, &cfg, plan)?;
     e.run()?;

@@ -16,11 +16,16 @@
 //! * `R4`–`R15` — caller-saved; device-function arguments and return value.
 //! * `R16`+ — callee-saved; values live across a `call` are placed here and
 //!   the function saves/restores what it uses.
+//!
+//! Under [`Abi::Scratch`] (instrumentation functions, whose caller — the
+//! trampoline — has already saved every register the site needs) the
+//! callee-saved split disappears: `R16`+ allocates like any other register
+//! and no save/restore prologue is emitted.
 
 use crate::ast::{AddrBase, Function, PtxInstr, PtxOp, Src};
 use crate::cfg::{FnCfg, Linear};
 use crate::types::PtxType;
-use crate::{PtxError, Result};
+use crate::{Abi, PtxError, Result};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// First caller-saved allocatable register.
@@ -192,6 +197,24 @@ struct Interval {
 /// [`PtxError::Semantic`] for undeclared registers, [`PtxError::OutOfRegisters`]
 /// when the register file is exhausted.
 pub fn allocate<'a>(f: &'a Function, lin: &Linear<'a>, cfg: &FnCfg) -> Result<Allocation> {
+    allocate_abi(f, lin, cfg, Abi::Standard)
+}
+
+/// [`allocate`] with an explicit calling convention. Under [`Abi::Scratch`]
+/// no register is callee-saved — the whole file is clobber — so the
+/// function emits no save/restore prologue; `call`s are rejected because a
+/// value live across one has no safe home.
+///
+/// # Errors
+///
+/// As [`allocate`], plus [`PtxError::Semantic`] for `call` under
+/// [`Abi::Scratch`].
+pub fn allocate_abi<'a>(
+    f: &'a Function,
+    lin: &Linear<'a>,
+    cfg: &FnCfg,
+    abi: Abi,
+) -> Result<Allocation> {
     let sem = |reason: String| PtxError::Semantic { function: f.name.clone(), reason };
 
     // Verify all referenced registers are declared.
@@ -287,6 +310,9 @@ pub fn allocate<'a>(f: &'a Function, lin: &Linear<'a>, cfg: &FnCfg) -> Result<Al
         .map(|(idx, _)| idx)
         .collect();
     let has_calls = !call_positions.is_empty();
+    if has_calls && abi == Abi::Scratch {
+        return Err(sem("`call` is unsupported under the scratch ABI".into()));
+    }
 
     let mut intervals: Vec<Interval> = ivs
         .into_iter()
@@ -365,9 +391,11 @@ pub fn allocate<'a>(f: &'a Function, lin: &Linear<'a>, cfg: &FnCfg) -> Result<Al
         if let Some(r) = loc.gpr() {
             let hi = if matches!(loc, Loc::Pair(_)) { r + 1 } else { r };
             max_gpr = max_gpr.max(hi);
-            for reg in r..=hi {
-                if reg >= FIRST_CALLEE {
-                    used_callee.insert(reg);
+            if abi == Abi::Standard {
+                for reg in r..=hi {
+                    if reg >= FIRST_CALLEE {
+                        used_callee.insert(reg);
+                    }
                 }
             }
         }

@@ -23,8 +23,9 @@
 //! [`Operand`]), binary encoders/decoders per family ([`codec`]), a textual
 //! assembler and disassembler ([`asm`]), basic-block partitioning
 //! ([`mod@cfg`]), liveness/reaching-definitions dataflow analysis
-//! ([`mod@dataflow`]) and dominator/post-dominator analysis with
-//! coalescing-region enumeration ([`mod@dom`]).
+//! ([`mod@dataflow`]), dominator/post-dominator analysis with
+//! coalescing-region enumeration ([`mod@dom`]) and the register-pressure
+//! cost model gating inline splicing ([`mod@pressure`]).
 //!
 //! # Example
 //!
@@ -50,6 +51,7 @@ pub mod dataflow;
 pub mod dom;
 pub mod inst;
 pub mod op;
+pub mod pressure;
 pub mod reg;
 
 pub use arch::{Arch, EncodingFamily};
@@ -58,6 +60,7 @@ pub use dataflow::{Dataflow, LiveSet, RegSet};
 pub use dom::Dom;
 pub use inst::{Guard, Instruction, MemSpace, Mods, Operand, Width};
 pub use op::{CmpOp, Op, OpCategory, SubOp};
+pub use pressure::{BodyShape, InlineVerdict, PressureProfile, SpliceSite};
 pub use reg::{Pred, Reg, SpecialReg};
 
 /// Errors produced by the assembler, codecs and CFG construction.

@@ -1,0 +1,411 @@
+//! Register-pressure cost model for inline splicing (paper §5, Fig. 9).
+//!
+//! The paper's headline overhead reduction depends on inlining tool code at
+//! the injection site *without* paying for it in extra register
+//! save/restore traffic. This module is the static analysis that makes the
+//! trade explicit: it combines the [`crate::dataflow`] liveness solution
+//! with the save-tier ladder to answer, per candidate splice site, whether
+//! splicing the tool body's write window into the trampoline raises the
+//! site's save tier above what the bare call scaffold (save routine, frame
+//! pointer, ABI argument slots) already requires.
+//!
+//! Two exports drive the planner:
+//!
+//! * [`splice_verdict`] — the accept/decline rule. A splice is **accepted**
+//!   when the save tier with the body's write window charged
+//!   (`tier_after`) does not exceed the tier the call scaffold alone needs
+//!   (`tier_before`); it is **declined** when the body's writes drag
+//!   additional live registers into the save window across a tier
+//!   boundary. Declined calls stay out of line and the whole-function
+//!   fallback remains available.
+//! * [`body_shape`] — the control-flow classification that extends
+//!   inlining past the straight-line leaf threshold: a body is spliceable
+//!   when it is a single basic block ([`BodyShape::Straight`]) or a single
+//!   guarded forward diamond ([`BodyShape::Diamond`]) — one conditional
+//!   branch, two arms, one join — verified against the immediate
+//!   (post)dominators of the body's own CFG rather than by an ad-hoc
+//!   instruction scan. Loops, multiple conditionals and irreducible shapes
+//!   are rejected.
+//!
+//! [`profile`] exposes the underlying per-block pressure numbers for
+//! observability and the bench sweeps.
+
+use crate::arch::Arch;
+use crate::cfg::{self, BasicBlock};
+use crate::dataflow::Dataflow;
+use crate::dom::Dom;
+use crate::inst::Instruction;
+use crate::op::{CfClass, Op};
+
+/// Per-block register-pressure profile of a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PressureProfile {
+    /// For each block (by id): one past the highest general-purpose
+    /// register live anywhere in the block (0 when nothing is live).
+    pub block_ceiling: Vec<u8>,
+    /// For each block: the widest live set (register count) at any
+    /// instruction in the block.
+    pub block_width: Vec<u8>,
+}
+
+impl PressureProfile {
+    /// One past the highest GPR live anywhere in the body.
+    pub fn max_ceiling(&self) -> u8 {
+        self.block_ceiling.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the per-block pressure profile of a function body from its
+/// dataflow solution and block partition. `blocks` must be the partition
+/// the dataflow was computed over.
+pub fn profile(df: &Dataflow, blocks: &[BasicBlock]) -> PressureProfile {
+    let mut block_ceiling = vec![0u8; blocks.len()];
+    let mut block_width = vec![0u8; blocks.len()];
+    for b in blocks {
+        for idx in b.range.clone() {
+            let live = df.max_live_below(idx, u8::MAX).map_or(0, |r| r.saturating_add(1));
+            block_ceiling[b.id] = block_ceiling[b.id].max(live);
+            let width = df.live_in(idx).gprs.len().max(df.live_out(idx).gprs.len());
+            block_width[b.id] = block_width[b.id].max(width.min(255) as u8);
+        }
+    }
+    PressureProfile { block_ceiling, block_width }
+}
+
+/// One candidate splice site, as the planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceSite {
+    /// Index of the instrumented instruction in the original body.
+    pub index: usize,
+    /// One past the highest register the call *scaffold* clobbers at this
+    /// site regardless of inlining: the frame pointer, the argument
+    /// materialization scratch, and the ABI argument window.
+    pub scaffold_window: u8,
+    /// One past the highest register the spliced body writes (its write
+    /// ceiling).
+    pub body_window: u8,
+    /// Save slots any argument reads back from the frame (the maximum
+    /// per-argument register demand, in units of "slot r+1 must exist").
+    pub arg_demand: u16,
+}
+
+/// The cost model's answer for one candidate splice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineVerdict {
+    /// Splice the body (`true`) or keep the out-of-line call (`false`).
+    pub accept: bool,
+    /// Save tier the call scaffold alone needs at this site.
+    pub tier_before: u16,
+    /// Save tier with the body's write window charged.
+    pub tier_after: u16,
+    /// Human-readable rule that fired.
+    pub reason: &'static str,
+}
+
+/// Maps a register demand to the smallest save tier covering it. `tiers`
+/// is the ascending tier ladder (the framework's save-routine sizes);
+/// demands beyond the last tier saturate to it.
+fn tier_of(demand: u16, tiers: &[u16]) -> u16 {
+    for &t in tiers {
+        if t >= demand {
+            return t;
+        }
+    }
+    tiers.last().copied().unwrap_or(demand)
+}
+
+/// The accept/decline rule (DESIGN §4h): compute the site's save tier with
+/// and without the body's write window and accept only when splicing does
+/// not push the tier *up*.
+///
+/// `tier_before` charges live registers below the scaffold window plus the
+/// argument read-back demand; `tier_after` widens the clobber window to
+/// the body's write ceiling. Both are lower bounds on a *sound* save for
+/// the respective shapes; when they are equal the splice is free (the
+/// usual case for small counting bodies), and when the body's writes pull
+/// extra live registers across a tier boundary the verdict declines.
+pub fn splice_verdict(df: &Dataflow, site: &SpliceSite, tiers: &[u16]) -> InlineVerdict {
+    let scaffold = site.scaffold_window.max(1);
+    let spliced = scaffold.max(site.body_window);
+
+    let live_demand = |window: u8| -> u16 {
+        df.max_live_below(site.index, window).map_or(0, |r| u16::from(r) + 1)
+    };
+    let before_demand = live_demand(scaffold).max(site.arg_demand);
+    let after_demand = live_demand(spliced).max(site.arg_demand);
+    let tier_before = tier_of(before_demand, tiers);
+    let tier_after = tier_of(after_demand, tiers);
+
+    let (accept, reason) = if site.body_window <= scaffold {
+        (true, "write window inside the call scaffold")
+    } else if tier_after <= tier_before {
+        (true, "no live register crosses a tier boundary")
+    } else {
+        (false, "body writes raise the save tier")
+    };
+    InlineVerdict { accept, tier_before, tier_after, reason }
+}
+
+/// Control-flow shape of a spliceable tool body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyShape {
+    /// A single basic block ending in the trailing `RET` — the classic
+    /// inlinable leaf.
+    Straight,
+    /// A single guarded forward diamond (the `nvbit_count_one` early-ret
+    /// pattern): one conditional branch in the entry block, at most one
+    /// fall-through arm, reconverging at a single join that leads
+    /// straight to the trailing `RET`.
+    Diamond,
+}
+
+/// Classifies a tool body's control-flow shape for inline splicing.
+///
+/// Returns `None` when the body is not spliceable: empty, no unguarded
+/// trailing `RET`, an extra `RET`, any backward (loop) branch, more than
+/// one conditional branch, or a shape whose entry/join do not satisfy the
+/// diamond dominance relation `idom(join) == entry && ipdom(entry) ==
+/// join` over the body's own CFG.
+pub fn body_shape(body: &[Instruction], arch: Arch) -> Option<BodyShape> {
+    if body.is_empty() {
+        return None;
+    }
+    let last = body.len() - 1;
+    if body[last].op != Op::Ret || !body[last].guard.is_always() {
+        return None;
+    }
+    let isize = arch.instruction_size() as i64;
+    let mut guarded_branches = 0usize;
+    for (i, ins) in body.iter().enumerate() {
+        match ins.cf_class() {
+            CfClass::Ret if i == last => {}
+            CfClass::Ret => return None,
+            CfClass::None | CfClass::Sync | CfClass::Ssy | CfClass::Bar => {}
+            CfClass::RelBranch => {
+                if !ins.guard.is_always() {
+                    guarded_branches += 1;
+                }
+            }
+            // Calls, indirect branches, EXIT, traps, absolute jumps: the
+            // body escapes the trampoline — never spliceable.
+            _ => return None,
+        }
+        if let Some(off) = ins.rel_target() {
+            if off % isize != 0 || off < 0 {
+                return None; // backward branch (loop) or misaligned target
+            }
+            let t = i as i64 + 1 + off / isize;
+            if !(0..=last as i64).contains(&t) {
+                return None; // control flow escapes the body
+            }
+        }
+    }
+
+    let blocks = cfg::basic_blocks(body, arch).ok()?;
+    if blocks.len() == 1 {
+        return Some(BodyShape::Straight);
+    }
+    if guarded_branches != 1 {
+        return None;
+    }
+
+    // The single conditional must terminate the entry block, and the body
+    // must reconverge at a single join: idom(join) == entry and
+    // ipdom(entry) == join, with everything from the join onward a
+    // straight fall-through chain to the trailing RET.
+    let dom = Dom::analyze(body, &blocks, arch);
+    let entry = 0usize;
+    let branch_idx = blocks[entry].range.end - 1;
+    let branch = &body[branch_idx];
+    if branch.cf_class() != CfClass::RelBranch || branch.guard.is_always() {
+        return None;
+    }
+    let join = dom.ipdom(entry)?;
+    if dom.idom(join) != Some(entry) {
+        return None;
+    }
+    for b in &blocks {
+        if !dom.reachable(b.id) {
+            return None;
+        }
+        // Past the join everything must fall straight through to the RET:
+        // no further branching decisions.
+        if b.id >= join {
+            let succs = cfg::successors(body, &blocks, b, arch);
+            if succs.len() > 1 {
+                return None;
+            }
+        } else if b.id != entry {
+            // Arm blocks flow only into the join region.
+            let succs = cfg::successors(body, &blocks, b, arch);
+            if succs.iter().any(|&s| s < join) {
+                return None;
+            }
+        }
+    }
+    Some(BodyShape::Diamond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_arch;
+
+    fn shapes(text: &str) -> Option<BodyShape> {
+        let body = assemble_arch(text, Arch::Volta).unwrap();
+        body_shape(&body, Arch::Volta)
+    }
+
+    #[test]
+    fn straight_line_bodies_classify_as_leaves() {
+        assert_eq!(shapes("IADD R4, R4, 0x1 ;\nRET ;"), Some(BodyShape::Straight));
+    }
+
+    #[test]
+    fn guarded_early_ret_diamonds_classify() {
+        // The compiled `nvbit_count_one` shape: guarded skip over the
+        // counting arm, SSY/SYNC reconvergence, trailing RET.
+        let text = "\
+    ISETP.EQ.U32 P0, R4, 0x0 ;
+    SSY end ;
+@P0 BRA join ;
+    IADD R5, R5, 0x1 ;
+    BRA join ;
+join:
+    SYNC ;
+end:
+    RET ;
+";
+        assert_eq!(shapes(text), Some(BodyShape::Diamond));
+    }
+
+    #[test]
+    fn loops_and_extra_rets_are_rejected() {
+        // Backward branch: a loop is never spliceable.
+        let looped = "\
+top:
+    IADD R4, R4, 0x1 ;
+@P0 BRA top ;
+    RET ;
+";
+        assert_eq!(shapes(looped), None);
+        // Guarded RET is not a trailing unguarded RET.
+        assert_eq!(shapes("@P1 RET ;\nIADD R4, R4, 0x1 ;\nRET ;"), None);
+        // Two conditionals: not a single diamond.
+        let double = "\
+@P0 BRA a ;
+    IADD R4, R4, 0x1 ;
+a:
+@P1 BRA b ;
+    IADD R5, R5, 0x1 ;
+b:
+    RET ;
+";
+        assert_eq!(shapes(double), None);
+    }
+
+    #[test]
+    fn verdict_accepts_when_the_window_stays_inside_the_scaffold() {
+        let body = assemble_arch("MOV R0, R4 ;\nIADD R0, R0, 0x1 ;\nEXIT ;", Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&body, Arch::Volta).unwrap();
+        let v = splice_verdict(
+            &df,
+            &SpliceSite { index: 1, scaffold_window: 8, body_window: 6, arg_demand: 0 },
+            &[16, 32, 64],
+        );
+        assert!(v.accept);
+        assert_eq!(v.tier_before, v.tier_after);
+    }
+
+    #[test]
+    fn verdict_declines_when_body_writes_cross_a_tier_boundary() {
+        // R20 is live across instruction 1; a body window of 24 pulls it
+        // into the save window (tier 32), the bare scaffold does not.
+        let text = "\
+    MOV R20, R4 ;
+    IADD R0, R4, 0x1 ;
+    STG [R20], R0 ;
+    EXIT ;
+";
+        let body = assemble_arch(text, Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&body, Arch::Volta).unwrap();
+        let v = splice_verdict(
+            &df,
+            &SpliceSite { index: 1, scaffold_window: 8, body_window: 24, arg_demand: 0 },
+            &[16, 32, 64],
+        );
+        assert!(!v.accept, "{v:?}");
+        assert_eq!(v.tier_before, 16);
+        assert_eq!(v.tier_after, 32);
+    }
+
+    #[test]
+    fn verdict_accepts_at_the_saturated_top_tier() {
+        // R250 is live across the site: both demands saturate to the
+        // ladder's last tier, so widening the window cannot raise the tier
+        // further and the splice is free.
+        let text = "\
+    MOV R250, R4 ;
+    IADD R0, R4, 0x1 ;
+    STG [R250], R0 ;
+    EXIT ;
+";
+        let body = assemble_arch(text, Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&body, Arch::Volta).unwrap();
+        let v = splice_verdict(
+            &df,
+            &SpliceSite { index: 1, scaffold_window: 255, body_window: 255, arg_demand: 255 },
+            &[16, 32, 64, 128, 192, 255],
+        );
+        assert!(v.accept, "{v:?}");
+        assert_eq!(v.tier_before, 255);
+        assert_eq!(v.tier_after, 255);
+    }
+
+    #[test]
+    fn verdict_ignores_predicate_only_deltas() {
+        // Only a predicate (P3) and a low register are live across the
+        // site. Predicates live in their own file — the save tiers ladder
+        // general-purpose registers — so widening the window from the
+        // scaffold to the body must not move the GPR demand and the splice
+        // is accepted.
+        let text = "\
+    ISETP.EQ.U32 P3, R4, 0x0 ;
+    IADD R0, R4, 0x1 ;
+@P3 STG [R4], R0 ;
+    EXIT ;
+";
+        let body = assemble_arch(text, Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&body, Arch::Volta).unwrap();
+        let v = splice_verdict(
+            &df,
+            &SpliceSite { index: 1, scaffold_window: 8, body_window: 24, arg_demand: 0 },
+            &[16, 32, 64],
+        );
+        assert!(v.accept, "{v:?}");
+        assert_eq!(v.tier_before, 16, "{v:?}");
+        assert_eq!(
+            v.tier_after, 16,
+            "a predicate crossing the window must not widen the GPR demand: {v:?}"
+        );
+    }
+
+    #[test]
+    fn profile_reports_per_block_ceilings() {
+        let text = "\
+    MOV R9, R4 ;
+@P0 BRA skip ;
+    IADD R2, R9, 0x1 ;
+    STG [R9], R2 ;
+skip:
+    EXIT ;
+";
+        let body = assemble_arch(text, Arch::Volta).unwrap();
+        let blocks = cfg::basic_blocks(&body, Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&body, Arch::Volta).unwrap();
+        let p = profile(&df, &blocks);
+        assert_eq!(p.block_ceiling.len(), blocks.len());
+        assert_eq!(p.max_ceiling(), 11, "{p:?}"); // R9:R10 address pair live into the arm
+        assert!(p.block_width.iter().any(|&w| w > 0));
+    }
+}

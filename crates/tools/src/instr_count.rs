@@ -1,7 +1,7 @@
 //! The instruction-count tool (paper Listing 1) and its basic-block
 //! optimized variant.
 
-use crate::{read_u64, COUNT_BB_FN, COUNT_FN, COUNT_MULT_FN};
+use crate::{read_u64, COUNT_BB_FN, COUNT_FN, COUNT_MULT_FN, COUNT_PMULT_FN, COUNT_WIDE_FN};
 use cuda::{CbId, CbParams, Driver};
 use nvbit::{IPoint, NvbitApi, NvbitTool, PlanOpts};
 use std::cell::RefCell;
@@ -253,13 +253,45 @@ pub struct CoalescedInstrCount {
     seen: HashSet<u32>,
     opts: PlanOpts,
     ipoint: IPoint,
+    body: CountBody,
+}
+
+/// Which counting body [`CoalescedInstrCount`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CountBody {
+    /// `nvbit_count_mult`: issue-level, no guard argument.
+    Issued,
+    /// `nvbit_count_pmult`: executed-level — the guard predicate gates the
+    /// count inside the body's guarded diamond.
+    Executed,
+    /// `nvbit_count_wide`: executed-level through the register-hungry body
+    /// whose write window exercises the pressure cost model.
+    ExecutedWide,
+}
+
+impl CountBody {
+    fn func(self) -> &'static str {
+        match self {
+            CountBody::Issued => "nvbit_count_mult",
+            CountBody::Executed => "nvbit_count_pmult",
+            CountBody::ExecutedWide => "nvbit_count_wide",
+        }
+    }
+
+    fn ptx(self) -> &'static str {
+        match self {
+            CountBody::Issued => COUNT_MULT_FN,
+            CountBody::Executed => COUNT_PMULT_FN,
+            CountBody::ExecutedWide => COUNT_WIDE_FN,
+        }
+    }
 }
 
 impl CoalescedInstrCount {
     /// Creates the tool and its results handle. `opts` selects which
     /// planner passes run (set at `at_init`, before any kernel is built).
     pub fn new(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
-        Self::with_ipoint(opts, IPoint::Before)
+        Self::build(opts, IPoint::Before, CountBody::Issued)
     }
 
     /// Like [`CoalescedInstrCount::new`] but injecting at `IPoint::After`:
@@ -270,10 +302,35 @@ impl CoalescedInstrCount {
     /// identical whichever [`PlanOpts`] the plan is built with, which is
     /// what makes this the exercise vehicle for the after-lowering pass.
     pub fn after(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
-        Self::with_ipoint(opts, IPoint::After)
+        Self::build(opts, IPoint::After, CountBody::Issued)
     }
 
-    fn with_ipoint(opts: PlanOpts, ipoint: IPoint) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+    /// *Executed*-level counter under the multiplicity protocol: injects
+    /// `nvbit_count_pmult`, whose guarded early return skips the count for
+    /// lanes where the instrumented instruction's guard predicate is
+    /// false. Unguarded sites pass a constant-true predicate and stay
+    /// block-invariant (so they coalesce); guarded sites pass the dynamic
+    /// guard value and stay per-site. The body is a single guarded
+    /// diamond, the shape the planner splices past the straight-leaf
+    /// threshold.
+    pub fn executed(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+        Self::build(opts, IPoint::Before, CountBody::Executed)
+    }
+
+    /// [`CoalescedInstrCount::executed`] through `nvbit_count_wide`, the
+    /// semantically identical but register-hungry counting body: its write
+    /// window reaches past the first save tier, so with
+    /// [`PlanOpts::pressure`] the cost model declines the splice at sites
+    /// where that would raise the save tier.
+    pub fn executed_wide(opts: PlanOpts) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
+        Self::build(opts, IPoint::Before, CountBody::ExecutedWide)
+    }
+
+    fn build(
+        opts: PlanOpts,
+        ipoint: IPoint,
+        body: CountBody,
+    ) -> (CoalescedInstrCount, Rc<InstrCountResults>) {
         let results = Rc::new(InstrCountResults::default());
         (
             CoalescedInstrCount {
@@ -282,6 +339,7 @@ impl CoalescedInstrCount {
                 seen: HashSet::new(),
                 opts,
                 ipoint,
+                body,
             },
             results,
         )
@@ -308,7 +366,7 @@ impl CoalescedInstrCount {
 impl NvbitTool for CoalescedInstrCount {
     fn at_init(&mut self, api: &NvbitApi<'_>) {
         api.set_plan_opts(self.opts);
-        api.load_tool_functions(COUNT_MULT_FN).expect("tool functions compile");
+        api.load_tool_functions(self.body.ptx()).expect("tool functions compile");
     }
 
     fn at_term(&mut self, api: &NvbitApi<'_>) {
@@ -340,9 +398,20 @@ impl NvbitTool for CoalescedInstrCount {
         targets.extend(api.get_related_funcs(*func).unwrap_or_default());
         let mut sites = 0u64;
         for t in targets {
-            let n = api.get_instrs(t).map(|v| v.len()).unwrap_or(0);
-            for idx in 0..n {
-                api.insert_call(t, idx, "nvbit_count_mult", self.ipoint).unwrap();
+            let instrs = api.get_instrs(t).unwrap_or_default();
+            for (idx, instr) in instrs.iter().enumerate() {
+                api.insert_call(t, idx, self.body.func(), self.ipoint).unwrap();
+                if self.body != CountBody::Issued {
+                    // Executed-level bodies take the guard predicate first.
+                    // Unguarded sites pass constant 1 and stay
+                    // block-invariant (mergeable); guarded sites pass the
+                    // dynamic guard and keep multiplicity 1.
+                    if instr.has_guard() {
+                        api.add_call_arg_guard_pred(t, idx).unwrap();
+                    } else {
+                        api.add_call_arg_imm32(t, idx, 1).unwrap();
+                    }
+                }
                 api.add_call_arg_imm64(t, idx, ctr).unwrap();
                 api.set_coalesce(t, idx).unwrap();
                 sites += 1;

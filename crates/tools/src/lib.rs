@@ -119,3 +119,55 @@ pub(crate) const COUNT_MULT_FN: &str = r#"
     ret;
 }
 "#;
+
+/// Guarded multiplicity-protocol counting function: adds `%mult` only when
+/// `%pred` is non-zero — *executed*-level counting under the multiplicity
+/// protocol. The guarded early return compiles to the single-diamond shape
+/// ([`sass::pressure::BodyShape::Diamond`]) that the body classifier
+/// accepts past the straight-leaf threshold, so this body is spliced into
+/// the trampoline predicated instead of called.
+pub(crate) const COUNT_PMULT_FN: &str = r#"
+.func nvbit_count_pmult(.reg .u32 %pred, .reg .u64 %ctr, .reg .u32 %mult)
+{
+    .reg .u64 %rd<3>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    cvt.u64.u32 %rd1, %mult;
+    atom.global.add.u64 %rd2, [%ctr], %rd1;
+    ret;
+}
+"#;
+
+/// Register-hungry variant of [`COUNT_PMULT_FN`]: computes the same
+/// `+%mult` through a redundant shift/subtract expansion
+/// (`64m−32m−16m−8m−4m−2m−m = m`) whose six simultaneously-live
+/// temporaries push the compiled body's write ceiling past the first save
+/// tier (R20 under the scratch ABI). Semantically identical to
+/// `nvbit_count_pmult`; exists to exercise the pressure cost model — at
+/// sites where registers in the body's write window are live across the
+/// call, splicing this body raises the save tier and the verdict declines.
+pub(crate) const COUNT_WIDE_FN: &str = r#"
+.func nvbit_count_wide(.reg .u32 %pred, .reg .u64 %ctr, .reg .u32 %mult)
+{
+    .reg .u64 %rd<10>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    cvt.u64.u32 %rd1, %mult;
+    shl.b64 %rd2, %rd1, 1;
+    shl.b64 %rd3, %rd1, 2;
+    shl.b64 %rd4, %rd1, 3;
+    shl.b64 %rd5, %rd1, 4;
+    shl.b64 %rd6, %rd1, 5;
+    shl.b64 %rd7, %rd1, 6;
+    sub.u64 %rd8, %rd7, %rd6;
+    sub.u64 %rd8, %rd8, %rd5;
+    sub.u64 %rd8, %rd8, %rd4;
+    sub.u64 %rd8, %rd8, %rd3;
+    sub.u64 %rd8, %rd8, %rd2;
+    sub.u64 %rd8, %rd8, %rd1;
+    atom.global.add.u64 %rd9, [%ctr], %rd8;
+    ret;
+}
+"#;

@@ -9,7 +9,7 @@
 
 use cuda::{CbId, CbParams, CuFunction, Driver, FatBinary, KernelArg};
 use gpu::{DeviceSpec, Dim3};
-use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, PlanStats};
+use nvbit::{attach_tool, NvbitApi, NvbitTool, PlanOpts, PlanStats, SaveStats};
 use nvbit_tools::{CoalescedInstrCount, MemTrace, OpcodeHistogram, SamplingMode};
 use sass::Arch;
 use std::cell::RefCell;
@@ -162,14 +162,46 @@ type App = fn(&Driver) -> Vec<u8>;
 
 const APPS: [(&str, App); 3] = [("fft", fft_app), ("stencil", stencil_app), ("spmv", spmv_app)];
 
-/// The four plan configurations under test: naive, block-coalesced,
-/// block-coalesced + inlined, and everything (adding dominator-region
-/// coalescing and after-point lowering).
-const CONFIGS: [PlanOpts; 4] = [
-    PlanOpts { coalesce: false, inline: false, region_coalesce: false, after_lower: false },
-    PlanOpts { coalesce: true, inline: false, region_coalesce: false, after_lower: false },
-    PlanOpts { coalesce: true, inline: true, region_coalesce: false, after_lower: false },
-    PlanOpts { coalesce: true, inline: true, region_coalesce: true, after_lower: true },
+/// The five plan configurations under test: naive, block-coalesced,
+/// block-coalesced + inlined, everything (adding dominator-region
+/// coalescing and after-point lowering), and everything with the
+/// register-pressure cost model gating each splice.
+const CONFIGS: [PlanOpts; 5] = [
+    PlanOpts {
+        coalesce: false,
+        inline: false,
+        region_coalesce: false,
+        after_lower: false,
+        pressure: false,
+    },
+    PlanOpts {
+        coalesce: true,
+        inline: false,
+        region_coalesce: false,
+        after_lower: false,
+        pressure: false,
+    },
+    PlanOpts {
+        coalesce: true,
+        inline: true,
+        region_coalesce: false,
+        after_lower: false,
+        pressure: false,
+    },
+    PlanOpts {
+        coalesce: true,
+        inline: true,
+        region_coalesce: true,
+        after_lower: true,
+        pressure: false,
+    },
+    PlanOpts {
+        coalesce: true,
+        inline: true,
+        region_coalesce: true,
+        after_lower: true,
+        pressure: true,
+    },
 ];
 
 /// Runs `app` under `tool` with the given plan options; returns the guest
@@ -185,6 +217,16 @@ fn run_case(tool: &str, opts: PlanOpts, app: App) -> (Vec<u8>, String, u64) {
         }
         "after_instr_count" => {
             let (t, r) = CoalescedInstrCount::after(opts);
+            attach_tool(&drv, t);
+            Box::new(move || r.total().to_string())
+        }
+        "executed_instr_count" => {
+            let (t, r) = CoalescedInstrCount::executed(opts);
+            attach_tool(&drv, t);
+            Box::new(move || r.total().to_string())
+        }
+        "wide_instr_count" => {
+            let (t, r) = CoalescedInstrCount::executed_wide(opts);
             attach_tool(&drv, t);
             Box::new(move || r.total().to_string())
         }
@@ -238,6 +280,25 @@ fn after_point_instr_count_is_plan_invariant() {
 }
 
 #[test]
+fn executed_instr_count_is_plan_invariant() {
+    // Executed-level counting through the guarded-diamond body
+    // `nvbit_count_pmult`: guarded sites pass the dynamic guard predicate
+    // (so they never merge), unguarded sites pass constant 1 (so they do).
+    // The total must not move whichever passes — including diamond
+    // splicing — are enabled.
+    differential("executed_instr_count");
+}
+
+#[test]
+fn wide_instr_count_is_plan_invariant() {
+    // Same, through the register-hungry `nvbit_count_wide` body. Under the
+    // fifth configuration the pressure verdict declines some splices; the
+    // declined-splice fallback (an out-of-line call) must be bit-identical
+    // to the unconditional-inline run in both guest memory and tool output.
+    differential("wide_instr_count");
+}
+
+#[test]
 fn mem_trace_is_plan_invariant() {
     // MemTrace's sites are not coalesce-marked (their address argument is
     // per-dynamic-instance), so the passes must leave its behaviour — and
@@ -259,10 +320,11 @@ fn optimized_plans_are_cheaper_on_every_workload() {
     }
 }
 
-/// Captures the planner's accounting at launch exit.
+/// Captures the planner's and the save policy's accounting at launch exit.
 struct StatsCapture<T> {
     inner: T,
     stats: Rc<RefCell<Option<PlanStats>>>,
+    saves: Rc<RefCell<Option<SaveStats>>>,
 }
 
 impl<T: NvbitTool> NvbitTool for StatsCapture<T> {
@@ -286,21 +348,33 @@ impl<T: NvbitTool> NvbitTool for StatsCapture<T> {
                 if let Ok(Some(s)) = api.plan_stats(func) {
                     *self.stats.borrow_mut() = Some(s);
                 }
+                if let Ok(Some(s)) = api.save_stats(func) {
+                    *self.saves.borrow_mut() = Some(s);
+                }
             }
         }
     }
 }
 
-fn captured_stats_with(opts: PlanOpts, after: bool, app: App) -> PlanStats {
+fn captured_with(mk: impl FnOnce() -> CoalescedInstrCount, app: App) -> (PlanStats, SaveStats) {
     let stats = Rc::new(RefCell::new(None));
+    let saves = Rc::new(RefCell::new(None));
     let drv = Driver::new(DeviceSpec::test(Arch::Volta));
-    let (tool, _results) =
-        if after { CoalescedInstrCount::after(opts) } else { CoalescedInstrCount::new(opts) };
-    attach_tool(&drv, StatsCapture { inner: tool, stats: stats.clone() });
+    attach_tool(&drv, StatsCapture { inner: mk(), stats: stats.clone(), saves: saves.clone() });
     app(&drv);
     drv.shutdown();
-    let s = *stats.borrow();
-    s.expect("the kernel was instrumented")
+    let p = stats.borrow_mut().take().expect("the kernel was instrumented");
+    let s = saves.borrow_mut().take().expect("the instrumented image exists");
+    (p, s)
+}
+
+fn captured_stats_with(opts: PlanOpts, after: bool, app: App) -> PlanStats {
+    let mk = move || {
+        let (tool, _results) =
+            if after { CoalescedInstrCount::after(opts) } else { CoalescedInstrCount::new(opts) };
+        tool
+    };
+    captured_with(mk, app).0
 }
 
 fn captured_stats(opts: PlanOpts) -> PlanStats {
@@ -342,4 +416,68 @@ fn the_passes_actually_fire_on_the_fft_kernel() {
     let after = captured_stats_with(CONFIGS[3], true, fft_app);
     assert!(after.after_lowered > 0, "{after:?}");
     assert!(after.coalesced_groups > 0, "lowered calls participate in merging: {after:?}");
+}
+
+#[test]
+fn guarded_diamond_bodies_are_spliced() {
+    // `nvbit_count_pmult` is a single guarded diamond — past the straight
+    // leaf threshold, but accepted by the body classifier — so every
+    // emitted call still inlines, with or without the cost model.
+    for opts in [CONFIGS[2], CONFIGS[4]] {
+        let (p, _) = captured_with(move || CoalescedInstrCount::executed(opts).0, fft_app);
+        assert!(p.emitted_calls > 0, "{p:?}");
+        assert_eq!(
+            p.inlined_calls, p.emitted_calls,
+            "the guarded-diamond body must inline at every site: {p:?}"
+        );
+    }
+}
+
+#[test]
+fn pressure_declines_wide_splices_the_old_policy_took() {
+    // The register-hungry `nvbit_count_wide` body writes past the first
+    // save tier. The unconditional policy (CONFIGS[3]) splices it at every
+    // site and the save policy must then charge the whole function's
+    // ceiling everywhere; with the cost model on (CONFIGS[4]) the sites
+    // whose live set crosses into the body's write window keep the
+    // out-of-line call and everything else inlines at its liveness tier.
+    // fft is one straight-line block: everything coalesces into a single
+    // call whose site sits where the kernel's live set peaks, so the one
+    // verdict declines. spmv's loops leave several emitted calls with a
+    // mix of verdicts.
+    for (app_name, app, expect_accepts) in
+        [("fft", fft_app as App, false), ("spmv", spmv_app as App, true)]
+    {
+        let (unvetted, saves_unvetted) =
+            captured_with(move || CoalescedInstrCount::executed_wide(CONFIGS[3]).0, app);
+        let (vetted, saves_vetted) =
+            captured_with(move || CoalescedInstrCount::executed_wide(CONFIGS[4]).0, app);
+
+        assert_eq!(unvetted.inline_declined, 0, "{app_name}: no verdicts without the cost model");
+        assert!(vetted.inline_declined >= 1, "{app_name}: a decline must fire: {vetted:?}");
+        if expect_accepts {
+            assert!(vetted.inline_accepted >= 1, "{app_name}: some sites inline: {vetted:?}");
+        }
+        assert_eq!(
+            vetted.inline_accepted + vetted.inline_declined,
+            vetted.emitted_calls,
+            "{app_name}: every emitted call gets a verdict: {vetted:?}"
+        );
+        assert_eq!(vetted.inlined_calls, vetted.inline_accepted, "{app_name}: {vetted:?}");
+        assert!(
+            vetted.inlined_calls < unvetted.inlined_calls,
+            "{app_name}: the cost model must decline a splice the unconditional policy took"
+        );
+        assert!(
+            saves_vetted.saved_slots < saves_unvetted.saved_slots,
+            "{app_name}: declining pressure-raising splices must shrink the save footprint: \
+             {saves_vetted:?} vs {saves_unvetted:?}"
+        );
+    }
+
+    // Stencil's live ranges never reach the wide body's write window, so
+    // the verdict accepts everywhere and nothing is left out of line.
+    let (p, _) = captured_with(|| CoalescedInstrCount::executed_wide(CONFIGS[4]).0, stencil_app);
+    assert_eq!(p.inline_declined, 0, "stencil: no live register crosses a tier: {p:?}");
+    assert_eq!(p.inlined_calls, p.emitted_calls, "{p:?}");
 }
