@@ -51,13 +51,16 @@ cargo test --release -q -p nvbit-tools --test differential_saves
 echo "== pressure: splice cost-model unit tests =="
 cargo test --release -q -p nvbit-sass --lib pressure
 
-echo "== differential: all five plan configs (naive/coalesced/+inline/+region+after/+pressure) =="
+echo "== occupancy: SM-model unit tests (Volta golden points, curve monotonicity) =="
+cargo test --release -q -p nvbit-sass --lib occupancy
+
+echo "== differential: all six plan configs (naive/coalesced/+inline/+region+after/+pressure/+occupancy) =="
 cargo test --release -q -p nvbit-tools --test differential_plan
 
 echo "== savereduce: liveness save-slot reduction (>=30% gate, incl. declined-splice run) =="
 cargo run --release -q -p nvbit-bench --bin savereduce
 
-echo "== inject_overhead: multi-workload sweep (>=25% fft gate, region wins on >=2 of fft/stencil/spmv) =="
+echo "== inject_overhead: multi-workload sweep (>=25% fft gate, region wins on >=2 of fft/stencil/spmv, occupancy curve re-accepts a tier-declined splice at every swept block shape) =="
 cargo run --release -q -p nvbit-bench --bin inject_overhead
 
 echo "== module-unload regression: recycled handles never see stale caches =="

@@ -142,6 +142,7 @@ fn main() {
         after_lower: true,
         inline: true,
         pressure: true,
+        occupancy: None,
     };
     let wide_live = run_fft(SavePolicy::Liveness, CoalescedInstrCount::executed_wide(wide_opts).0);
     let wide_full = run_fft(SavePolicy::FullTier, CoalescedInstrCount::executed_wide(wide_opts).0);

@@ -17,7 +17,7 @@
 //! 4. jumps back to the next original instruction.
 
 use crate::hal::Hal;
-use crate::plan::{InstrumentationPlan, PlanStats, PlannedCall};
+use crate::plan::{InstrumentationPlan, PlanOpts, PlanStats, PlannedCall};
 use crate::saverestore::{frame_bytes, tier_for, Routines};
 use crate::spec::{Arg, IPoint};
 use crate::{NvbitError, Result};
@@ -262,6 +262,10 @@ pub struct CallMeta {
     /// When inlined: `(offset, len)` of the spliced body within the site's
     /// trampoline instructions (the final `RET` replaced by `NOP`).
     pub inline: Option<(usize, usize)>,
+    /// `(tier_before, tier_after)` the pressure verdict claimed for an
+    /// accepted splice; the verifier re-prices the claim on the occupancy
+    /// curve from original bytes. `None` for unvetted calls.
+    pub occ: Option<(u16, u16)>,
 }
 
 /// Layout record for one injection site's trampoline, used by the
@@ -315,6 +319,10 @@ pub struct InstrumentedImage {
     /// What the plan passes did for this image (coalescing/inlining
     /// accounting).
     pub plan: PlanStats,
+    /// The options the plan was built with — the verifier reads the
+    /// pressure/occupancy configuration from here to re-price splice
+    /// claims against the same model.
+    pub opts: PlanOpts,
 }
 
 /// The register demand of reading one saved register: slot `r` must have
@@ -542,6 +550,7 @@ pub fn generate(
         full_tier_slots,
         fallback,
         plan: plan.stats,
+        opts: plan.opts,
     })
 }
 
@@ -807,6 +816,7 @@ fn emit_call(
         lowered: call.lowered.clone(),
         coalesce: call.coalesce,
         inline: inline_span,
+        occ: call.occ,
     })
 }
 

@@ -246,6 +246,8 @@ fn build_one(
             common::obs::counter("plan.icf_recovered", plan.stats.icf_recovered);
             common::obs::counter("plan.pressure.accepted", plan.stats.inline_accepted);
             common::obs::counter("plan.pressure.declined", plan.stats.inline_declined);
+            common::obs::counter("plan.occ.accepted", plan.stats.occ_accepted);
+            common::obs::counter("plan.occ.declined", plan.stats.occ_declined);
             plan
         };
         let image = {

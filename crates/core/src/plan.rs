@@ -72,6 +72,13 @@ pub struct PlanOpts {
     /// out-of-line calls. Without the gate, spliced guarded-diamond bodies
     /// are charged the conservative whole-function tier.
     pub pressure: bool,
+    /// Price save-tier growth on the SM occupancy curve instead of
+    /// declining it outright: with a model and the launch's block shape
+    /// supplied, a splice whose raised tier keeps the same blocks/SM
+    /// (a flat step of the curve) is accepted, and only splices that
+    /// would drop resident blocks are declined. `None` keeps the binary
+    /// tier-only gate. Only consulted when `pressure` is on.
+    pub occupancy: Option<sass::occupancy::OccupancyCfg>,
 }
 
 impl Default for PlanOpts {
@@ -82,6 +89,7 @@ impl Default for PlanOpts {
             region_coalesce: true,
             after_lower: true,
             pressure: true,
+            occupancy: None,
         }
     }
 }
@@ -95,6 +103,7 @@ impl PlanOpts {
             region_coalesce: false,
             after_lower: false,
             pressure: false,
+            occupancy: None,
         }
     }
 }
@@ -126,6 +135,10 @@ pub struct PlannedCall {
     pub lowered: Vec<usize>,
     /// Splice the tool function's body instead of emitting a `JCAL`.
     pub inline: bool,
+    /// `(tier_before, tier_after)` claimed by the pressure verdict for an
+    /// accepted splice — the occupancy claim the verifier re-prices from
+    /// original bytes. `None` when the splice was not pressure-vetted.
+    pub occ: Option<(u16, u16)>,
 }
 
 /// Per-pass accounting reported through [`crate::codegen::InstrumentedImage`] and
@@ -166,6 +179,14 @@ pub struct PlanStats {
     /// window would have raised the site's save tier, so the call stays
     /// out of line.
     pub inline_declined: u64,
+    /// Tier-raising splices the occupancy gate accepted because the growth
+    /// stays on a flat step of the occupancy curve (only counted when
+    /// [`PlanOpts::occupancy`] is set — the tier-only gate would have
+    /// declined every one of these).
+    pub occ_accepted: u64,
+    /// Tier-raising splices the occupancy gate declined because they would
+    /// drop resident blocks/SM at the configured block shape.
+    pub occ_declined: u64,
 }
 
 /// The validated, optimized instrumentation plan for one function.
@@ -326,6 +347,7 @@ pub fn build(
                 group: vec![idx],
                 lowered: Vec::new(),
                 inline: false,
+                occ: None,
             });
         }
     }
@@ -395,11 +417,17 @@ pub fn build(
                         arg_demand: arg_read_back(&call.args),
                     };
                     let verdict =
-                        sass::pressure::splice_verdict(df, &site, &crate::saverestore::TIERS);
+                        sass::pressure::splice_verdict(df, &site, opts.occupancy.as_ref());
+                    match verdict.rule {
+                        sass::pressure::VerdictRule::OccupancyFlat => stats.occ_accepted += 1,
+                        sass::pressure::VerdictRule::OccupancyDrop => stats.occ_declined += 1,
+                        _ => {}
+                    }
                     if !verdict.accept {
                         stats.inline_declined += 1;
                         continue;
                     }
+                    call.occ = Some((verdict.tier_before, verdict.tier_after));
                 }
                 stats.inline_accepted += 1;
             }
@@ -715,6 +743,59 @@ skip:
             build(&spec, n, Analyses::with_blocks(&blocks), &fns(false), PlanOpts::default())
                 .unwrap();
         assert!(!opaque.sites[&0][0].inline, "non-leaf tools are never inlined");
+    }
+
+    #[test]
+    fn occupancy_gate_reprices_tier_raising_splices() {
+        use sass::occupancy::{OccupancyCfg, SmModel};
+        // R20 is live across site 1; the tool body writes up to R23, so
+        // splicing raises the site's tier 16 → 32.
+        let src = "\
+    MOV R20, R4 ;
+    IADD R0, R4, 0x1 ;
+    STG [R20], R0 ;
+    EXIT ;
+";
+        let prog = assemble_arch(src, Arch::Volta).unwrap();
+        let blocks = sass::cfg::basic_blocks(&prog, Arch::Volta).unwrap();
+        let df = Dataflow::analyze(&prog, Arch::Volta).unwrap();
+        let analyses =
+            || Analyses { blocks: Some(&blocks), dataflow: Some(&df), ..Analyses::default() };
+        let tool = assemble_arch("IADD R23, R23, 0x1 ;\nRET ;", Arch::Volta).unwrap();
+        let mut tool_fns = HashMap::new();
+        tool_fns.insert("f".to_string(), ToolFn::with_body(0x8000, 8, 0, false, tool, Arch::Volta));
+        let mut spec = FuncSpec::default();
+        spec.insert_call(1, "f", IPoint::Before);
+
+        // Tier-only gate: declined.
+        let tier_opts = PlanOpts { inline: true, pressure: true, ..PlanOpts::naive() };
+        let tier = build(&spec, prog.len(), analyses(), &tool_fns, tier_opts).unwrap();
+        assert!(!tier.sites[&1][0].inline);
+        assert_eq!((tier.stats.inline_declined, tier.stats.inlined_calls), (1, 0));
+        assert_eq!((tier.stats.occ_accepted, tier.stats.occ_declined), (0, 0));
+        assert_eq!(tier.sites[&1][0].occ, None);
+
+        // Occupancy gate on Volta at block dim 128: 16 → 32 is a flat step
+        // (16 blocks/SM both), so the same splice is now accepted, with the
+        // priced claim recorded for the verifier.
+        let occ_opts = PlanOpts { occupancy: Some(OccupancyCfg::volta(128)), ..tier_opts };
+        let occ = build(&spec, prog.len(), analyses(), &tool_fns, occ_opts).unwrap();
+        assert!(occ.sites[&1][0].inline);
+        assert_eq!((occ.stats.occ_accepted, occ.stats.occ_declined), (1, 0));
+        assert_eq!((occ.stats.inline_accepted, occ.stats.inline_declined), (1, 0));
+        assert_eq!(occ.sites[&1][0].occ, Some((16, 32)));
+
+        // A register file small enough that 16 → 32 crosses a cliff
+        // (4 → 2 blocks): still declined, now attributed to the curve.
+        let cliff = OccupancyCfg {
+            model: SmModel { reg_file: 2048, alloc_gran: 256, max_warps: 64, max_blocks: 32 },
+            block_threads: 32,
+        };
+        let cliff_opts = PlanOpts { occupancy: Some(cliff), ..tier_opts };
+        let plan = build(&spec, prog.len(), analyses(), &tool_fns, cliff_opts).unwrap();
+        assert!(!plan.sites[&1][0].inline);
+        assert_eq!((plan.stats.occ_accepted, plan.stats.occ_declined), (0, 1));
+        assert_eq!(plan.stats.inline_declined, 1);
     }
 
     #[test]

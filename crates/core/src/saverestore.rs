@@ -23,8 +23,10 @@
 
 use crate::hal::Hal;
 
-/// The register-count tiers for which routines exist.
-pub const TIERS: [u16; 6] = [16, 32, 64, 128, 192, 255];
+/// The register-count tiers for which routines exist. The ladder is owned
+/// by [`sass::pressure::TIERS`] so the splice-pricing verdict and the
+/// save-routine generator can never disagree; this is a re-export.
+pub use sass::pressure::TIERS;
 
 /// One save/restore routine pair, loaded into device memory.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +63,7 @@ pub fn frame_bytes(tier: u16, hal: &Hal) -> u32 {
 /// file. No tier can cover such a demand, and silently clamping it would
 /// under-save and corrupt the instrumented application.
 pub fn tier_for(regs: u16) -> crate::Result<u16> {
-    TIERS.iter().copied().find(|t| *t >= regs).ok_or_else(|| {
+    sass::pressure::tier_of(regs).ok_or_else(|| {
         crate::NvbitError::BadRequest(format!(
             "register demand {regs} exceeds the 255-register file"
         ))

@@ -24,8 +24,9 @@
 //! assembler and disassembler ([`asm`]), basic-block partitioning
 //! ([`mod@cfg`]), liveness/reaching-definitions dataflow analysis
 //! ([`mod@dataflow`]), dominator/post-dominator analysis with
-//! coalescing-region enumeration ([`mod@dom`]) and the register-pressure
-//! cost model gating inline splicing ([`mod@pressure`]).
+//! coalescing-region enumeration ([`mod@dom`]), the register-pressure
+//! cost model gating inline splicing ([`mod@pressure`]) and the SM
+//! occupancy model it prices tier growth against ([`mod@occupancy`]).
 //!
 //! # Example
 //!
@@ -50,6 +51,7 @@ pub mod codec;
 pub mod dataflow;
 pub mod dom;
 pub mod inst;
+pub mod occupancy;
 pub mod op;
 pub mod pressure;
 pub mod reg;
@@ -59,8 +61,9 @@ pub use cfg::CfgFailure;
 pub use dataflow::{Dataflow, LiveSet, RegSet};
 pub use dom::Dom;
 pub use inst::{Guard, Instruction, MemSpace, Mods, Operand, Width};
+pub use occupancy::{Limiter, OccupancyCfg, OccupancyPoint, SmModel};
 pub use op::{CmpOp, Op, OpCategory, SubOp};
-pub use pressure::{BodyShape, InlineVerdict, PressureProfile, SpliceSite};
+pub use pressure::{BodyShape, InlineVerdict, PressureProfile, SpliceSite, VerdictRule};
 pub use reg::{Pred, Reg, SpecialReg};
 
 /// Errors produced by the assembler, codecs and CFG construction.

@@ -1,0 +1,270 @@
+//! Parameterized SM occupancy model: registers per thread → blocks per SM.
+//!
+//! **Paper mapping:** §7 / Figure 9 — the overhead of inlined instrumentation
+//! is dominated not by the instructions it adds but by the registers it
+//! forces the kernel to keep resident. On real hardware the register file of
+//! a streaming multiprocessor is carved into per-warp allocations rounded up
+//! to an allocation granularity, so the launchable blocks/SM as a function of
+//! registers/thread is a *step* curve: raising the register demand inside a
+//! flat step is free, while crossing a step boundary evicts whole blocks.
+//!
+//! [`SmModel`] captures the four parameters that define the curve (register
+//! file size, allocation granularity, max resident warps and blocks) with
+//! presets for the Volta, Turing and Ampere SM generations.
+//! [`SmModel::occupancy`] prices one `(regs_per_thread, block_dim)` point and
+//! [`SmModel::curve`] enumerates the whole curve. [`OccupancyCfg`] bundles a
+//! model with the launch's block shape; [`crate::pressure::splice_verdict`]
+//! consumes it to accept save-tier growth that stays on the same occupancy
+//! step and decline only growth that would drop resident blocks.
+
+use crate::arch::Arch;
+
+/// Threads per warp. Register allocation is per warp: a block's register
+/// footprint is `warps_per_block × round_up(regs_per_thread × WARP_SIZE,
+/// alloc_gran)`.
+pub const WARP_SIZE: u32 = 32;
+
+/// The register-file parameters of one streaming multiprocessor.
+///
+/// All fields are in hardware units: `reg_file` counts 32-bit registers,
+/// `alloc_gran` is the per-warp allocation rounding (also in registers),
+/// `max_warps`/`max_blocks` are the scheduler's residency ceilings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmModel {
+    /// Total 32-bit registers in the SM register file.
+    pub reg_file: u32,
+    /// Per-warp register allocation granularity (registers).
+    pub alloc_gran: u32,
+    /// Maximum warps resident on the SM.
+    pub max_warps: u32,
+    /// Maximum thread blocks resident on the SM.
+    pub max_blocks: u32,
+}
+
+/// The resource that capped [`OccupancyPoint::blocks_per_sm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Limiter {
+    /// Register-file capacity bounded residency (or made the launch
+    /// unlaunchable at this block shape).
+    Registers,
+    /// The max-warps ceiling bounded residency (or the block alone exceeds
+    /// it, making the launch unlaunchable).
+    Warps,
+    /// The max-blocks ceiling bounded residency.
+    Blocks,
+}
+
+/// One point on the occupancy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OccupancyPoint {
+    /// Resident thread blocks per SM; `0` means the launch cannot fit at
+    /// this register demand and block shape at all.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM (`blocks_per_sm × warps_per_block`).
+    pub warps_per_sm: u32,
+    /// Which resource capped `blocks_per_sm`.
+    pub limiter: Limiter,
+}
+
+impl SmModel {
+    /// Volta-class SM (GV100): 64K registers, 256-register granularity,
+    /// 64 warps / 32 blocks resident.
+    pub const fn volta() -> SmModel {
+        SmModel { reg_file: 65536, alloc_gran: 256, max_warps: 64, max_blocks: 32 }
+    }
+
+    /// Turing-class SM (TU10x): same register file, half the warp and block
+    /// residency of Volta.
+    pub const fn turing() -> SmModel {
+        SmModel { reg_file: 65536, alloc_gran: 256, max_warps: 32, max_blocks: 16 }
+    }
+
+    /// Ampere-class SM (GA10x): 48 resident warps, 16 blocks.
+    pub const fn ampere() -> SmModel {
+        SmModel { reg_file: 65536, alloc_gran: 256, max_warps: 48, max_blocks: 16 }
+    }
+
+    /// The preset for one of the simulated [`Arch`] generations. The
+    /// pre-Volta architectures share the Volta register file but cap
+    /// residency at 16 blocks (the Kepler scheduler limit).
+    pub const fn for_arch(arch: Arch) -> SmModel {
+        match arch {
+            Arch::Kepler => {
+                SmModel { reg_file: 65536, alloc_gran: 256, max_warps: 64, max_blocks: 16 }
+            }
+            Arch::Maxwell | Arch::Pascal | Arch::Volta => SmModel::volta(),
+        }
+    }
+
+    /// Prices one point: how many blocks of `block_threads` threads, each
+    /// thread holding `regs_per_thread` registers, fit on this SM.
+    ///
+    /// Degenerate inputs are clamped up: a zero register demand allocates
+    /// like one register (the granularity floor applies anyway) and a zero
+    /// block dimension is priced as a single thread.
+    pub fn occupancy(&self, regs_per_thread: u16, block_threads: u32) -> OccupancyPoint {
+        let warps_per_block = block_threads.max(1).div_ceil(WARP_SIZE);
+        let regs_per_warp = (u32::from(regs_per_thread).max(1) * WARP_SIZE)
+            .div_ceil(self.alloc_gran)
+            * self.alloc_gran;
+        let warps_by_regs = self.reg_file / regs_per_warp;
+        let by_regs = warps_by_regs / warps_per_block;
+        let by_warps = self.max_warps / warps_per_block;
+        let blocks = by_regs.min(by_warps).min(self.max_blocks);
+        let limiter = if blocks == 0 {
+            // Unlaunchable: name the resource the single block overflows.
+            if by_warps == 0 {
+                Limiter::Warps
+            } else {
+                Limiter::Registers
+            }
+        } else if self.max_blocks < by_regs.min(by_warps) {
+            Limiter::Blocks
+        } else if by_warps <= by_regs {
+            Limiter::Warps
+        } else {
+            Limiter::Registers
+        };
+        OccupancyPoint { blocks_per_sm: blocks, warps_per_sm: blocks * warps_per_block, limiter }
+    }
+
+    /// The full occupancy curve at one block shape: the point for every
+    /// register demand the ISA can express (1..=255 registers/thread).
+    pub fn curve(&self, block_threads: u32) -> Vec<(u16, OccupancyPoint)> {
+        (1..=255u16).map(|r| (r, self.occupancy(r, block_threads))).collect()
+    }
+}
+
+/// An occupancy model bound to a launch's block shape — the unit the
+/// splice-pricing verdict (and the plan cache key above it) carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OccupancyCfg {
+    /// The SM being priced against.
+    pub model: SmModel,
+    /// Threads per block of the launch being instrumented.
+    pub block_threads: u32,
+}
+
+impl OccupancyCfg {
+    /// Shorthand for the Volta preset at a given block shape.
+    pub const fn volta(block_threads: u32) -> OccupancyCfg {
+        OccupancyCfg { model: SmModel::volta(), block_threads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_golden_points_match_the_published_calculator() {
+        // Blocks/SM from the CUDA occupancy calculator for a GV100 SM
+        // (65536 registers, 256-register granularity, 64 warps, 32 blocks)
+        // at block dims 128 / 256 / 512.
+        let m = SmModel::volta();
+        let golden: [(u16, [u32; 3]); 6] = [
+            (32, [16, 8, 4]),
+            (40, [12, 6, 3]),
+            (64, [8, 4, 2]),
+            (96, [5, 2, 1]),
+            (128, [4, 2, 1]),
+            (255, [2, 1, 0]),
+        ];
+        for (regs, blocks) in golden {
+            for (i, &bd) in [128u32, 256, 512].iter().enumerate() {
+                let p = m.occupancy(regs, bd);
+                assert_eq!(p.blocks_per_sm, blocks[i], "regs {regs} at block dim {bd}");
+                assert_eq!(
+                    p.warps_per_sm,
+                    blocks[i] * bd.div_ceil(WARP_SIZE),
+                    "warps inconsistent at regs {regs} block dim {bd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn volta_limiters_name_the_binding_resource() {
+        let m = SmModel::volta();
+        // 32 regs at bd 128: regs and warps both allow 16 → tie reports
+        // Warps (the scheduler ceiling, not the register file).
+        assert_eq!(m.occupancy(32, 128).limiter, Limiter::Warps);
+        // 40+ regs at bd 128: the register file binds first.
+        for regs in [40u16, 64, 96, 128, 255] {
+            assert_eq!(m.occupancy(regs, 128).limiter, Limiter::Registers, "regs {regs}");
+        }
+        // Tiny blocks with tiny register demand hit the block-count ceiling.
+        assert_eq!(m.occupancy(16, 32).limiter, Limiter::Blocks);
+        // 255 regs at bd 512 is unlaunchable: 8 warps fit by registers but
+        // the block needs 16.
+        let p = m.occupancy(255, 512);
+        assert_eq!((p.blocks_per_sm, p.limiter), (0, Limiter::Registers));
+        // A block wider than the warp ceiling is unlaunchable by warps.
+        let p = m.occupancy(16, 64 * WARP_SIZE + 1);
+        assert_eq!((p.blocks_per_sm, p.limiter), (0, Limiter::Warps));
+    }
+
+    #[test]
+    fn the_curve_is_a_non_increasing_step_function() {
+        for bd in [128u32, 256, 512] {
+            let curve = SmModel::volta().curve(bd);
+            assert_eq!(curve.len(), 255);
+            assert_eq!(curve[0].0, 1);
+            for w in curve.windows(2) {
+                assert!(
+                    w[1].1.blocks_per_sm <= w[0].1.blocks_per_sm,
+                    "occupancy rose from {} to {} regs at bd {bd}",
+                    w[0].0,
+                    w[1].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn the_16_to_32_register_step_is_flat_on_volta() {
+        // The save-tier ladder's first raise (16 → 32) never costs blocks
+        // on Volta at the swept block shapes — the fact the occupancy gate
+        // in `pressure::splice_verdict` exploits.
+        let m = SmModel::volta();
+        for bd in [128u32, 256, 512] {
+            assert_eq!(
+                m.occupancy(16, bd).blocks_per_sm,
+                m.occupancy(32, bd).blocks_per_sm,
+                "16→32 not flat at bd {bd}"
+            );
+            // ... while 32 → 64 halves residency.
+            assert!(
+                m.occupancy(64, bd).blocks_per_sm < m.occupancy(32, bd).blocks_per_sm,
+                "32→64 unexpectedly flat at bd {bd}"
+            );
+        }
+    }
+
+    #[test]
+    fn presets_differ_where_the_hardware_does() {
+        assert_ne!(SmModel::volta(), SmModel::turing());
+        assert_ne!(SmModel::volta(), SmModel::ampere());
+        assert_ne!(SmModel::turing(), SmModel::ampere());
+        // Turing halves Volta's warp residency: 32 regs × bd 128 fits 16
+        // blocks on Volta but only 8 on Turing.
+        assert_eq!(SmModel::turing().occupancy(32, 128).blocks_per_sm, 8);
+        assert_eq!(SmModel::ampere().occupancy(32, 128).blocks_per_sm, 12);
+        for arch in Arch::ALL {
+            let m = SmModel::for_arch(arch);
+            assert!(m.occupancy(16, 128).blocks_per_sm > 0, "{arch} preset unlaunchable");
+        }
+        assert_eq!(SmModel::for_arch(Arch::Kepler).max_blocks, 16);
+        assert_eq!(SmModel::for_arch(Arch::Volta), SmModel::volta());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped_not_divided_by_zero() {
+        let m = SmModel::volta();
+        assert_eq!(m.occupancy(0, 0), m.occupancy(1, 1));
+        // One thread still allocates a full warp at the granularity floor.
+        let p = m.occupancy(1, 1);
+        assert_eq!(p.blocks_per_sm, m.max_blocks);
+        assert_eq!(p.warps_per_sm, m.max_blocks);
+    }
+}

@@ -162,17 +162,20 @@ type App = fn(&Driver) -> Vec<u8>;
 
 const APPS: [(&str, App); 3] = [("fft", fft_app), ("stencil", stencil_app), ("spmv", spmv_app)];
 
-/// The five plan configurations under test: naive, block-coalesced,
+/// The six plan configurations under test: naive, block-coalesced,
 /// block-coalesced + inlined, everything (adding dominator-region
-/// coalescing and after-point lowering), and everything with the
-/// register-pressure cost model gating each splice.
-const CONFIGS: [PlanOpts; 5] = [
+/// coalescing and after-point lowering), everything with the
+/// register-pressure cost model gating each splice, and the cost model
+/// pricing tier raises against the Volta occupancy curve instead of
+/// declining them outright.
+const CONFIGS: [PlanOpts; 6] = [
     PlanOpts {
         coalesce: false,
         inline: false,
         region_coalesce: false,
         after_lower: false,
         pressure: false,
+        occupancy: None,
     },
     PlanOpts {
         coalesce: true,
@@ -180,6 +183,7 @@ const CONFIGS: [PlanOpts; 5] = [
         region_coalesce: false,
         after_lower: false,
         pressure: false,
+        occupancy: None,
     },
     PlanOpts {
         coalesce: true,
@@ -187,6 +191,7 @@ const CONFIGS: [PlanOpts; 5] = [
         region_coalesce: false,
         after_lower: false,
         pressure: false,
+        occupancy: None,
     },
     PlanOpts {
         coalesce: true,
@@ -194,6 +199,7 @@ const CONFIGS: [PlanOpts; 5] = [
         region_coalesce: true,
         after_lower: true,
         pressure: false,
+        occupancy: None,
     },
     PlanOpts {
         coalesce: true,
@@ -201,6 +207,15 @@ const CONFIGS: [PlanOpts; 5] = [
         region_coalesce: true,
         after_lower: true,
         pressure: true,
+        occupancy: None,
+    },
+    PlanOpts {
+        coalesce: true,
+        inline: true,
+        region_coalesce: true,
+        after_lower: true,
+        pressure: true,
+        occupancy: Some(sass::OccupancyCfg::volta(128)),
     },
 ];
 
@@ -295,6 +310,8 @@ fn wide_instr_count_is_plan_invariant() {
     // fifth configuration the pressure verdict declines some splices; the
     // declined-splice fallback (an out-of-line call) must be bit-identical
     // to the unconditional-inline run in both guest memory and tool output.
+    // The sixth configuration re-accepts the occupancy-flat subset of those
+    // declines, which must be equally invisible.
     differential("wide_instr_count");
 }
 
@@ -480,4 +497,32 @@ fn pressure_declines_wide_splices_the_old_policy_took() {
     let (p, _) = captured_with(|| CoalescedInstrCount::executed_wide(CONFIGS[4]).0, stencil_app);
     assert_eq!(p.inline_declined, 0, "stencil: no live register crosses a tier: {p:?}");
     assert_eq!(p.inlined_calls, p.emitted_calls, "{p:?}");
+}
+
+#[test]
+fn the_occupancy_curve_reprices_tier_declines() {
+    // Every splice the tier-only gate declines on the fft workload is a
+    // 16→32 save-tier raise, and on a Volta SM at 128-thread blocks the
+    // 16→32 step is occupancy-flat (16 blocks either way). Pricing against
+    // the curve (CONFIGS[5]) must therefore accept what the tier gate
+    // (CONFIGS[4]) declined — more inlined calls, fewer declines — while
+    // the differential above proves the output cannot tell.
+    let (tier_only, _) =
+        captured_with(|| CoalescedInstrCount::executed_wide(CONFIGS[4]).0, fft_app);
+    let (curved, _) = captured_with(|| CoalescedInstrCount::executed_wide(CONFIGS[5]).0, fft_app);
+
+    assert!(tier_only.inline_declined >= 1, "{tier_only:?}");
+    assert_eq!(
+        tier_only.occ_accepted + tier_only.occ_declined,
+        0,
+        "no occupancy verdicts without a model: {tier_only:?}"
+    );
+    assert!(curved.occ_accepted >= 1, "the curve must re-accept a decline: {curved:?}");
+    assert!(curved.inline_declined < tier_only.inline_declined, "{curved:?} vs {tier_only:?}");
+    assert!(curved.inlined_calls > tier_only.inlined_calls, "{curved:?} vs {tier_only:?}");
+    assert_eq!(
+        curved.inline_accepted + curved.inline_declined,
+        curved.emitted_calls,
+        "every emitted call still gets a verdict: {curved:?}"
+    );
 }
