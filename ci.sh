@@ -69,4 +69,13 @@ cargo test --release -q -p nvbit-core --test module_unload
 echo "== jitpar: concurrent JIT (>=2x on >=4 hw threads), bit-identical, zero-regen flips =="
 cargo run --release -q -p nvbit-bench --bin jitpar
 
+echo "== channel determinism: Block bit-identical across schedulers, DropCount exact accounting =="
+cargo test --release -q -p nvbit-tools --test channel_determinism
+
+echo "== per-launch occupancy: sentinel matches explicit shape, shape change replans =="
+cargo test --release -q -p nvbit-tools --test per_launch_occupancy
+
+echo "== channel_bw: zero drops under Block at every size, >=16x oversubscription and >=2x record throughput vs bounded at 4Ki =="
+cargo run --release -q -p nvbit-bench --bin channel_bw
+
 echo "CI OK"

@@ -17,12 +17,16 @@
 //! * [`obs`] — the pipeline observability layer: lock-free per-thread event
 //!   rings, span guards and named counters with JSON and Chrome-trace
 //!   export (off by default; one branch per hook when disabled);
+//! * [`channel`] — the streaming GPU→host tool channel: double-buffered
+//!   flush, doorbell flip, dedicated receiver thread, `Block`/`DropCount`
+//!   backpressure;
 //! * [`Dim3`] — the single definition of a 3-component launch dimension,
 //!   re-exported by the `gpu` and `driver` crates.
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod channel;
 pub mod dim3;
 pub mod json;
 pub mod obs;

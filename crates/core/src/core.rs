@@ -36,7 +36,7 @@ use crate::verify::{self, Diagnostic, ExternalCode};
 use crate::{NvbitError, Result};
 use cuda::{CbId, CbParams, CuContext, CuFunction, CuModule, Driver, Interposer};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -289,6 +289,11 @@ pub(crate) struct CoreState {
     /// Worker threads for batch instrumentation; 0 = one per hardware
     /// thread.
     jit_workers: AtomicUsize,
+    /// Block thread count of the most recently intercepted launch
+    /// (0 = none yet). Resolves [`sass::occupancy::OccupancyCfg::PER_LAUNCH`]
+    /// occupancy configs: the resolved shape is part of the plan-cache
+    /// key, so a shape change replans while repeats hit the cache.
+    launch_threads: AtomicU32,
 }
 
 impl CoreState {
@@ -304,7 +309,24 @@ impl CoreState {
             save_policy: Mutex::new(SavePolicy::default()),
             plan_opts: Mutex::new(PlanOpts::default()),
             jit_workers: AtomicUsize::new(workers),
+            launch_threads: AtomicU32::new(0),
         }
+    }
+
+    /// The current plan options with any per-launch occupancy sentinel
+    /// resolved to the last intercepted launch's block shape. Every
+    /// path that derives a plan-cache key goes through this, so launch
+    /// interception and the inspection APIs (`plan_stats`,
+    /// `save_stats`, `verify_instrumented`) agree on which image a
+    /// given option set names.
+    fn resolved_opts(&self) -> PlanOpts {
+        let mut opts = *self.plan_opts.lock().unwrap();
+        if let Some(cfg) = opts.occupancy.as_mut() {
+            if cfg.per_launch() {
+                cfg.block_threads = self.launch_threads.load(Ordering::Relaxed).max(1);
+            }
+        }
+        opts
     }
 
     fn shard(&self, raw: u32) -> &Mutex<HashMap<u32, FuncEntry>> {
@@ -441,7 +463,7 @@ impl CoreState {
     /// per distinct function.
     fn apply_batch(&self, drv: &Driver, funcs: &[CuFunction]) -> Vec<(CuFunction, Result<()>)> {
         let policy = *self.save_policy.lock().unwrap();
-        let opts = *self.plan_opts.lock().unwrap();
+        let opts = self.resolved_opts();
         let mut seen = std::collections::HashSet::new();
         let funcs: Vec<CuFunction> =
             funcs.iter().copied().filter(|f| seen.insert(f.raw())).collect();
@@ -763,7 +785,20 @@ impl CoreState {
     /// Launch-entry instrumentation: attribute the user callback, then
     /// batch-build every pending function (first launch after a module
     /// load fans out across all of them) and reconcile versions.
-    fn instrument_for_launch(&self, drv: &Driver, func: CuFunction, user: Duration) {
+    ///
+    /// `block_threads` is the intercepted launch's block thread count;
+    /// it resolves [`sass::occupancy::OccupancyCfg::PER_LAUNCH`]
+    /// occupancy configs to the real shape. The resolved opts feed the
+    /// plan-cache key, so a launch at a new shape replans while
+    /// repeated shapes hit the cached image — the same shape-keyed
+    /// reuse the sampling cache applies.
+    fn instrument_for_launch(
+        &self,
+        drv: &Driver,
+        func: CuFunction,
+        user: Duration,
+        block_threads: u32,
+    ) {
         let raw = func.raw();
         let tracked = self
             .shard(raw)
@@ -777,8 +812,13 @@ impl CoreState {
                 self.overhead.lock().unwrap().add(&info.name, JitComponent::UserCode, user);
             }
         }
+        self.launch_threads.store(block_threads.max(1), Ordering::Relaxed);
         let policy = *self.save_policy.lock().unwrap();
-        let opts = *self.plan_opts.lock().unwrap();
+        let raw_opts = *self.plan_opts.lock().unwrap();
+        let opts = self.resolved_opts();
+        if opts != raw_opts {
+            common::obs::counter("plan.occ_launch_shape", 1);
+        }
         let mut batch = self.pending(policy, opts);
         if tracked && !batch.iter().any(|f| f.raw() == raw) {
             batch.push(func);
@@ -850,8 +890,9 @@ impl Interposer for NvbitCore {
 
         if !is_exit {
             match (cbid, params) {
-                (CbId::LaunchKernel, CbParams::LaunchKernel { func, .. }) => {
-                    self.state.instrument_for_launch(drv, *func, user);
+                (CbId::LaunchKernel, CbParams::LaunchKernel { func, block, .. }) => {
+                    let threads = u32::try_from(block.count()).unwrap_or(u32::MAX);
+                    self.state.instrument_for_launch(drv, *func, user, threads);
                 }
                 (CbId::ModuleUnload, CbParams::Module { module, .. }) => {
                     self.state.evict_module(drv, module);
@@ -1342,7 +1383,7 @@ impl<'a> NvbitApi<'a> {
             Err(e) => return Err(e),
         }
         let policy = *self.state.save_policy.lock().unwrap();
-        let opts = *self.state.plan_opts.lock().unwrap();
+        let opts = self.state.resolved_opts();
         let raw = func.raw();
         let image = {
             let mut shard = self.state.shard(raw).lock().unwrap();
@@ -1369,7 +1410,7 @@ impl<'a> NvbitApi<'a> {
     pub fn save_stats(&self, func: CuFunction) -> Result<Option<SaveStats>> {
         self.state.apply_one(self.drv, func)?;
         let policy = *self.state.save_policy.lock().unwrap();
-        let opts = *self.state.plan_opts.lock().unwrap();
+        let opts = self.state.resolved_opts();
         let raw = func.raw();
         let mut shard = self.state.shard(raw).lock().unwrap();
         let Some(entry) = shard.get_mut(&raw) else { return Ok(None) };
@@ -1395,7 +1436,7 @@ impl<'a> NvbitApi<'a> {
     pub fn plan_stats(&self, func: CuFunction) -> Result<Option<PlanStats>> {
         self.state.apply_one(self.drv, func)?;
         let policy = *self.state.save_policy.lock().unwrap();
-        let opts = *self.state.plan_opts.lock().unwrap();
+        let opts = self.state.resolved_opts();
         let raw = func.raw();
         let mut shard = self.state.shard(raw).lock().unwrap();
         let Some(entry) = shard.get_mut(&raw) else { return Ok(None) };

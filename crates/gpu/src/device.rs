@@ -160,6 +160,9 @@ pub struct Device {
     pub scheduler: Scheduler,
     launches: u64,
     labels: CodeLabels,
+    /// Producer half of the attached tool record channel; injected tool
+    /// code reaches it through the executor's `CHAN` instruction.
+    channel: Option<common::channel::ChannelDev>,
 }
 
 impl Device {
@@ -174,7 +177,27 @@ impl Device {
             scheduler: Scheduler::default(),
             launches: 0,
             labels: CodeLabels::new(),
+            channel: None,
         }
+    }
+
+    /// Attaches the producer half of a tool record channel: until
+    /// [`Device::detach_channel`], every `CHAN` instruction pushes to it,
+    /// and each launch ends with a channel flush (the kernel-completion
+    /// barrier drains even a partially filled device buffer).
+    pub fn attach_channel(&mut self, chan: common::channel::ChannelDev) {
+        self.channel = Some(chan);
+    }
+
+    /// Detaches the channel, returning it; subsequent `CHAN` instructions
+    /// fault.
+    pub fn detach_channel(&mut self) -> Option<common::channel::ChannelDev> {
+        self.channel.take()
+    }
+
+    /// The attached channel, if any.
+    pub fn channel(&self) -> Option<&common::channel::ChannelDev> {
+        self.channel.as_ref()
     }
 
     /// Names the code region `[addr, addr + len)` for fault diagnostics:
@@ -313,6 +336,7 @@ impl Device {
         let exec_t0 = if obs_on { common::obs::now_ns() } else { 0 };
 
         let labels = &self.labels;
+        let chan = self.channel.as_ref();
         let run_one = |cta_linear: u64| -> CtaResult {
             if obs_on {
                 common::obs::counter(
@@ -333,6 +357,7 @@ impl Device {
                 cta_linear,
                 block_threads as u32,
                 local_size,
+                chan,
             )
         };
 
@@ -378,6 +403,14 @@ impl Device {
         }
 
         drop(exec_span);
+
+        // Kernel-completion barrier: every CTA worker has joined, so the
+        // channel flush drains even a partially filled flush buffer and
+        // returns once the host consumer has seen every record the launch
+        // produced.
+        if let Some(chan) = chan {
+            chan.flush();
+        }
 
         // Deterministic reduction: walk CTAs in linear order up to (and
         // including) the first fault, merging statistics and decode-cache
@@ -425,6 +458,7 @@ fn run_cta(
     cta_linear: u64,
     block_threads: u32,
     local_size: u32,
+    chan: Option<&common::channel::ChannelDev>,
 ) -> CtaResult {
     let g = cfg.grid;
     let cta_coords = Dim3::xyz(
@@ -445,6 +479,7 @@ fn run_cta(
         labels,
         launch_id,
         steps: 0,
+        chan,
     };
     let mut cta = CtaCtx {
         cta: cta_coords,
@@ -689,6 +724,86 @@ mod tests {
         for t in 0..32u32 {
             let v = u32::from_le_bytes(out[t as usize * 4..t as usize * 4 + 4].try_into().unwrap());
             assert_eq!(v, (t + 1) % 32);
+        }
+    }
+
+    #[test]
+    fn chan_pushes_one_record_per_lane_and_flushes_at_launch_end() {
+        use common::channel::{Backpressure, ChannelHost, Record};
+        use std::sync::{Arc, Mutex};
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        // Each lane pushes its tid as a 64-bit payload.
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             MOV R5, RZ ;\n\
+             CHAN.64 R4 ;\n\
+             EXIT ;",
+        );
+        let store: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = store.clone();
+        // A 7-record buffer forces mid-launch doorbell flips.
+        let (host, chan) = ChannelHost::spawn(
+            7,
+            Backpressure::Block,
+            Box::new(move |batch| sink.lock().unwrap().extend_from_slice(batch)),
+        );
+        dev.attach_channel(chan);
+        let cfg = LaunchConfig::new(pc, Dim3::linear(2), Dim3::linear(32));
+        dev.launch(&cfg).unwrap();
+        // The launch-end flush already drained everything: no host-side
+        // flush needed before reading.
+        let got = store.lock().unwrap().clone();
+        assert_eq!(got.len(), 64);
+        for cta in 0..2u64 {
+            let stream: Vec<u64> = got.iter().filter(|r| r.tag == cta).map(|r| r.payload).collect();
+            assert_eq!(stream, (0..32).collect::<Vec<_>>(), "CTA {cta} stream");
+        }
+        assert_eq!(host.dropped(), 0);
+        assert!(dev.detach_channel().is_some());
+        host.shutdown();
+    }
+
+    #[test]
+    fn chan_respects_the_guard_predicate() {
+        use common::channel::{Backpressure, ChannelHost, Record};
+        use std::sync::{Arc, Mutex};
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        // Only threads with tid < 4 push.
+        let pc = load(
+            &mut dev,
+            "S2R R4, SR_TID.X ;\n\
+             ISETP.GE.S32 P0, R4, 0x4 ;\n\
+             @P0 EXIT ;\n\
+             MOV R5, RZ ;\n\
+             CHAN.64 R4 ;\n\
+             EXIT ;",
+        );
+        let store: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = store.clone();
+        let (host, chan) = ChannelHost::spawn(
+            64,
+            Backpressure::Block,
+            Box::new(move |batch| sink.lock().unwrap().extend_from_slice(batch)),
+        );
+        dev.attach_channel(chan);
+        let cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        dev.launch(&cfg).unwrap();
+        let got: Vec<u64> = store.lock().unwrap().iter().map(|r| r.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        host.shutdown();
+    }
+
+    #[test]
+    fn chan_faults_without_an_attached_channel() {
+        let mut dev = Device::new(DeviceSpec::test(Arch::Volta));
+        let pc = load(&mut dev, "CHAN.64 R4 ;\nEXIT ;");
+        let cfg = LaunchConfig::new(pc, Dim3::linear(1), Dim3::linear(32));
+        match dev.launch(&cfg) {
+            Err(GpuError::Fault { reason, .. }) => {
+                assert!(reason.contains("no channel attached"), "{reason}")
+            }
+            other => panic!("expected chan fault, got {other:?}"),
         }
     }
 

@@ -143,6 +143,8 @@ pub(crate) struct ExecEnv<'d> {
     pub labels: &'d crate::device::CodeLabels,
     pub launch_id: u64,
     pub steps: u64,
+    /// Producer half of the launch's tool record channel, when attached.
+    pub chan: Option<&'d common::channel::ChannelDev>,
 }
 
 impl<'d> ExecEnv<'d> {
@@ -938,6 +940,25 @@ impl<'d> ExecEnv<'d> {
                          emulate it with an instrumentation tool"
                     ),
                 ));
+            }
+            Op::Chan => {
+                let Some(chan) = self.chan else {
+                    return Err(self.fault(
+                        pc,
+                        "CHAN instruction with no channel attached — attach a \
+                         ChannelDev to the device before launching",
+                    ));
+                };
+                let Operand::Reg(a) = ops[0] else {
+                    return Err(self.fault(pc, "CHAN without register source"));
+                };
+                // One record per executing lane, in lane order, tagged with
+                // the CTA-linear index: per-CTA streams are push-ordered, so
+                // the drained trace is scheduler-independent after per-tag
+                // reassembly.
+                for lane in lanes {
+                    chan.push(cta.cta_linear, warp.pair(lane, a));
+                }
             }
             _ => {
                 return Err(self.fault(pc, format!("unimplemented opcode {}", instr.op.mnemonic())))

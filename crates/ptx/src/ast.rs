@@ -594,6 +594,14 @@ pub enum PtxOp {
         /// Proxy instruction name; hashed into the immediate id field.
         name: String,
     },
+    /// `chan.push.u64 %rd;` — pushes the 64-bit source register to the
+    /// launch's host-side record channel (paper §6.1's mem_trace/cache-sim
+    /// receiver). Lowered to the executor-implemented `CHAN` instruction;
+    /// faults when the launch has no channel attached.
+    ChanPush {
+        /// Payload source register (64-bit).
+        src: String,
+    },
     /// `nvbit.readreg.b32 %d, idx;` — device-API intrinsic reading saved
     /// register `idx` of the instrumented thread (paper Listing 7).
     NvReadReg {

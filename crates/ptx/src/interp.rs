@@ -733,6 +733,12 @@ impl<'m, 'a> Machine<'m, 'a> {
                     "proxy instruction `{name}` has no architectural semantics (instrument it)"
                 )));
             }
+            P::ChanPush { .. } => {
+                return Err(err(
+                    "chan.push has no host channel in the PTX interpreter (run on the device)"
+                        .into(),
+                ));
+            }
             P::NvReadReg { .. } | P::NvWriteReg { .. } => {
                 return Err(err("device-API intrinsics are only valid in instrumentation".into()));
             }

@@ -1086,6 +1086,14 @@ impl<'a> Emitter<'a> {
                     .with_guard(g),
                 );
             }
+            P::ChanPush { src } => {
+                let s = self.gpr_of(src)?;
+                self.push(
+                    Instruction::new(Op::Chan, vec![Operand::Reg(s)])
+                        .with_mods(Mods { width: Width::B64, ..Mods::default() })
+                        .with_guard(g),
+                );
+            }
             P::NvReadReg { dst, idx } => {
                 self.uses_reg_api = true;
                 let d = self.gpr_of(dst)?;

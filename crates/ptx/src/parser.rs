@@ -393,6 +393,13 @@ impl Parser {
                 };
                 PtxOp::Proxy { dst, src, name }
             }
+            "chan" => match parts.get(1) {
+                Some(&"push") => {
+                    let src = self.expect_reg()?;
+                    PtxOp::ChanPush { src }
+                }
+                other => return Err(self.err(format!("unknown chan intrinsic {other:?}"))),
+            },
             "nvbit" => match parts.get(1) {
                 Some(&"readreg") => {
                     let dst = self.expect_reg()?;

@@ -168,6 +168,9 @@ pub fn uses_defs<'a>(i: &'a PtxInstr) -> (Vec<&'a str>, Vec<&'a str>) {
             uses.push(src);
             defs.push(dst);
         }
+        PtxOp::ChanPush { src } => {
+            uses.push(src);
+        }
         PtxOp::NvReadReg { dst, idx } => {
             use_src(idx, &mut uses);
             defs.push(dst);

@@ -358,7 +358,7 @@ impl Instruction {
                     let n = if self.op.is_double() {
                         2
                     } else if matches!(kind, OKind::RegR)
-                        && matches!(self.op, Op::Stg | Op::Sts | Op::Stl)
+                        && matches!(self.op, Op::Stg | Op::Sts | Op::Stl | Op::Chan)
                     {
                         self.mods.width.regs()
                     } else {
@@ -506,7 +506,7 @@ pub(crate) fn uses_itype(op: Op) -> bool {
 
 /// True if the opcode consumes the `width` modifier.
 pub(crate) fn uses_width(op: Op) -> bool {
-    matches!(op, Op::Ldg | Op::Stg | Op::Lds | Op::Sts | Op::Ldl | Op::Stl | Op::Ldc)
+    matches!(op, Op::Ldg | Op::Stg | Op::Lds | Op::Sts | Op::Ldl | Op::Stl | Op::Ldc | Op::Chan)
 }
 
 impl std::fmt::Display for Instruction {

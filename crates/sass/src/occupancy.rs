@@ -146,9 +146,31 @@ pub struct OccupancyCfg {
 }
 
 impl OccupancyCfg {
+    /// Sentinel block shape: "derive from the intercepted launch".
+    ///
+    /// A config carrying this value prices against whatever block
+    /// dimensions the application actually launches with — the core
+    /// substitutes the real thread count at launch interception, and
+    /// because the substituted config is part of the plan-cache key, a
+    /// shape change on a later launch replans automatically. Zero is
+    /// never a valid block shape ([`SmModel::occupancy`] clamps to 1),
+    /// so the sentinel cannot collide with an explicit configuration.
+    pub const PER_LAUNCH: u32 = 0;
+
     /// Shorthand for the Volta preset at a given block shape.
     pub const fn volta(block_threads: u32) -> OccupancyCfg {
         OccupancyCfg { model: SmModel::volta(), block_threads }
+    }
+
+    /// The Volta preset deferring the block shape to each intercepted
+    /// launch (see [`OccupancyCfg::PER_LAUNCH`]).
+    pub const fn volta_per_launch() -> OccupancyCfg {
+        OccupancyCfg { model: SmModel::volta(), block_threads: Self::PER_LAUNCH }
+    }
+
+    /// True when the block shape is the defer-to-launch sentinel.
+    pub const fn per_launch(&self) -> bool {
+        self.block_threads == Self::PER_LAUNCH
     }
 }
 

@@ -509,6 +509,12 @@ define_ops! {
 
     // Hypothetical-instruction carrier for ISA-extension studies (paper 6.3).
     Proxy  = 110,"PROXY",  Misc,       None,           [RegW, RegR, Imm32];
+
+    // Tool-channel push: sends the source register pair (`CHAN.64 Rn`) to
+    // the host-side record channel attached to the launch (paper 6.1's
+    // mem_trace/cache-sim receiver). Executor-implemented; faults when no
+    // channel is attached.
+    Chan   = 111,"CHAN",   Misc,       None,           [RegR];
 }
 
 impl Op {

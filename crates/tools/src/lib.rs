@@ -50,7 +50,7 @@ pub mod mem_trace;
 pub mod opcode_hist;
 pub mod wfft_emu;
 
-pub use cache_sim::{CacheConfig, CacheSim, CacheSimResults};
+pub use cache_sim::{CacheConfig, CacheSim, CacheSimResults, ChannelCacheSim};
 pub use fault::{FaultInjector, FaultSpec};
 pub use instr_count::{BbInstrCount, CoalescedInstrCount, InstrCount, InstrCountResults};
 pub use mem_divergence::{MemDivergence, MemDivergenceResults};

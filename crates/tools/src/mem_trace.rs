@@ -1,15 +1,31 @@
 //! Global-memory address tracing (the substrate for trace-driven cache
 //! simulation, paper §6.1).
+//!
+//! Two capture modes share the results contract:
+//!
+//! * **Bounded** ([`MemTrace::new`]) — the original design: every lane
+//!   appends to a fixed device buffer via an atomic slot claim; records
+//!   past capacity are dropped (demand is still counted). Simple, but
+//!   the trace size is capped up front and the readback happens only at
+//!   launch exit.
+//! * **Channel** ([`MemTrace::channel`]) — lanes push through the
+//!   streaming [`common::channel`] to a host drain thread, so the trace
+//!   size is unbounded under [`Backpressure::Block`] (lossless) and the
+//!   host consumes records *while the kernel runs*. Under
+//!   [`Backpressure::DropCount`] the bounded-buffer truncation contract
+//!   is preserved with exact drop accounting.
 
 use crate::read_u64;
+use common::channel::{Backpressure, ChannelHost, Record};
 use cuda::{CbId, CbParams, Driver};
 use nvbit::{IPoint, NvbitApi, NvbitTool};
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// The trace-append device function: every executing lane appends its
-/// effective address to a bounded device buffer
+/// The bounded trace-append device function: every executing lane
+/// appends its effective address to a bounded device buffer
 /// (`u64 count` at +0, records at +8).
 const TRACE_FN: &str = r#"
 .func nvbit_trace(.reg .u32 %pred, .reg .u64 %base, .reg .u32 %off, .reg .u64 %buf,
@@ -35,15 +51,55 @@ const TRACE_FN: &str = r#"
 }
 "#;
 
+/// The streaming trace-append device function: every executing lane
+/// pushes its effective address into the launch's host-side record
+/// channel. No buffer pointer or capacity — backpressure lives in the
+/// channel, and the host drains concurrently.
+pub(crate) const TRACE_CHAN_FN: &str = r#"
+.func nvbit_trace_chan(.reg .u32 %pred, .reg .u64 %base, .reg .u32 %off)
+{
+    .reg .u64 %rd<4>;
+    .reg .pred %p<2>;
+    setp.eq.u32 %p1, %pred, 0;
+    @%p1 ret;
+    cvt.s64.s32 %rd1, %off;
+    add.u64 %rd2, %base, %rd1;
+    chan.push.u64 %rd2;
+    ret;
+}
+"#;
+
 /// Results handle of [`MemTrace`].
 #[derive(Debug, Default)]
 pub struct MemTraceResults {
     addresses: RefCell<Vec<u64>>,
     demanded: RefCell<u64>,
+    dropped: RefCell<u64>,
 }
 
 impl MemTraceResults {
-    /// The captured addresses, in execution order (warp-major, lane order).
+    /// The single source of the exact-fill boundary: of `demanded`
+    /// records offered to a `capacity`-record store, how many are
+    /// captured. A trace that fills the store *exactly*
+    /// (`demanded == capacity`) is complete — truncation begins at the
+    /// first record past capacity.
+    ///
+    /// Both capture modes and [`truncated`](Self::truncated) derive
+    /// from this predicate; it is deliberately not hand-rolled at the
+    /// call sites.
+    pub fn captured(demanded: u64, capacity: u64) -> u64 {
+        demanded.min(capacity)
+    }
+
+    /// True when every demanded record fits: `captured == demanded`.
+    pub fn complete(demanded: u64, capacity: u64) -> bool {
+        Self::captured(demanded, capacity) == demanded
+    }
+
+    /// The captured addresses. Bounded mode reports them in device
+    /// append order; channel mode reassembles the canonical stream
+    /// (CTA-linear major, per-CTA push order), which is identical
+    /// across scheduler configurations.
     pub fn addresses(&self) -> Vec<u64> {
         self.addresses.borrow().clone()
     }
@@ -51,68 +107,152 @@ impl MemTraceResults {
     /// Total records the kernel tried to append, whether or not they fit.
     ///
     /// `demanded() >= addresses().len()` always holds; the excess (if any)
-    /// is the number of records dropped by the bounded device buffer.
+    /// is [`dropped`](Self::dropped).
     pub fn demanded(&self) -> u64 {
         *self.demanded.borrow()
     }
 
-    /// True when at least one record was dropped because the buffer was
-    /// full, i.e. `demanded() > addresses().len()`.
-    ///
-    /// Boundary contract: a trace that fills the buffer *exactly*
-    /// (`demanded() == capacity`) is complete, not truncated — every
-    /// demanded record was captured. Truncation begins at the first
-    /// record past capacity. (The device function compares the 64-bit
-    /// slot index against the capacity after narrowing it to `u32`, so
-    /// demand counts stay exact up to `u32::MAX` records — far beyond
-    /// any buffer this tool can allocate.)
-    pub fn truncated(&self) -> bool {
-        self.demanded() > self.addresses.borrow().len() as u64
+    /// Records dropped by the capture path. Always
+    /// `demanded() - addresses().len()`: bounded mode drops past
+    /// capacity, channel mode drops only under
+    /// [`Backpressure::DropCount`] with both flush buffers full.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.borrow()
     }
+
+    /// True when at least one record was dropped. Defined through the
+    /// shared boundary predicate ([`complete`](Self::complete)) with
+    /// the captured count standing in for capacity: the stored
+    /// addresses are exactly the captured records, so an exactly-full
+    /// capture is complete, not truncated.
+    pub fn truncated(&self) -> bool {
+        !Self::complete(self.demanded(), self.addresses.borrow().len() as u64)
+    }
+}
+
+/// Capture backend of [`MemTrace`].
+enum Mode {
+    /// Fixed device buffer, readback at launch exit.
+    Bounded { capacity: u32, buf: u64 },
+    /// Streaming channel with a host drain thread.
+    Channel {
+        policy: Backpressure,
+        buf_records: usize,
+        host: Option<ChannelHost>,
+        store: Arc<Mutex<Vec<Record>>>,
+    },
 }
 
 /// The tracing tool.
 pub struct MemTrace {
-    capacity: u32,
-    buf: u64,
+    mode: Mode,
     results: Rc<MemTraceResults>,
     seen: HashSet<u32>,
 }
 
 impl MemTrace {
-    /// Creates the tool with a record capacity.
+    /// Creates the tool with a bounded record capacity.
     pub fn new(capacity: u32) -> (MemTrace, Rc<MemTraceResults>) {
         let results = Rc::new(MemTraceResults::default());
-        (MemTrace { capacity, buf: 0, results: results.clone(), seen: HashSet::new() }, results)
+        (
+            MemTrace {
+                mode: Mode::Bounded { capacity, buf: 0 },
+                results: results.clone(),
+                seen: HashSet::new(),
+            },
+            results,
+        )
+    }
+
+    /// Creates the tool in streaming-channel mode with a flush-buffer
+    /// capacity of `buf_records` records. `Backpressure::Block` makes
+    /// the trace lossless regardless of its size relative to the
+    /// buffer; `Backpressure::DropCount` bounds kernel-side stalls and
+    /// accounts every drop exactly.
+    pub fn channel(policy: Backpressure, buf_records: usize) -> (MemTrace, Rc<MemTraceResults>) {
+        let results = Rc::new(MemTraceResults::default());
+        (
+            MemTrace {
+                mode: Mode::Channel {
+                    policy,
+                    buf_records,
+                    host: None,
+                    store: Arc::new(Mutex::new(Vec::new())),
+                },
+                results: results.clone(),
+                seen: HashSet::new(),
+            },
+            results,
+        )
     }
 
     fn publish(&self, drv: &Driver) {
-        if self.buf == 0 {
-            return;
+        match &self.mode {
+            Mode::Bounded { capacity, buf } => {
+                if *buf == 0 {
+                    return;
+                }
+                let demanded = read_u64(drv, *buf);
+                let n = MemTraceResults::captured(demanded, *capacity as u64) as usize;
+                let mut bytes = vec![0u8; n * 8];
+                if n > 0 {
+                    drv.memcpy_dtoh(&mut bytes, *buf + 8).expect("trace readback");
+                }
+                *self.results.addresses.borrow_mut() =
+                    bytes.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+                *self.results.demanded.borrow_mut() = demanded;
+                *self.results.dropped.borrow_mut() = demanded - n as u64;
+            }
+            Mode::Channel { host, store, .. } => {
+                let Some(host) = host else { return };
+                // The kernel-completion flush inside `Device::launch`
+                // already pushed every record through the consumer, so
+                // the store is complete here. Reassemble the canonical
+                // stream: stable sort by CTA tag keeps each CTA's
+                // push-ordered subsequence intact, making the result
+                // independent of worker interleaving.
+                let mut records = store.lock().unwrap().clone();
+                records.sort_by_key(|r| r.tag);
+                *self.results.addresses.borrow_mut() = records.iter().map(|r| r.payload).collect();
+                *self.results.demanded.borrow_mut() = host.demanded();
+                *self.results.dropped.borrow_mut() = host.dropped();
+            }
         }
-        let demanded = read_u64(drv, self.buf);
-        let n = demanded.min(self.capacity as u64) as usize;
-        let mut bytes = vec![0u8; n * 8];
-        if n > 0 {
-            drv.memcpy_dtoh(&mut bytes, self.buf + 8).expect("trace readback");
-        }
-        *self.results.addresses.borrow_mut() =
-            bytes.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
-        *self.results.demanded.borrow_mut() = demanded;
     }
 }
 
 impl NvbitTool for MemTrace {
     fn at_init(&mut self, api: &NvbitApi<'_>) {
-        api.load_tool_functions(TRACE_FN).expect("tool functions compile");
-        self.buf = api
-            .driver()
-            .with_device(|d| d.alloc(8 + self.capacity as u64 * 8))
-            .expect("trace buffer alloc");
+        match &mut self.mode {
+            Mode::Bounded { capacity, buf } => {
+                api.load_tool_functions(TRACE_FN).expect("tool functions compile");
+                *buf = api
+                    .driver()
+                    .with_device(|d| d.alloc(8 + *capacity as u64 * 8))
+                    .expect("trace buffer alloc");
+            }
+            Mode::Channel { policy, buf_records, host, store } => {
+                api.load_tool_functions(TRACE_CHAN_FN).expect("tool functions compile");
+                let sink = store.clone();
+                let (h, dev) = ChannelHost::spawn(
+                    *buf_records,
+                    *policy,
+                    Box::new(move |batch| sink.lock().unwrap().extend_from_slice(batch)),
+                );
+                api.driver().with_device(|d| d.attach_channel(dev));
+                *host = Some(h);
+            }
+        }
     }
 
     fn at_term(&mut self, api: &NvbitApi<'_>) {
         self.publish(api.driver());
+        if let Mode::Channel { host, .. } = &mut self.mode {
+            api.driver().with_device(|d| d.detach_channel());
+            if let Some(host) = host.take() {
+                host.shutdown();
+            }
+        }
     }
 
     fn at_cuda_event(
@@ -133,18 +273,25 @@ impl NvbitTool for MemTrace {
         if !self.seen.insert(func.raw()) {
             return;
         }
+        let (fn_name, bounded) = match &self.mode {
+            Mode::Bounded { .. } => ("nvbit_trace", true),
+            Mode::Channel { .. } => ("nvbit_trace_chan", false),
+        };
         let mut sites = 0u64;
         for instr in api.get_instrs(*func).expect("inspection") {
             if instr.mem_space() != Some(sass::MemSpace::Global) {
                 continue;
             }
             let Some((base, offset)) = instr.mref() else { continue };
-            api.insert_call(*func, instr.idx, "nvbit_trace", IPoint::Before).unwrap();
+            api.insert_call(*func, instr.idx, fn_name, IPoint::Before).unwrap();
             api.add_call_arg_guard_pred(*func, instr.idx).unwrap();
             api.add_call_arg_reg_val64(*func, instr.idx, base.0).unwrap();
             api.add_call_arg_imm32(*func, instr.idx, offset).unwrap();
-            api.add_call_arg_imm64(*func, instr.idx, self.buf).unwrap();
-            api.add_call_arg_imm32(*func, instr.idx, self.capacity as i32).unwrap();
+            if bounded {
+                let Mode::Bounded { capacity, buf } = &self.mode else { unreachable!() };
+                api.add_call_arg_imm64(*func, instr.idx, *buf).unwrap();
+                api.add_call_arg_imm32(*func, instr.idx, *capacity as i32).unwrap();
+            }
             sites += 1;
         }
         common::obs::counter("tool.mem_trace.sites", sites);
@@ -189,6 +336,7 @@ mod tests {
         let addrs = results.addresses();
         assert_eq!(addrs.len(), 64, "32 loads + 32 stores");
         assert!(!results.truncated());
+        assert_eq!(results.dropped(), 0);
         // Loads at buf + 4t, stores at buf + 4t + 64.
         for t in 0..32u64 {
             assert!(addrs.contains(&(buf + 4 * t)), "missing load address of lane {t}");
@@ -210,6 +358,7 @@ mod tests {
         assert!(results.truncated());
         assert_eq!(results.addresses().len(), 16);
         assert_eq!(results.demanded(), 64);
+        assert_eq!(results.dropped(), 48);
     }
 
     /// Boundary contract: a trace that fills the buffer *exactly* is
@@ -229,5 +378,55 @@ mod tests {
         assert_eq!(results.demanded(), 64, "demand equals capacity exactly");
         assert_eq!(results.addresses().len(), 64, "every record captured");
         assert!(!results.truncated(), "an exactly-full buffer is not truncated");
+    }
+
+    /// Channel mode with `Block` is lossless even when the trace
+    /// exceeds the flush buffer many times over: a 4-record buffer
+    /// carries a 64-record trace with zero drops.
+    #[test]
+    fn channel_trace_is_lossless_past_the_buffer_size() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let (tool, results) = MemTrace::channel(Backpressure::Block, 4);
+        attach_tool(&drv, tool);
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "k").unwrap();
+        let buf = drv.mem_alloc(1024).unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
+        drv.shutdown();
+
+        let addrs = results.addresses();
+        assert_eq!(addrs.len(), 64, "32 loads + 32 stores, no capacity cap");
+        assert!(!results.truncated());
+        assert_eq!(results.dropped(), 0);
+        assert_eq!(results.demanded(), 64);
+        for t in 0..32u64 {
+            assert!(addrs.contains(&(buf + 4 * t)), "missing load address of lane {t}");
+            assert!(addrs.contains(&(buf + 4 * t + 64)), "missing store address of lane {t}");
+        }
+    }
+
+    /// Channel mode under `DropCount` preserves the accounting
+    /// contract exactly: whatever gets dropped is counted, and
+    /// demanded == captured + dropped always holds.
+    #[test]
+    fn channel_dropcount_accounting_is_exact() {
+        let drv = Driver::new(DeviceSpec::test(Arch::Volta));
+        let (tool, results) = MemTrace::channel(Backpressure::DropCount, 8);
+        attach_tool(&drv, tool);
+        let ctx = drv.ctx_create().unwrap();
+        let m = drv.module_load(&ctx, FatBinary::from_ptx("app", APP)).unwrap();
+        let f = drv.module_get_function(&m, "k").unwrap();
+        let buf = drv.mem_alloc(1024).unwrap();
+        drv.launch_kernel(&f, Dim3::linear(1), Dim3::linear(32), &[KernelArg::Ptr(buf)]).unwrap();
+        drv.shutdown();
+
+        assert_eq!(results.demanded(), 64);
+        assert_eq!(
+            results.addresses().len() as u64 + results.dropped(),
+            results.demanded(),
+            "every demanded record is either captured or counted as dropped"
+        );
+        assert_eq!(results.truncated(), results.dropped() > 0);
     }
 }
